@@ -1,0 +1,35 @@
+//! Collective algorithms on the 8+8 grid: the mechanism behind Fig. 10's
+//! FT/IS results.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpisim::{MpiImpl, RankCtx};
+use std::hint::black_box;
+
+fn run_coll(id: MpiImpl, op: &'static str) -> f64 {
+    let report = bench::grid_job(16, id)
+        .run(move |ctx: &mut RankCtx| match op {
+            "bcast" => ctx.bcast(0, 128 << 10),
+            "allreduce" => ctx.allreduce(128 << 10),
+            "alltoall" => ctx.alltoall(64 << 10),
+            _ => unreachable!(),
+        })
+        .expect("collective completes");
+    report.elapsed.as_secs_f64()
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    for op in ["bcast", "allreduce", "alltoall"] {
+        let mut g = c.benchmark_group(format!("coll_{op}_128k_8+8"));
+        for id in [MpiImpl::Mpich2, MpiImpl::GridMpi, MpiImpl::MpichMadeleine] {
+            g.bench_function(id.name(), |b| b.iter(|| black_box(run_coll(id, op))));
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_collectives
+}
+criterion_main!(benches);

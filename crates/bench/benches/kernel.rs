@@ -1,0 +1,72 @@
+//! desim micro-benchmarks: event throughput and process hand-off cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::{completion, Sim, SimDuration};
+use std::hint::black_box;
+
+fn bench_timer_wheel(c: &mut Criterion) {
+    c.bench_function("kernel/10k_timers_one_process", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            sim.spawn("timers", |p| {
+                for _ in 0..10_000 {
+                    p.advance(SimDuration::from_nanos(black_box(17)));
+                }
+            });
+            black_box(sim.run().unwrap())
+        })
+    });
+}
+
+fn bench_handoff(c: &mut Criterion) {
+    c.bench_function("kernel/1k_completion_handoffs", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let n = 1_000;
+            let mut txs = Vec::new();
+            let mut rxs = Vec::new();
+            for _ in 0..n {
+                let (t, r) = completion::<u32>();
+                txs.push(t);
+                rxs.push(r);
+            }
+            sim.spawn("producer", move |p| {
+                for tx in txs {
+                    p.advance(SimDuration::from_nanos(5));
+                    tx.fire(&p, 1);
+                }
+            });
+            sim.spawn("consumer", move |p| {
+                let mut acc = 0u32;
+                for rx in rxs {
+                    acc += rx.wait(&p);
+                }
+                assert_eq!(acc, n as u32);
+            });
+            black_box(sim.run().unwrap())
+        })
+    });
+}
+
+fn bench_many_processes(c: &mut Criterion) {
+    c.bench_function("kernel/32_processes_round_robin", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            for i in 0..32 {
+                sim.spawn(format!("p{i}"), |p| {
+                    for _ in 0..100 {
+                        p.yield_now();
+                    }
+                });
+            }
+            black_box(sim.run().unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_timer_wheel, bench_handoff, bench_many_processes
+}
+criterion_main!(benches);

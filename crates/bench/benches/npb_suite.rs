@@ -1,0 +1,30 @@
+//! One bench per NAS kernel (class S, 8+8 layout) — exercises the full
+//! Fig. 10–13 machinery end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpisim::MpiImpl;
+use npb::{NasBenchmark, NasClass, NasRun};
+use std::hint::black_box;
+
+fn bench_npb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("npb_classS_8+8");
+    for bench_id in NasBenchmark::ALL {
+        g.bench_function(bench_id.name(), |b| {
+            b.iter(|| {
+                let run = NasRun::quick(bench_id, NasClass::S);
+                let report = bench::grid_job(16, MpiImpl::GridMpi)
+                    .run(run.program())
+                    .expect("NAS completes");
+                black_box(run.estimate(&report))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_npb
+}
+criterion_main!(benches);

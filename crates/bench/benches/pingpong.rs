@@ -1,0 +1,23 @@
+//! The paper's pingpong (Figs. 3/5/6/7) as a benchmark: one entry per MPI
+//! implementation on the tuned grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpisim::MpiImpl;
+use std::hint::black_box;
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pingpong_grid_1M");
+    for id in MpiImpl::ALL {
+        g.bench_function(id.name(), |b| {
+            b.iter(|| black_box(bench::pingpong_once(id, 1 << 20, 20)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pingpong
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! The ray2mesh application model (Tables 6/7) as a benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridapps::Ray2MeshConfig;
+use mpisim::{MpiImpl, MpiJob};
+use netsim::{grid5000_four_sites, KernelConfig, Network};
+use std::hint::black_box;
+
+fn bench_ray2mesh(c: &mut Criterion) {
+    c.bench_function("ray2mesh/small_4_sites", |b| {
+        b.iter(|| {
+            let cfg = Ray2MeshConfig::small();
+            let (mut topo, _sites, nodes) = grid5000_four_sites(8);
+            topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+            let mut placement = vec![nodes[0][0]];
+            for site_nodes in &nodes {
+                placement.extend(site_nodes.iter().copied());
+            }
+            let report = MpiJob::new(Network::new(topo), placement, MpiImpl::GridMpi)
+                .run(cfg.program())
+                .expect("ray2mesh completes");
+            black_box(report.elapsed)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ray2mesh
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! netsim benchmarks: congestion state machine and fluid transfers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::Sim;
+use netsim::SockBufRequest;
+use std::hint::black_box;
+
+fn bench_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp");
+    for (label, bytes) in [("64k", 64u64 << 10), ("16M", 16 << 20)] {
+        g.bench_function(format!("wan_transfer_{label}"), |b| {
+            b.iter(|| {
+                let (net, rn, nn) = bench::tuned_pair(1);
+                let sim = Sim::new();
+                let (a, z) = (rn[0], nn[0]);
+                sim.spawn("xfer", move |p| {
+                    let ch = net.channel(
+                        a,
+                        z,
+                        SockBufRequest::OsDefault,
+                        SockBufRequest::OsDefault,
+                        false,
+                    );
+                    net.transfer_blocking(&p, ch, black_box(bytes));
+                });
+                black_box(sim.run().unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sharing(c: &mut Criterion) {
+    c.bench_function("tcp/32_concurrent_wan_flows", |b| {
+        b.iter(|| {
+            let (net, rn, nn) = bench::tuned_pair(8);
+            let sim = Sim::new();
+            for i in 0..8 {
+                for j in 0..4 {
+                    let net = net.clone();
+                    let (a, z) = (rn[i], nn[(i + j) % 8]);
+                    sim.spawn(format!("f{i}-{j}"), move |p| {
+                        let ch = net.channel(
+                            a,
+                            z,
+                            SockBufRequest::OsDefault,
+                            SockBufRequest::OsDefault,
+                            true,
+                        );
+                        net.transfer_blocking(&p, ch, 2 << 20);
+                    });
+                }
+            }
+            black_box(sim.run().unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_transfer, bench_sharing
+}
+criterion_main!(benches);

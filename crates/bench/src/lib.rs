@@ -1,0 +1,38 @@
+//! Shared helpers for the criterion benches.
+
+use mpisim::{MpiImpl, MpiJob, RankCtx, Tuning};
+use netsim::{grid5000_pair, KernelConfig, Network, NodeId};
+
+/// Build the tuned two-site testbed with `n` nodes per site.
+pub fn tuned_pair(n: usize) -> (Network, Vec<NodeId>, Vec<NodeId>) {
+    let (mut topo, rn, nn) = grid5000_pair(n);
+    topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+    (Network::new(topo), rn, nn)
+}
+
+/// A tuned MPI job across the WAN with `ranks` split evenly.
+pub fn grid_job(ranks: usize, id: MpiImpl) -> MpiJob {
+    let (net, rn, nn) = tuned_pair(ranks.div_ceil(2));
+    let mut placement: Vec<NodeId> = rn.into_iter().take(ranks / 2).collect();
+    placement.extend(nn.into_iter().take(ranks - ranks / 2));
+    MpiJob::new(net, placement, id).with_tuning(Tuning::paper_tuned(id))
+}
+
+/// One warmed pingpong round trip; returns the virtual one-way seconds.
+pub fn pingpong_once(id: MpiImpl, bytes: u64, iters: u32) -> f64 {
+    let report = grid_job(2, id)
+        .run(move |ctx: &mut RankCtx| {
+            const TAG: u64 = 1;
+            for _ in 0..iters {
+                if ctx.rank() == 0 {
+                    ctx.send(1, bytes, TAG);
+                    ctx.recv(1, TAG);
+                } else {
+                    ctx.recv(0, TAG);
+                    ctx.send(0, bytes, TAG);
+                }
+            }
+        })
+        .expect("pingpong completes");
+    report.elapsed.as_secs_f64()
+}

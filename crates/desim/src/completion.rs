@@ -1,0 +1,199 @@
+//! One-shot cross-process synchronisation: a `Trigger`/`Completion` pair.
+//!
+//! A `Completion<T>` is waited on by exactly one process; the paired
+//! `Trigger<T>` is fired exactly once — either directly by another process,
+//! or at a scheduled virtual time via [`Trigger::fire_at`]. This is the
+//! primitive on which all higher-level blocking (message delivery, MPI
+//! request completion, flow completion) is built.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::Sched;
+use crate::process::{Proc, ProcId};
+use crate::time::SimTime;
+
+enum State<T> {
+    Empty,
+    Waiting(ProcId),
+    Fired(T),
+    /// Fired while a waiter was registered; value parked for pick-up.
+    FiredWaking(T),
+    Taken,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+}
+
+/// The firing half of a one-shot completion.
+pub struct Trigger<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The waiting half of a one-shot completion.
+pub struct Completion<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create a connected one-shot `Trigger`/`Completion` pair.
+pub fn completion<T: Send + 'static>() -> (Trigger<T>, Completion<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State::Empty),
+    });
+    (
+        Trigger {
+            shared: Arc::clone(&shared),
+        },
+        Completion { shared },
+    )
+}
+
+impl<T: Send + 'static> Trigger<T> {
+    /// Fire with `value` at the current instant, waking the waiter (if any).
+    pub fn fire(self, p: &Proc, value: T) {
+        self.fire_from(&p.sched(), value);
+    }
+
+    /// Fire from a kernel callback context.
+    pub fn fire_from(self, s: &Sched, value: T) {
+        let wake = {
+            let mut st = self.shared.state.lock();
+            match std::mem::replace(&mut *st, State::Taken) {
+                State::Empty => {
+                    *st = State::Fired(value);
+                    None
+                }
+                State::Waiting(pid) => {
+                    *st = State::FiredWaking(value);
+                    Some(pid)
+                }
+                State::Fired(_) | State::FiredWaking(_) | State::Taken => {
+                    panic!("completion fired twice")
+                }
+            }
+        };
+        if let Some(pid) = wake {
+            s.wake_at(s.now(), pid);
+        }
+    }
+
+    /// Schedule the fire for virtual time `at` (clamped to now).
+    pub fn fire_at(self, s: &Sched, at: SimTime, value: T) {
+        s.call_at(at, move |s2| self.fire_from(s2, value));
+    }
+}
+
+impl<T: Send + 'static> Completion<T> {
+    /// True once the trigger has fired (value not yet taken).
+    pub fn is_fired(&self) -> bool {
+        matches!(
+            &*self.shared.state.lock(),
+            State::Fired(_) | State::FiredWaking(_)
+        )
+    }
+
+    /// Take the value if already fired, without blocking.
+    pub fn try_take(self) -> Result<T, Completion<T>> {
+        let mut st = self.shared.state.lock();
+        match std::mem::replace(&mut *st, State::Taken) {
+            State::Fired(v) | State::FiredWaking(v) => Ok(v),
+            other => {
+                *st = other;
+                drop(st);
+                Err(self)
+            }
+        }
+    }
+
+    /// Block this process until the trigger fires; returns the fired value.
+    pub fn wait(self, p: &Proc) -> T {
+        {
+            let mut st = self.shared.state.lock();
+            match std::mem::replace(&mut *st, State::Taken) {
+                State::Fired(v) => return v,
+                State::FiredWaking(v) => return v,
+                State::Empty => {
+                    *st = State::Waiting(p.id());
+                }
+                State::Waiting(_) => panic!("completion waited on twice"),
+                State::Taken => panic!("completion value already taken"),
+            }
+        }
+        p.block();
+        let mut st = self.shared.state.lock();
+        match std::mem::replace(&mut *st, State::Taken) {
+            State::FiredWaking(v) | State::Fired(v) => v,
+            _ => unreachable!("woken without a fired completion"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sim, SimDuration};
+
+    #[test]
+    fn fire_before_wait_returns_immediately() {
+        let sim = Sim::new();
+        let (tx, rx) = completion::<&'static str>();
+        sim.spawn("p", move |p| {
+            tx.fire(&p, "early");
+            assert_eq!(rx.wait(&p), "early");
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn fire_at_wakes_at_scheduled_time() {
+        let sim = Sim::new();
+        let (tx, rx) = completion::<u64>();
+        sim.spawn("p", move |p| {
+            let s = p.sched();
+            let at = p.now() + SimDuration::from_micros(123);
+            tx.fire_at(&s, at, 9);
+            assert_eq!(rx.wait(&p), 9);
+            assert_eq!(p.now().as_micros(), 123);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn try_take_round_trip() {
+        let sim = Sim::new();
+        let (tx, rx) = completion::<u32>();
+        sim.spawn("p", move |p| {
+            let rx = match rx.try_take() {
+                Err(rx) => rx,
+                Ok(_) => panic!("nothing fired yet"),
+            };
+            tx.fire(&p, 5);
+            assert!(rx.is_fired());
+            assert_eq!(rx.try_take().ok(), Some(5));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn cross_process_handoff_chain() {
+        let sim = Sim::new();
+        let (tx1, rx1) = completion::<u32>();
+        let (tx2, rx2) = completion::<u32>();
+        sim.spawn("first", move |p| {
+            p.advance(SimDuration::from_millis(1));
+            tx1.fire(&p, 1);
+            let v = rx2.wait(&p);
+            assert_eq!(v, 2);
+            assert_eq!(p.now().as_millis(), 3);
+        });
+        sim.spawn("second", move |p| {
+            let v = rx1.wait(&p);
+            assert_eq!(v, 1);
+            p.advance(SimDuration::from_millis(2));
+            tx2.fire(&p, 2);
+        });
+        sim.run().unwrap();
+    }
+}

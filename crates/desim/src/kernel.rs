@@ -1,0 +1,534 @@
+//! The event queue, run token, and simulation driver.
+//!
+//! ## Execution model
+//!
+//! Every simulated process is an OS thread, but at most one of them is ever
+//! *logically running*: a thread only executes between the moment the
+//! scheduler hands it the run token (by popping its `Wake` event) and the
+//! moment it blocks again (by calling back into the kernel). The scheduler
+//! itself has no dedicated thread — whichever thread is about to block pops
+//! the next event and hands the token over. Events are ordered by
+//! `(virtual time, insertion sequence)` so the execution order is a pure
+//! function of the simulated program.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::process::{Proc, ProcId};
+use crate::time::{SimDuration, SimTime};
+
+/// Errors surfaced by [`Sim::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A simulated process panicked; contains the panic message of the first
+    /// process that failed.
+    ProcessPanicked(String),
+    /// The event queue drained while processes were still blocked — the
+    /// simulated program deadlocked. Contains the names of blocked processes.
+    Deadlock(Vec<String>),
+    /// Virtual time passed the limit given to [`Sim::run_until`] before all
+    /// processes finished — the simulated program timed out.
+    TimeLimitExceeded(SimTime),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::ProcessPanicked(m) => write!(f, "simulated process panicked: {m}"),
+            SimError::Deadlock(names) => {
+                write!(f, "simulation deadlock; blocked processes: {names:?}")
+            }
+            SimError::TimeLimitExceeded(t) => {
+                write!(f, "simulation exceeded its virtual time limit at {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A scheduling capability handed to kernel callbacks, and obtainable from
+/// any [`Proc`] via [`Proc::sched`]. It can read the clock, schedule further
+/// callbacks and fire [`crate::Trigger`]s, but cannot block. Cloning is
+/// cheap (a reference-count bump).
+#[derive(Clone)]
+pub struct Sched {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl Sched {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.shared.lock().now
+    }
+
+    /// Schedule `f` to run at virtual time `at` (clamped to now if in the
+    /// past). The callback runs on whichever thread holds the run token.
+    pub fn call_at(&self, at: SimTime, f: impl FnOnce(&Sched) + Send + 'static) {
+        let mut g = self.inner.shared.lock();
+        let at = at.max(g.now);
+        g.push(at, EventKind::Call(Box::new(f)));
+    }
+
+    /// Schedule `f` to run `after` from now.
+    pub fn call_after(&self, after: SimDuration, f: impl FnOnce(&Sched) + Send + 'static) {
+        let mut g = self.inner.shared.lock();
+        let at = g.now + after;
+        g.push(at, EventKind::Call(Box::new(f)));
+    }
+
+    pub(crate) fn wake_at(&self, at: SimTime, pid: ProcId) {
+        let mut g = self.inner.shared.lock();
+        let at = at.max(g.now);
+        g.push(at, EventKind::Wake(pid));
+    }
+}
+
+pub(crate) enum EventKind {
+    Wake(ProcId),
+    Call(Box<dyn FnOnce(&Sched) + Send>),
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// One parked/runnable gate per process thread.
+pub(crate) struct Gate {
+    runnable: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            runnable: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn park(&self) {
+        let mut g = self.runnable.lock();
+        while !*g {
+            self.cv.wait(&mut g);
+        }
+        *g = false;
+    }
+
+    pub(crate) fn unpark(&self) {
+        let mut g = self.runnable.lock();
+        *g = true;
+        self.cv.notify_one();
+    }
+}
+
+pub(crate) struct ProcSlot {
+    pub(crate) id: ProcId,
+    pub(crate) name: String,
+    pub(crate) gate: Gate,
+    /// True while the process is blocked inside the kernel (used for
+    /// deadlock diagnostics).
+    pub(crate) blocked: Mutex<bool>,
+}
+
+pub(crate) struct Shared {
+    heap: BinaryHeap<Reverse<Event>>,
+    pub(crate) now: SimTime,
+    seq: u64,
+    pub(crate) live: usize,
+    pub(crate) procs: Vec<Arc<ProcSlot>>,
+    pub(crate) failure: Option<SimError>,
+    pub(crate) limit: SimTime,
+}
+
+impl Shared {
+    pub(crate) fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event { time, seq, kind }));
+    }
+}
+
+pub(crate) struct Inner {
+    pub(crate) shared: Mutex<Shared>,
+    main_gate: Gate,
+}
+
+/// A simulation instance: spawn processes, then [`Sim::run`] to completion.
+pub struct Sim {
+    inner: Arc<Inner>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create an empty simulation at t = 0.
+    pub fn new() -> Sim {
+        Sim {
+            inner: Arc::new(Inner {
+                shared: Mutex::new(Shared {
+                    heap: BinaryHeap::new(),
+                    now: SimTime::ZERO,
+                    seq: 0,
+                    live: 0,
+                    procs: Vec::new(),
+                    failure: None,
+                    limit: SimTime::MAX,
+                }),
+                main_gate: Gate::new(),
+            }),
+        }
+    }
+
+    /// Spawn a simulated process. The body runs in blocking style on its own
+    /// thread; it becomes runnable at the current virtual time. Processes may
+    /// spawn further processes via [`Proc::spawn`].
+    pub fn spawn<F>(&self, name: impl Into<String>, body: F) -> ProcId
+    where
+        F: FnOnce(Proc) + Send + 'static,
+    {
+        spawn_process(&self.inner, name.into(), body)
+    }
+
+    /// Like [`Sim::run`], but fail with [`SimError::TimeLimitExceeded`] if
+    /// virtual time passes `limit` before the processes finish. As with a
+    /// deadlock, the still-blocked process threads are leaked by design —
+    /// the simulation is abandoned, not unwound.
+    pub fn run_until(self, limit: SimTime) -> Result<SimTime, SimError> {
+        self.inner.shared.lock().limit = limit;
+        self.run()
+    }
+
+    /// Run the simulation until every process has finished. Returns the final
+    /// virtual time, or the first failure (process panic or deadlock).
+    pub fn run(self) -> Result<SimTime, SimError> {
+        {
+            let g = self.inner.shared.lock();
+            if g.live == 0 && g.heap.is_empty() {
+                return Ok(g.now);
+            }
+        }
+        dispatch(&self.inner, None, None);
+        self.inner.main_gate.park();
+        let g = self.inner.shared.lock();
+        match &g.failure {
+            Some(e) => Err(e.clone()),
+            None => Ok(g.now),
+        }
+    }
+}
+
+pub(crate) fn spawn_process<F>(inner: &Arc<Inner>, name: String, body: F) -> ProcId
+where
+    F: FnOnce(Proc) + Send + 'static,
+{
+    let slot = {
+        let mut g = inner.shared.lock();
+        let id = ProcId(g.procs.len());
+        let slot = Arc::new(ProcSlot {
+            id,
+            name: name.clone(),
+            gate: Gate::new(),
+            blocked: Mutex::new(true),
+        });
+        g.procs.push(Arc::clone(&slot));
+        g.live += 1;
+        let now = g.now;
+        g.push(now, EventKind::Wake(id));
+        slot
+    };
+    let id = slot.id;
+    let inner2 = Arc::clone(inner);
+    thread::Builder::new()
+        .name(format!("sim:{name}"))
+        .spawn(move || {
+            slot.gate.park();
+            *slot.blocked.lock() = false;
+            let p = Proc::new(Arc::clone(&inner2), Arc::clone(&slot));
+            let result = catch_unwind(AssertUnwindSafe(move || body(p)));
+            let guard = {
+                let mut g = inner2.shared.lock();
+                g.live -= 1;
+                if let Err(payload) = result {
+                    let msg = panic_message(payload);
+                    if g.failure.is_none() {
+                        g.failure = Some(SimError::ProcessPanicked(msg));
+                    }
+                    // Fail fast: drop all pending work so the driver returns.
+                    g.heap.clear();
+                }
+                g
+            };
+            dispatch(&inner2, None, Some(guard));
+        })
+        .expect("failed to spawn simulation thread");
+    id
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Hand the run token to the owner of the next event. If `me` is given, the
+/// calling thread parks afterwards and the function returns once the token
+/// comes back to `me`; with `me = None` the caller exits the scheduler after
+/// handing off (used by finished processes and the driver).
+pub(crate) fn dispatch(
+    inner: &Arc<Inner>,
+    me: Option<&Arc<ProcSlot>>,
+    pre_locked: Option<parking_lot::MutexGuard<'_, Shared>>,
+) {
+    let mut guard = match pre_locked {
+        Some(g) => g,
+        None => inner.shared.lock(),
+    };
+    if let Some(slot) = me {
+        *slot.blocked.lock() = true;
+    }
+    loop {
+        if guard.live == 0 {
+            // All processes done: ignore any trailing timer/callback events
+            // (e.g. pending TCP window rounds) and end the simulation.
+            drop(guard);
+            inner.main_gate.unpark();
+            break;
+        }
+        if guard
+            .heap
+            .peek()
+            .is_some_and(|Reverse(ev)| ev.time > guard.limit)
+        {
+            if guard.failure.is_none() {
+                guard.failure = Some(SimError::TimeLimitExceeded(guard.limit));
+            }
+            drop(guard);
+            inner.main_gate.unpark();
+            break;
+        }
+        match guard.heap.pop() {
+            Some(Reverse(ev)) => {
+                debug_assert!(ev.time >= guard.now, "event queue went backwards");
+                guard.now = guard.now.max(ev.time);
+                match ev.kind {
+                    EventKind::Wake(pid) => {
+                        if me.is_some_and(|s| s.id == pid) {
+                            // Token returns to the caller immediately.
+                            let slot = me.unwrap();
+                            *slot.blocked.lock() = false;
+                            return;
+                        }
+                        let target = Arc::clone(&guard.procs[pid.0]);
+                        drop(guard);
+                        target.gate.unpark();
+                        break;
+                    }
+                    EventKind::Call(f) => {
+                        drop(guard);
+                        f(&Sched {
+                            inner: Arc::clone(inner),
+                        });
+                        guard = inner.shared.lock();
+                    }
+                }
+            }
+            None => {
+                if guard.live > 0 && guard.failure.is_none() {
+                    let blocked: Vec<String> = guard
+                        .procs
+                        .iter()
+                        .filter(|s| *s.blocked.lock())
+                        .map(|s| s.name.clone())
+                        .collect();
+                    guard.failure = Some(SimError::Deadlock(blocked));
+                }
+                drop(guard);
+                inner.main_gate.unpark();
+                // A deadlocked caller parks forever; its thread is leaked by
+                // design (the driver has already reported the failure).
+                break;
+            }
+        }
+    }
+    if let Some(slot) = me {
+        slot.gate.park();
+        *slot.blocked.lock() = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sim_finishes_at_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.run().unwrap(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_process_advances_clock() {
+        let sim = Sim::new();
+        sim.spawn("p", |p| {
+            p.advance(SimDuration::from_millis(10));
+            p.advance(SimDuration::from_millis(5));
+        });
+        assert_eq!(sim.run().unwrap().as_millis(), 15);
+    }
+
+    #[test]
+    fn process_panic_is_reported() {
+        let sim = Sim::new();
+        sim.spawn("bad", |p| {
+            p.advance(SimDuration::from_millis(1));
+            panic!("boom with context");
+        });
+        match sim.run() {
+            Err(SimError::ProcessPanicked(m)) => assert!(m.contains("boom")),
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let sim = Sim::new();
+        let (_tx, rx) = crate::completion::<()>();
+        sim.spawn("stuck", move |p| {
+            rx.wait(&p);
+        });
+        match sim.run() {
+            Err(SimError::Deadlock(names)) => assert_eq!(names, vec!["stuck".to_string()]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interleaving_is_time_ordered() {
+        use std::sync::Mutex as StdMutex;
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let sim = Sim::new();
+        for (name, step_ms) in [("a", 3u64), ("b", 5u64), ("c", 7u64)] {
+            let log = Arc::clone(&log);
+            sim.spawn(name, move |p| {
+                for _ in 0..4 {
+                    p.advance(SimDuration::from_millis(step_ms));
+                    log.lock().unwrap().push((p.now().as_millis(), name));
+                }
+            });
+        }
+        sim.run().unwrap();
+        let log = log.lock().unwrap();
+        let times: Vec<u64> = log.iter().map(|(t, _)| *t).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "events must be observed in time order");
+        assert_eq!(log.len(), 12);
+    }
+
+    #[test]
+    fn call_at_runs_between_processes() {
+        let sim = Sim::new();
+        let (tx, rx) = crate::completion::<u64>();
+        sim.spawn("waiter", move |p| {
+            p.sched().call_after(SimDuration::from_millis(2), move |s| {
+                tx.fire_from(s, s.now().as_millis());
+            });
+            let v = rx.wait(&p);
+            assert_eq!(v, 2);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn spawn_from_process() {
+        let sim = Sim::new();
+        sim.spawn("parent", |p| {
+            let (tx, rx) = crate::completion::<u32>();
+            p.spawn("child", move |c| {
+                c.advance(SimDuration::from_millis(4));
+                tx.fire(&c, 7);
+            });
+            assert_eq!(rx.wait(&p), 7);
+            assert_eq!(p.now().as_millis(), 4);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn run_until_reports_time_limit() {
+        let sim = Sim::new();
+        sim.spawn("slow", |p| {
+            p.advance(SimDuration::from_secs(100));
+        });
+        match sim.run_until(SimTime::from_nanos(1_000_000)) {
+            Err(SimError::TimeLimitExceeded(t)) => assert_eq!(t.as_micros(), 1_000),
+            other => panic!("expected time limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_until_is_inert_for_fast_runs() {
+        let sim = Sim::new();
+        sim.spawn("fast", |p| {
+            p.advance(SimDuration::from_millis(1));
+        });
+        let end = sim
+            .run_until(SimTime::from_nanos(1_000_000_000))
+            .expect("finishes before the limit");
+        assert_eq!(end.as_millis(), 1);
+    }
+
+    #[test]
+    fn determinism_same_trace_twice() {
+        fn trace() -> Vec<(u64, usize)> {
+            let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let sim = Sim::new();
+            for i in 0..8usize {
+                let log = Arc::clone(&log);
+                sim.spawn(format!("p{i}"), move |p| {
+                    for k in 0..16u64 {
+                        p.advance(SimDuration::from_nanos((i as u64 + 1) * 37 + k));
+                        log.lock().push((p.now().as_nanos(), i));
+                    }
+                });
+            }
+            sim.run().unwrap();
+            let v = log.lock().clone();
+            v
+        }
+        assert_eq!(trace(), trace());
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # desim — deterministic discrete-event simulation kernel
+//!
+//! A small discrete-event kernel with *thread-backed processes* and a
+//! strictly serialized scheduler: at any host instant, exactly one simulated
+//! process (or kernel closure) is running, and the next runnable entity is
+//! always chosen from a single event queue ordered by `(virtual time,
+//! insertion sequence)`. Execution is therefore fully deterministic — the
+//! same program produces the same event trace on every run, regardless of
+//! host thread scheduling.
+//!
+//! The design follows the SimGrid school of network simulators: simulated
+//! actors are written in ordinary blocking style (`send`, `recv`,
+//! `advance`), each running on its own OS thread, and the kernel hands a
+//! "run token" from thread to thread as virtual time progresses.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use desim::{Sim, SimDuration};
+//!
+//! let sim = Sim::new();
+//! let (tx, rx) = desim::completion::<u32>();
+//! sim.spawn("producer", move |p| {
+//!     p.advance(SimDuration::from_millis(5));
+//!     tx.fire(&p, 42);
+//! });
+//! sim.spawn("consumer", move |p| {
+//!     let v = rx.wait(&p);
+//!     assert_eq!(v, 42);
+//!     assert_eq!(p.now().as_millis(), 5);
+//! });
+//! let end = sim.run().unwrap();
+//! assert_eq!(end.as_millis(), 5);
+//! ```
+
+mod completion;
+mod kernel;
+mod process;
+mod time;
+
+pub use completion::{completion, Completion, Trigger};
+pub use kernel::{Sched, Sim, SimError};
+pub use process::{Proc, ProcId};
+pub use time::{SimDuration, SimTime};

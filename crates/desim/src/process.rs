@@ -1,0 +1,148 @@
+//! The process handle passed to every simulated actor.
+
+use std::sync::Arc;
+
+use crate::kernel::{dispatch, spawn_process, Inner, ProcSlot, Sched};
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a simulated process (dense index, assigned in spawn order).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(pub(crate) usize);
+
+impl ProcId {
+    /// The dense index of this process.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle through which a simulated process interacts with virtual time.
+///
+/// A `Proc` is handed to the process body by [`crate::Sim::spawn`]; all its
+/// blocking operations (`advance`, `sleep_until`, [`crate::Completion::wait`])
+/// suspend the process in virtual time while other processes run.
+pub struct Proc {
+    inner: Arc<Inner>,
+    slot: Arc<ProcSlot>,
+}
+
+impl Proc {
+    pub(crate) fn new(inner: Arc<Inner>, slot: Arc<ProcSlot>) -> Proc {
+        Proc { inner, slot }
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> ProcId {
+        self.slot.id
+    }
+
+    /// This process's name.
+    pub fn name(&self) -> &str {
+        &self.slot.name
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.shared.lock().now
+    }
+
+    /// A non-blocking scheduling handle usable from kernel callbacks.
+    pub fn sched(&self) -> Sched {
+        Sched {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Let `d` of virtual time pass (models local computation or a fixed
+    /// latency). Other processes run in the meantime.
+    pub fn advance(&self, d: SimDuration) {
+        if d.is_zero() {
+            return self.yield_now();
+        }
+        let at = self.now() + d;
+        self.sleep_until(at);
+    }
+
+    /// Block until virtual time `at` (no-op if already past).
+    pub fn sleep_until(&self, at: SimTime) {
+        self.sched().wake_at(at, self.slot.id);
+        self.block();
+    }
+
+    /// Relinquish the run token so that other events scheduled at the current
+    /// instant run before this process continues.
+    pub fn yield_now(&self) {
+        let now = self.now();
+        self.sched().wake_at(now, self.slot.id);
+        self.block();
+    }
+
+    /// Spawn a sibling process, runnable at the current instant.
+    pub fn spawn<F>(&self, name: impl Into<String>, body: F) -> ProcId
+    where
+        F: FnOnce(Proc) + Send + 'static,
+    {
+        spawn_process(&self.inner, name.into(), body)
+    }
+
+    /// Park this process until an already-arranged wake-up (a queued `Wake`
+    /// event or a registered [`crate::Trigger`]) releases it.
+    ///
+    /// Callers must guarantee the wake-up exists, otherwise the simulation
+    /// reports a deadlock.
+    pub(crate) fn block(&self) {
+        dispatch(&self.inner, Some(&self.slot), None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Sim, SimDuration};
+
+    #[test]
+    fn yield_now_interleaves_same_instant() {
+        use std::sync::{Arc, Mutex};
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sim = Sim::new();
+        for name in ["a", "b"] {
+            let log = Arc::clone(&log);
+            sim.spawn(name, move |p| {
+                for i in 0..3 {
+                    log.lock().unwrap().push(format!("{name}{i}"));
+                    p.yield_now();
+                }
+            });
+        }
+        sim.run().unwrap();
+        let log = log.lock().unwrap();
+        // Spawn order then round-robin at the same timestamp.
+        assert_eq!(
+            *log,
+            vec!["a0", "b0", "a1", "b1", "a2", "b2"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn advance_zero_still_yields() {
+        let sim = Sim::new();
+        sim.spawn("z", |p| {
+            p.advance(SimDuration::ZERO);
+            assert_eq!(p.now().as_nanos(), 0);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn names_and_ids() {
+        let sim = Sim::new();
+        let id = sim.spawn("worker-3", |p| {
+            assert_eq!(p.name(), "worker-3");
+            assert_eq!(p.id().index(), 0);
+        });
+        assert_eq!(id.index(), 0);
+        sim.run().unwrap();
+    }
+}

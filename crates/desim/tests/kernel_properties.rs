@@ -1,0 +1,104 @@
+//! Property-based tests of the simulation kernel's core guarantees.
+
+use std::sync::{Arc, Mutex};
+
+use desim::{completion, Sim, SimDuration};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Observed event times never decrease, whatever the mix of process
+    /// step lengths.
+    #[test]
+    fn time_never_goes_backwards(steps in prop::collection::vec((1u64..1_000_000, 1u32..20), 1..8)) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sim = Sim::new();
+        for (i, (dt, count)) in steps.into_iter().enumerate() {
+            let log = Arc::clone(&log);
+            sim.spawn(format!("p{i}"), move |p| {
+                for _ in 0..count {
+                    p.advance(SimDuration::from_nanos(dt));
+                    log.lock().unwrap().push(p.now().as_nanos());
+                }
+            });
+        }
+        sim.run().unwrap();
+        let log = log.lock().unwrap();
+        for w in log.windows(2) {
+            prop_assert!(w[0] <= w[1], "time went backwards: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    /// The final time equals the maximum per-process total, independent of
+    /// spawn order.
+    #[test]
+    fn end_time_is_the_slowest_process(durations in prop::collection::vec(1u64..1_000_000_000, 1..10)) {
+        let expect = *durations.iter().max().unwrap();
+        let sim = Sim::new();
+        for (i, d) in durations.into_iter().enumerate() {
+            sim.spawn(format!("p{i}"), move |p| {
+                p.advance(SimDuration::from_nanos(d));
+            });
+        }
+        let end = sim.run().unwrap();
+        prop_assert_eq!(end.as_nanos(), expect);
+    }
+
+    /// A chain of completions preserves the sum of delays.
+    #[test]
+    fn completion_chains_accumulate_delays(delays in prop::collection::vec(1u64..10_000_000, 1..12)) {
+        let total: u64 = delays.iter().sum();
+        let n = delays.len();
+        let mut txs = Vec::new();
+        let mut rxs = Vec::new();
+        for _ in 0..n {
+            let (t, r) = completion::<()>();
+            txs.push(Some(t));
+            rxs.push(Some(r));
+        }
+        let sim = Sim::new();
+        for (i, d) in delays.into_iter().enumerate() {
+            let prev = if i > 0 { rxs[i - 1].take() } else { None };
+            let tx = txs[i].take().unwrap();
+            sim.spawn(format!("stage{i}"), move |p| {
+                if let Some(prev) = prev {
+                    prev.wait(&p);
+                }
+                p.advance(SimDuration::from_nanos(d));
+                tx.fire(&p, ());
+            });
+        }
+        let last = rxs[n - 1].take().unwrap();
+        sim.spawn("sink", move |p| {
+            last.wait(&p);
+            assert_eq!(p.now().as_nanos(), total);
+        });
+        let end = sim.run().unwrap();
+        prop_assert_eq!(end.as_nanos(), total);
+    }
+
+    /// Determinism under arbitrary workloads: two runs, one trace.
+    #[test]
+    fn identical_runs_identical_traces(
+        seeds in prop::collection::vec((1u64..5_000, 1u64..97), 2..6)
+    ) {
+        fn trace(seeds: &[(u64, u64)]) -> Vec<(u64, usize)> {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let sim = Sim::new();
+            for (i, &(base, step)) in seeds.iter().enumerate() {
+                let log = Arc::clone(&log);
+                sim.spawn(format!("p{i}"), move |p| {
+                    for k in 0..10u64 {
+                        p.advance(SimDuration::from_nanos(base + k * step));
+                        log.lock().unwrap().push((p.now().as_nanos(), i));
+                    }
+                });
+            }
+            sim.run().unwrap();
+            let v = log.lock().unwrap().clone();
+            v
+        }
+        prop_assert_eq!(trace(&seeds), trace(&seeds));
+    }
+}

@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+
+//! # gridapps — real grid application models
+//!
+//! The applications the paper uses to motivate and evaluate MPI on the
+//! grid: [`ray2mesh`] (seismic ray tracing, §4.4, Tables 6/7) and
+//! [`simri`] (MRI simulation, §2.2.2).
+
+pub mod ray2mesh;
+pub mod simri;
+
+pub use ray2mesh::Ray2MeshConfig;
+pub use simri::SimriConfig;

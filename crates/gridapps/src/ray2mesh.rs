@@ -1,0 +1,155 @@
+//! ray2mesh — the paper's real application (§2.2.1, §4.4).
+//!
+//! A master/worker seismic ray tracer: the master hands out sets of 1000
+//! rays (69 kB a set) on demand — self-scheduling, so faster and nearer
+//! slaves compute more rays — followed by a merge phase in which every
+//! slave exchanges its submesh contributions with every other slave
+//! (~235 MB leaving each node) and folds them into its local submesh, and
+//! a final write phase. The paper runs 1 master + 32 slaves over four
+//! Grid'5000 sites (Fig. 8) and reports rays per cluster (Table 6) and
+//! phase times (Table 7).
+
+use mpisim::{MpiProgram, RankCtx};
+use serde::{Deserialize, Serialize};
+
+/// Tags of the master/worker protocol.
+const TAG_REQ: u64 = 900;
+const TAG_SET: u64 = 901;
+const TAG_STOP: u64 = 902;
+const TAG_MERGE: u64 = 903;
+const TAG_WRITE: u64 = 904;
+
+/// ray2mesh configuration. Defaults reproduce the paper's experiment:
+/// 10⁶ rays in sets of 1000, 69 kB per set, ≈ 235 MB of merge traffic per
+/// node, phase times calibrated to Table 7 on the Fig. 8 testbed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Ray2MeshConfig {
+    /// Total rays to trace.
+    pub total_rays: u64,
+    /// Rays per work set.
+    pub rays_per_set: u64,
+    /// Bytes of one work set ("69 kB for a set of 1000 rays").
+    pub set_bytes: u64,
+    /// Bytes of a slave's work request.
+    pub request_bytes: u64,
+    /// Effective compute cost per ray, Gflop. With the site CPU rates this
+    /// yields the ≈ 185 s computing phase of Table 7.
+    pub gflop_per_ray: f64,
+    /// Merge-phase exchange volume per slave pair, bytes (≈ 235 MB per
+    /// node over 31 peers).
+    pub merge_bytes_per_pair: u64,
+    /// Local merge computation per slave, Gflop (drives the ≈ 165 s merge
+    /// phase of Table 7).
+    pub merge_gflop: f64,
+    /// Final result upload to the master per slave, bytes.
+    pub write_bytes: u64,
+}
+
+impl Default for Ray2MeshConfig {
+    fn default() -> Self {
+        Ray2MeshConfig {
+            total_rays: 1_000_000,
+            rays_per_set: 1_000,
+            set_bytes: 69 * 1024,
+            request_bytes: 16,
+            gflop_per_ray: 0.013,
+            merge_bytes_per_pair: 7_600_000,
+            merge_gflop: 320.0,
+            write_bytes: 1 << 20,
+        }
+    }
+}
+
+impl Ray2MeshConfig {
+    /// A scaled-down configuration (fewer rays, lighter merge) for tests.
+    pub fn small() -> Ray2MeshConfig {
+        Ray2MeshConfig {
+            total_rays: 200_000,
+            rays_per_set: 1_000,
+            merge_gflop: 4.0,
+            merge_bytes_per_pair: 500_000,
+            ..Ray2MeshConfig::default()
+        }
+    }
+
+    /// The SPMD program: rank 0 is the master, ranks 1.. are slaves.
+    ///
+    /// Records per slave: `rays` (count traced). Records on rank 0:
+    /// `compute_secs`, `merge_secs`, `total_secs`.
+    pub fn program(&self) -> impl MpiProgram + use<> {
+        let cfg = self.clone();
+        move |ctx: &mut RankCtx| {
+            if ctx.rank() == 0 {
+                master(ctx, &cfg);
+            } else {
+                slave(ctx, &cfg);
+            }
+        }
+    }
+}
+
+fn master(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
+    let t0 = ctx.now();
+    let slaves = ctx.size() - 1;
+    let sets = cfg.total_rays / cfg.rays_per_set;
+    for _ in 0..sets {
+        let req = ctx.recv_any(TAG_REQ);
+        ctx.send(req.src, cfg.set_bytes, TAG_SET);
+    }
+    for _ in 0..slaves {
+        let req = ctx.recv_any(TAG_REQ);
+        ctx.send(req.src, 1, TAG_STOP);
+    }
+    let t_compute = ctx.now();
+    ctx.record("compute_secs", t_compute.since(t0).as_secs_f64());
+    // The master does not hold a submesh; it waits for the merge to finish
+    // and gathers the final pieces (write phase).
+    ctx.barrier();
+    let t_merge_start = ctx.now();
+    ctx.barrier();
+    let t_merge = ctx.now();
+    ctx.record("merge_secs", t_merge.since(t_merge_start).as_secs_f64());
+    for _ in 0..slaves {
+        ctx.recv_any(TAG_WRITE);
+    }
+    // Mesh write-out.
+    ctx.compute_gflop(4.0);
+    ctx.record("total_secs", ctx.now().since(t0).as_secs_f64());
+}
+
+fn slave(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
+    let mut rays = 0u64;
+    loop {
+        ctx.send(0, cfg.request_bytes, TAG_REQ);
+        let reply = ctx.recv_sel(Some(0), None);
+        match reply.tag {
+            TAG_SET => {
+                ctx.compute_gflop(cfg.rays_per_set as f64 * cfg.gflop_per_ray);
+                rays += cfg.rays_per_set;
+            }
+            TAG_STOP => break,
+            other => unreachable!("unexpected tag {other}"),
+        }
+    }
+    ctx.record("rays", rays as f64);
+    ctx.barrier();
+    // Merge: exchange submesh contributions with every other slave.
+    let slaves = ctx.size() - 1;
+    let mut reqs = Vec::with_capacity(2 * (slaves - 1));
+    for peer in 1..ctx.size() {
+        if peer != ctx.rank() {
+            reqs.push(ctx.irecv(peer, TAG_MERGE));
+        }
+    }
+    for peer in 1..ctx.size() {
+        if peer != ctx.rank() {
+            reqs.push(ctx.isend(peer, cfg.merge_bytes_per_pair, TAG_MERGE));
+        }
+    }
+    ctx.waitall(reqs);
+    // Fold received contributions into the local submesh.
+    ctx.compute_gflop(cfg.merge_gflop);
+    ctx.barrier();
+    // Write phase: upload the submesh to the master.
+    ctx.send(0, cfg.write_bytes, TAG_WRITE);
+}

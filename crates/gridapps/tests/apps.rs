@@ -1,0 +1,94 @@
+//! Application-model integration tests.
+
+use gridapps::{Ray2MeshConfig, SimriConfig};
+use mpisim::{MpiImpl, MpiJob};
+use netsim::{grid5000_four_sites, grid5000_pair, KernelConfig, Network, NodeId, Topology};
+
+/// The paper's ray2mesh testbed: master on `master_site` (index into
+/// `Grid5000Site::ALL`), 8 slaves per site.
+fn ray2mesh_placement(master_site: usize) -> (Topology, Vec<NodeId>) {
+    let (mut topo, _sites, nodes) = grid5000_four_sites(8);
+    topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+    // Master shares the first node of its site; slaves are all 32 nodes.
+    let mut placement = vec![nodes[master_site][0]];
+    for site_nodes in &nodes {
+        placement.extend(site_nodes.iter().copied());
+    }
+    (topo, placement)
+}
+
+#[test]
+fn ray2mesh_distributes_all_rays() {
+    let cfg = Ray2MeshConfig::small();
+    let (topo, placement) = ray2mesh_placement(0);
+    let report = MpiJob::new(Network::new(topo), placement, MpiImpl::GridMpi)
+        .run(cfg.program())
+        .unwrap();
+    assert!(report.clean);
+    let total: f64 = report.values("rays").iter().map(|(_, v)| v).sum();
+    assert_eq!(total as u64, cfg.total_rays);
+}
+
+#[test]
+fn ray2mesh_fast_cluster_computes_more_rays() {
+    // Table 6: Sophia (fastest CPUs) traces the most rays under
+    // self-scheduling.
+    let cfg = Ray2MeshConfig::small();
+    let (topo, placement) = ray2mesh_placement(1);
+    let report = MpiJob::new(Network::new(topo), placement, MpiImpl::GridMpi)
+        .run(cfg.program())
+        .unwrap();
+    // Slaves 1..=8 Rennes, 9..=16 Nancy, 17..=24 Toulouse, 25..=32 Sophia.
+    let per_site = |lo: usize, hi: usize| -> f64 {
+        report
+            .values("rays")
+            .iter()
+            .filter(|(r, _)| (lo..=hi).contains(r))
+            .map(|(_, v)| v)
+            .sum()
+    };
+    let rennes = per_site(1, 8);
+    let nancy = per_site(9, 16);
+    let sophia = per_site(25, 32);
+    assert!(
+        sophia > rennes && sophia > nancy,
+        "sophia={sophia} rennes={rennes} nancy={nancy}"
+    );
+    assert!(rennes >= nancy, "rennes={rennes} nancy={nancy}");
+}
+
+#[test]
+fn ray2mesh_phases_are_recorded() {
+    let cfg = Ray2MeshConfig::small();
+    let (topo, placement) = ray2mesh_placement(2);
+    let report = MpiJob::new(Network::new(topo), placement, MpiImpl::GridMpi)
+        .run(cfg.program())
+        .unwrap();
+    let compute = report.values("compute_secs")[0].1;
+    let merge = report.values("merge_secs")[0].1;
+    let total = report.values("total_secs")[0].1;
+    assert!(compute > 0.0 && merge > 0.0);
+    assert!(total >= compute + merge);
+}
+
+#[test]
+fn simri_efficiency_is_high_for_large_objects() {
+    // §2.2.2: on an 8-node cluster the 256² object reaches ≈ 100 %
+    // efficiency (computation dominates).
+    let (topo, nodes, _) = grid5000_pair(9);
+    let cfg = SimriConfig::default();
+    let run = |n: usize| -> f64 {
+        let placement = nodes[..n].to_vec();
+        let report = MpiJob::new(Network::new(topo.clone()), placement, MpiImpl::Mpich2)
+            .run(cfg.program())
+            .unwrap();
+        report.values("total_secs")[0].1
+    };
+    let t2 = run(2); // 1 slave
+    let t9 = run(9); // 8 slaves
+    let speedup = t2 / t9;
+    assert!(
+        speedup > 7.2,
+        "8-slave speedup should be near 8, got {speedup}"
+    );
+}

@@ -1,0 +1,186 @@
+//! The `mpirun` analogue: place ranks on nodes, apply a profile and
+//! tuning, execute an SPMD program, and collect the run report.
+
+use std::sync::Arc;
+
+use desim::{Sim, SimDuration, SimError, SimTime};
+
+use netsim::{Network, NodeId};
+
+use crate::profile::{ImplProfile, MpiImpl, Tuning};
+use crate::rank::RankCtx;
+use crate::stats::CommStats;
+use crate::world::WorldInner;
+
+/// An MPI program: SPMD body run by every rank.
+pub trait MpiProgram: Send + Sync + 'static {
+    /// The per-rank body.
+    fn run(&self, ctx: &mut RankCtx);
+}
+
+impl<F> MpiProgram for F
+where
+    F: Fn(&mut RankCtx) + Send + Sync + 'static,
+{
+    fn run(&self, ctx: &mut RankCtx) {
+        self(ctx)
+    }
+}
+
+/// A configured MPI job, ready to [`MpiJob::run`].
+pub struct MpiJob {
+    /// The network the job runs on.
+    pub net: Network,
+    /// Rank → node placement.
+    pub placement: Vec<NodeId>,
+    /// Implementation profile.
+    pub profile: ImplProfile,
+    /// Tuning overrides (§4.2).
+    pub tuning: Tuning,
+    /// Record per-operation trace spans into the run report.
+    pub tracing: bool,
+    /// Abort the run (with [`SimError::TimeLimitExceeded`]) if virtual time
+    /// passes this limit — the `mpirun` timeout the paper hit with
+    /// MPICH-Madeleine on BT/SP ("the application timeout", §4.3).
+    pub deadline: Option<SimTime>,
+}
+
+impl MpiJob {
+    /// Job with an implementation's default (untuned) behaviour.
+    pub fn new(net: Network, placement: Vec<NodeId>, impl_id: MpiImpl) -> MpiJob {
+        MpiJob {
+            net,
+            placement,
+            profile: impl_id.profile(),
+            tuning: Tuning::none(),
+            tracing: false,
+            deadline: None,
+        }
+    }
+
+    /// Apply tuning overrides.
+    pub fn with_tuning(mut self, tuning: Tuning) -> MpiJob {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Replace the whole profile (custom models).
+    pub fn with_profile(mut self, profile: ImplProfile) -> MpiJob {
+        self.profile = profile;
+        self
+    }
+
+    /// Enable per-operation tracing (see [`crate::trace`]).
+    pub fn with_tracing(mut self) -> MpiJob {
+        self.tracing = true;
+        self
+    }
+
+    /// Abort the run if it exceeds `limit` of virtual time.
+    pub fn with_deadline(mut self, limit: SimTime) -> MpiJob {
+        self.deadline = Some(limit);
+        self
+    }
+
+    /// Run `program` on every rank to completion.
+    pub fn run(self, program: impl MpiProgram) -> Result<RunReport, SimError> {
+        self.run_with_setup(|_| {}, program)
+    }
+
+    /// Like [`MpiJob::run`], with a hook that can spawn auxiliary
+    /// simulation processes (e.g. background traffic generators) before
+    /// the ranks start.
+    pub fn run_with_setup(
+        self,
+        setup: impl FnOnce(&Sim),
+        program: impl MpiProgram,
+    ) -> Result<RunReport, SimError> {
+        let n = self.placement.len();
+        assert!(n > 0, "MPI job needs at least one rank");
+        let world = WorldInner::new(
+            self.net,
+            self.placement,
+            self.profile,
+            self.tuning,
+            self.tracing,
+        );
+        let program = Arc::new(program);
+        let deadline = self.deadline;
+        let sim = Sim::new();
+        setup(&sim);
+        let mut finish_times = Vec::new();
+        for rank in 0..n {
+            let world = Arc::clone(&world);
+            let program = Arc::clone(&program);
+            let (tx, rx) = desim::completion::<SimTime>();
+            finish_times.push(rx);
+            sim.spawn(format!("rank{rank}"), move |p| {
+                let mut ctx = RankCtx::new(rank, p, world);
+                program.run(&mut ctx);
+                let now = ctx.now();
+                tx.fire(ctx.proc(), now);
+            });
+        }
+        let end = match deadline {
+            Some(limit) => sim.run_until(limit)?,
+            None => sim.run()?,
+        };
+        let per_rank: Vec<SimDuration> = finish_times
+            .into_iter()
+            .map(|rx| {
+                rx.try_take()
+                    .ok()
+                    .expect("rank finished")
+                    .since(SimTime::ZERO)
+            })
+            .collect();
+        let stats = world.stats.lock().clone();
+        let records = world.records.lock().clone();
+        let trace = world
+            .trace
+            .as_ref()
+            .map(|t| {
+                let mut v = t.lock().clone();
+                v.sort_by_key(|e| (e.start_ns, e.rank));
+                v
+            })
+            .unwrap_or_default();
+        Ok(RunReport {
+            elapsed: end.since(SimTime::ZERO),
+            per_rank,
+            stats,
+            records,
+            trace,
+            clean: world.quiescent(),
+        })
+    }
+}
+
+/// Everything measured during one MPI run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Wall-clock (virtual) time from t = 0 to the last rank's exit.
+    pub elapsed: SimDuration,
+    /// Per-rank finish times.
+    pub per_rank: Vec<SimDuration>,
+    /// Communication statistics.
+    pub stats: CommStats,
+    /// Named measurements emitted by ranks via [`RankCtx::record`].
+    pub records: Vec<(usize, String, f64)>,
+    /// Traced spans (empty unless [`MpiJob::with_tracing`] was used).
+    pub trace: Vec<crate::trace::TraceEvent>,
+    /// True if no posted receives or unexpected messages were left behind
+    /// (a well-formed program drains everything).
+    pub clean: bool,
+}
+
+impl RunReport {
+    /// All recorded values with the given key, in rank order.
+    pub fn values(&self, key: &str) -> Vec<(usize, f64)> {
+        self.records
+            .iter()
+            .filter(|(_, k, _)| k == key)
+            .map(|(r, _, v)| (*r, *v))
+            .collect()
+    }
+}

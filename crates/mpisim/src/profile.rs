@@ -1,0 +1,442 @@
+//! Implementation profiles: the paper's Table 1 rendered as model data.
+//!
+//! Each of the four MPI implementations the paper evaluates is described by
+//! the axes that drive its measured behaviour:
+//!
+//! * per-message software overhead (Table 4's +5/+21 µs deltas over raw
+//!   TCP, LAN and WAN variants);
+//! * default eager→rendezvous threshold (Table 5's "original threshold");
+//! * socket-buffer policy (§4.2.1: who honours kernel autotuning, who pins
+//!   an explicit size, who pins the kernel *default* size);
+//! * software pacing on long paths (GridMPI, [Takano 2005]);
+//! * a data-pipeline window cap (OpenMPI's BTL fragmentation, visible as
+//!   the lower large-message bandwidth of Fig. 7);
+//! * the collective-algorithm suite (GridMPI's grid-aware `MPI_Bcast` and
+//!   `MPI_Allreduce`, §2.1.4);
+//! * known failure modes (MPICH-Madeleine times out on BT and SP in the
+//!   8+8 grid runs, §4.3).
+
+use desim::SimDuration;
+use netsim::SockBufRequest;
+use serde::{Deserialize, Serialize};
+
+/// The four implementations the paper compares.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MpiImpl {
+    /// MPICH2 1.0.5 — the reference implementation.
+    Mpich2,
+    /// GridMPI 1.1 — grid-optimised TCP and collectives.
+    GridMpi,
+    /// MPICH-Madeleine (svn 2006-12-06) — cluster-of-clusters gateways.
+    MpichMadeleine,
+    /// OpenMPI 1.1.4 — component architecture, BTL/TCP.
+    OpenMpi,
+    /// MPICH-G2 (Globus) — the paper's future-work candidate (§5):
+    /// topology-aware collectives and GridFTP-style parallel TCP streams
+    /// for large messages, at the price of Globus software overhead.
+    MpichG2,
+    /// MPICH-VMI — Table 1's seventh row: VMI gateways between fabrics and
+    /// collectives "optimized to avoid long-distance communications". The
+    /// paper drops it for being unmaintained; modelled here to complete
+    /// the feature matrix.
+    MpichVmi,
+}
+
+impl MpiImpl {
+    /// The four implementations the paper evaluates, in its order.
+    pub const ALL: [MpiImpl; 4] = [
+        MpiImpl::Mpich2,
+        MpiImpl::GridMpi,
+        MpiImpl::MpichMadeleine,
+        MpiImpl::OpenMpi,
+    ];
+
+    /// The evaluated four plus the modelled extras (MPICH-G2, MPICH-VMI).
+    pub const EXTENDED: [MpiImpl; 6] = [
+        MpiImpl::Mpich2,
+        MpiImpl::GridMpi,
+        MpiImpl::MpichMadeleine,
+        MpiImpl::OpenMpi,
+        MpiImpl::MpichG2,
+        MpiImpl::MpichVmi,
+    ];
+
+    /// Human-readable name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            MpiImpl::Mpich2 => "MPICH2",
+            MpiImpl::GridMpi => "GridMPI",
+            MpiImpl::MpichMadeleine => "MPICH-Madeleine",
+            MpiImpl::OpenMpi => "OpenMPI",
+            MpiImpl::MpichG2 => "MPICH-G2",
+            MpiImpl::MpichVmi => "MPICH-VMI",
+        }
+    }
+
+    /// The built-in, untuned profile of this implementation.
+    pub fn profile(self) -> ImplProfile {
+        match self {
+            MpiImpl::Mpich2 => ImplProfile::mpich2(),
+            MpiImpl::GridMpi => ImplProfile::gridmpi(),
+            MpiImpl::MpichMadeleine => ImplProfile::mpich_madeleine(),
+            MpiImpl::OpenMpi => ImplProfile::openmpi(),
+            MpiImpl::MpichG2 => ImplProfile::mpich_g2(),
+            MpiImpl::MpichVmi => ImplProfile::mpich_vmi(),
+        }
+    }
+}
+
+/// Socket-buffer sizing behaviour of an implementation (§4.2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SocketPolicy {
+    /// No `setsockopt`: kernel autotuning applies (MPICH2,
+    /// MPICH-Madeleine). Raising `tcp_rmem[2]`/`tcp_wmem[2]` is sufficient.
+    OsAutotune,
+    /// Pins an explicit size at socket creation (OpenMPI: 128 kB); needs
+    /// `-mca btl_tcp_sndbuf/rcvbuf` *and* raised `rmem_max`/`wmem_max`.
+    Fixed(u64),
+    /// Pins the kernel-default (middle) value, so the paper must raise the
+    /// middle of the `tcp_rmem`/`tcp_wmem` triple (GridMPI).
+    KernelDefault,
+}
+
+impl SocketPolicy {
+    /// The `setsockopt` request this policy issues.
+    pub fn request(self) -> SockBufRequest {
+        match self {
+            SocketPolicy::OsAutotune => SockBufRequest::OsDefault,
+            SocketPolicy::Fixed(b) => SockBufRequest::Explicit(b),
+            SocketPolicy::KernelDefault => SockBufRequest::KernelDefault,
+        }
+    }
+}
+
+/// Broadcast algorithm.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum BcastAlgo {
+    /// Binomial tree (all message sizes).
+    Binomial,
+    /// Van de Geijn scatter + ring allgather above `large_threshold`,
+    /// binomial below — topology-*oblivious* (the MPICH2/OpenMPI default,
+    /// whose ring crosses the WAN on every step).
+    ScatterAllgather,
+    /// GridMPI: topology-aware hierarchical bcast — one set of parallel
+    /// inter-site transfers, then intra-site trees (Matsuda 2006).
+    GridAware,
+}
+
+/// Allreduce algorithm.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AllreduceAlgo {
+    /// Recursive doubling (all sizes).
+    RecursiveDoubling,
+    /// Rabenseifner reduce-scatter + allgather above `large_threshold` —
+    /// topology-oblivious.
+    Rabenseifner,
+    /// GridMPI: hierarchical intra-site reduce, parallel inter-site
+    /// exchange, intra-site bcast (Matsuda 2006).
+    GridAware,
+}
+
+/// Collective algorithm choices of one implementation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CollectiveSuite {
+    /// `MPI_Bcast` algorithm.
+    pub bcast: BcastAlgo,
+    /// `MPI_Allreduce` / `MPI_Reduce` algorithm family.
+    pub allreduce: AllreduceAlgo,
+    /// Message size above which scatter/allgather-style algorithms kick in.
+    pub large_threshold: u64,
+}
+
+/// The complete behavioural model of one MPI implementation.
+#[derive(Clone, Debug)]
+pub struct ImplProfile {
+    /// Which implementation this profile models.
+    pub impl_id: MpiImpl,
+    /// Per-message software overhead on intra-site routes (Table 4 LAN
+    /// delta over raw TCP).
+    pub overhead_lan: SimDuration,
+    /// Per-message software overhead on inter-site routes (Table 4 WAN
+    /// delta over raw TCP).
+    pub overhead_wan: SimDuration,
+    /// Default eager→rendezvous threshold, bytes (Table 5 "original";
+    /// `u64::MAX` = never uses rendezvous, the GridMPI default).
+    pub eager_threshold: u64,
+    /// Socket buffer policy.
+    pub socket_policy: SocketPolicy,
+    /// Software pacing of WAN sends.
+    pub pacing: bool,
+    /// Cap on in-flight user data per connection (BTL pipeline depth ×
+    /// fragment size). `None` = no middleware cap.
+    pub data_window_cap: Option<u64>,
+    /// Stripe data messages larger than `.0` bytes over `.1` parallel TCP
+    /// streams (MPICH-G2's GridFTP-style large-message support, §2.1.5).
+    pub parallel_streams: Option<(u64, u32)>,
+    /// Use the site's high-speed fabric (Myrinet/Infiniband/SCI) for
+    /// intra-site messages instead of TCP — the heterogeneity management
+    /// of MPICH-Madeleine/OpenMPI/VendorMPI (Table 1). Off in the paper's
+    /// main experiments ("all the communications use TCP", §1); the
+    /// `repro heterogeneity` extension turns it on. `Some(overhead)` adds
+    /// the per-message cost of the gateway/protocol management layer.
+    pub fast_lan: Option<SimDuration>,
+    /// Collective algorithms.
+    pub collectives: CollectiveSuite,
+    /// Memory-copy rate for the extra unexpected-message copy (Fig. 4
+    /// "arrow 2"), bytes/s.
+    pub copy_rate: f64,
+    /// NPB kernels this implementation fails to finish on the 8+8 grid
+    /// configuration ("we can not obtain results with MPICH-Madeleine for
+    /// BT and SP because the application timeout", §4.3).
+    pub grid_timeouts: &'static [&'static str],
+}
+
+impl ImplProfile {
+    /// MPICH2 1.0.5 with default parameters (the paper's reference).
+    pub fn mpich2() -> ImplProfile {
+        ImplProfile {
+            impl_id: MpiImpl::Mpich2,
+            overhead_lan: SimDuration::from_micros(4),
+            overhead_wan: SimDuration::from_micros(6),
+            eager_threshold: 256 * 1024,
+            socket_policy: SocketPolicy::OsAutotune,
+            pacing: false,
+            data_window_cap: None,
+            parallel_streams: None,
+            fast_lan: None,
+            collectives: CollectiveSuite {
+                bcast: BcastAlgo::ScatterAllgather,
+                allreduce: AllreduceAlgo::Rabenseifner,
+                large_threshold: 12 * 1024,
+            },
+            copy_rate: 1.5e9,
+            grid_timeouts: &[],
+        }
+    }
+
+    /// GridMPI 1.1 (no IMPI; all communication over TCP, as in the paper).
+    pub fn gridmpi() -> ImplProfile {
+        ImplProfile {
+            impl_id: MpiImpl::GridMpi,
+            overhead_lan: SimDuration::from_micros(4),
+            overhead_wan: SimDuration::from_micros(7),
+            // "by default GridMPI does not use the rendez-vous mode".
+            eager_threshold: u64::MAX,
+            socket_policy: SocketPolicy::KernelDefault,
+            pacing: true,
+            data_window_cap: None,
+            parallel_streams: None,
+            fast_lan: None,
+            collectives: CollectiveSuite {
+                bcast: BcastAlgo::GridAware,
+                allreduce: AllreduceAlgo::GridAware,
+                large_threshold: 12 * 1024,
+            },
+            copy_rate: 1.5e9,
+            grid_timeouts: &[],
+        }
+    }
+
+    /// MPICH-Madeleine, svn of 2006-12-06, `ch_mad` with fast buffering.
+    pub fn mpich_madeleine() -> ImplProfile {
+        ImplProfile {
+            impl_id: MpiImpl::MpichMadeleine,
+            overhead_lan: SimDuration::from_micros(20),
+            overhead_wan: SimDuration::from_micros(14),
+            eager_threshold: 128 * 1024,
+            socket_policy: SocketPolicy::OsAutotune,
+            pacing: false,
+            data_window_cap: None,
+            parallel_streams: None,
+            fast_lan: None,
+            collectives: CollectiveSuite {
+                // MPICH-1 era algorithms: binomial everywhere.
+                bcast: BcastAlgo::Binomial,
+                allreduce: AllreduceAlgo::RecursiveDoubling,
+                large_threshold: u64::MAX,
+            },
+            copy_rate: 1.5e9,
+            grid_timeouts: &["BT", "SP"],
+        }
+    }
+
+    /// OpenMPI 1.1.4.
+    pub fn openmpi() -> ImplProfile {
+        ImplProfile {
+            impl_id: MpiImpl::OpenMpi,
+            overhead_lan: SimDuration::from_micros(4),
+            overhead_wan: SimDuration::from_micros(8),
+            eager_threshold: 64 * 1024,
+            socket_policy: SocketPolicy::Fixed(128 * 1024),
+            pacing: false,
+            // BTL pipeline: ~8 in-flight 128 kB fragments. Invisible on a
+            // LAN; caps large-message bandwidth on the 11.6 ms WAN (Fig. 7).
+            data_window_cap: Some(1 << 20),
+            parallel_streams: None,
+            fast_lan: None,
+            collectives: CollectiveSuite {
+                bcast: BcastAlgo::ScatterAllgather,
+                allreduce: AllreduceAlgo::Rabenseifner,
+                large_threshold: 12 * 1024,
+            },
+            copy_rate: 1.5e9,
+            grid_timeouts: &[],
+        }
+    }
+}
+
+impl ImplProfile {
+    /// MPICH-G2 (MPICH + Globus Toolkit) — modelled for the paper's §5
+    /// extension study: topology-aware collectives, parallel TCP streams
+    /// for messages over 512 kB, and the Globus per-message overhead.
+    pub fn mpich_g2() -> ImplProfile {
+        ImplProfile {
+            impl_id: MpiImpl::MpichG2,
+            overhead_lan: SimDuration::from_micros(9),
+            overhead_wan: SimDuration::from_micros(12),
+            eager_threshold: 128 * 1024,
+            socket_policy: SocketPolicy::OsAutotune,
+            pacing: false,
+            data_window_cap: None,
+            parallel_streams: Some((512 * 1024, 4)),
+            fast_lan: None,
+            collectives: CollectiveSuite {
+                bcast: BcastAlgo::GridAware,
+                allreduce: AllreduceAlgo::GridAware,
+                large_threshold: 12 * 1024,
+            },
+            copy_rate: 1.5e9,
+            grid_timeouts: &[],
+        }
+    }
+
+    /// MPICH-VMI 2.0 — gateways between high-speed fabrics plus
+    /// grid-optimised collectives, but no TCP-level optimisation
+    /// (Table 1). Modelled for completeness of the feature matrix.
+    pub fn mpich_vmi() -> ImplProfile {
+        ImplProfile {
+            impl_id: MpiImpl::MpichVmi,
+            overhead_lan: SimDuration::from_micros(6),
+            overhead_wan: SimDuration::from_micros(9),
+            eager_threshold: 128 * 1024,
+            socket_policy: SocketPolicy::OsAutotune,
+            pacing: false,
+            data_window_cap: None,
+            parallel_streams: None,
+            fast_lan: None,
+            collectives: CollectiveSuite {
+                bcast: BcastAlgo::GridAware,
+                allreduce: AllreduceAlgo::GridAware,
+                large_threshold: 12 * 1024,
+            },
+            copy_rate: 1.5e9,
+            grid_timeouts: &[],
+        }
+    }
+}
+
+/// The paper's per-implementation tuning knobs (§4.2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Tuning {
+    /// Override the eager→rendezvous threshold:
+    /// `MPIDI_CH3_EAGER_MAX_MSG_SIZE` (MPICH2), `DEFAULT_SWITCH`
+    /// (MPICH-Madeleine), `-mca btl_tcp_eager_limit` (OpenMPI),
+    /// `_YAMPI_RSIZE` (GridMPI).
+    pub eager_threshold: Option<u64>,
+    /// Override the socket buffer request:
+    /// `-mca btl_tcp_sndbuf/btl_tcp_rcvbuf` (OpenMPI).
+    pub socket_buffer: Option<u64>,
+}
+
+impl Tuning {
+    /// No overrides: the implementation's defaults.
+    pub fn none() -> Tuning {
+        Tuning::default()
+    }
+
+    /// The paper's ideal eager/rendezvous thresholds (Table 5) together
+    /// with the OpenMPI socket-buffer arguments (§4.2.1).
+    pub fn paper_tuned(impl_id: MpiImpl) -> Tuning {
+        match impl_id {
+            MpiImpl::Mpich2 | MpiImpl::MpichMadeleine => Tuning {
+                eager_threshold: Some(65 * 1024 * 1024),
+                socket_buffer: None,
+            },
+            MpiImpl::GridMpi => Tuning::none(), // already eager-always
+            MpiImpl::OpenMpi => Tuning {
+                eager_threshold: Some(32 * 1024 * 1024),
+                socket_buffer: Some(4 * 1024 * 1024),
+            },
+            MpiImpl::MpichG2 | MpiImpl::MpichVmi => Tuning {
+                eager_threshold: Some(65 * 1024 * 1024),
+                socket_buffer: None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_axes_are_encoded() {
+        // Long-distance optimisations: only GridMPI paces and only GridMPI
+        // has grid-aware collectives.
+        for id in MpiImpl::ALL {
+            let p = id.profile();
+            assert_eq!(p.pacing, id == MpiImpl::GridMpi, "{id:?}");
+            assert_eq!(
+                p.collectives.bcast == BcastAlgo::GridAware,
+                id == MpiImpl::GridMpi
+            );
+        }
+    }
+
+    #[test]
+    fn table5_original_thresholds() {
+        assert_eq!(ImplProfile::mpich2().eager_threshold, 256 * 1024);
+        assert_eq!(ImplProfile::mpich_madeleine().eager_threshold, 128 * 1024);
+        assert_eq!(ImplProfile::openmpi().eager_threshold, 64 * 1024);
+        assert_eq!(ImplProfile::gridmpi().eager_threshold, u64::MAX);
+    }
+
+    #[test]
+    fn table4_overheads() {
+        // Cluster deltas over raw TCP: +5, +5, +21, +5 µs of Table 4 =
+        // 4/4/20/4 µs of software overhead plus ~1 µs of MPI header
+        // serialisation in the wire model.
+        assert_eq!(ImplProfile::mpich2().overhead_lan.as_micros(), 4);
+        assert_eq!(ImplProfile::gridmpi().overhead_lan.as_micros(), 4);
+        assert_eq!(ImplProfile::mpich_madeleine().overhead_lan.as_micros(), 20);
+        assert_eq!(ImplProfile::openmpi().overhead_lan.as_micros(), 4);
+        // Grid: Madeleine's overhead *drops* (14 < 21), the paper's
+        // curiosity in Table 4.
+        assert!(
+            ImplProfile::mpich_madeleine().overhead_wan
+                < ImplProfile::mpich_madeleine().overhead_lan
+        );
+    }
+
+    #[test]
+    fn paper_tuning_matches_table5() {
+        assert_eq!(
+            Tuning::paper_tuned(MpiImpl::Mpich2).eager_threshold,
+            Some(65 * 1024 * 1024)
+        );
+        assert_eq!(
+            Tuning::paper_tuned(MpiImpl::OpenMpi).eager_threshold,
+            Some(32 * 1024 * 1024)
+        );
+        assert_eq!(
+            Tuning::paper_tuned(MpiImpl::OpenMpi).socket_buffer,
+            Some(4 * 1024 * 1024)
+        );
+        assert_eq!(Tuning::paper_tuned(MpiImpl::GridMpi).eager_threshold, None);
+    }
+
+    #[test]
+    fn madeleine_grid_timeouts() {
+        assert_eq!(ImplProfile::mpich_madeleine().grid_timeouts, &["BT", "SP"]);
+    }
+}

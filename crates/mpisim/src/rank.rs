@@ -1,0 +1,358 @@
+//! `RankCtx` — the MPI-like API each simulated rank programs against.
+//!
+//! The surface mirrors the MPI subset the paper's workloads need:
+//! blocking and nonblocking point-to-point (`send`/`recv`/`isend`/
+//! `irecv`/`wait`), and the collectives used by the NAS benchmarks
+//! (`barrier`, `bcast`, `reduce`, `allreduce`, `allgather`, `alltoall`,
+//! `alltoallv`, `gather`, `scatter`). Payloads are sizes, not data — the
+//! simulator models time, not values.
+
+use std::sync::Arc;
+
+use desim::{Completion, Proc, SimDuration, SimTime};
+
+use crate::collectives;
+use crate::trace::{TraceEvent, TraceKind};
+use crate::world::{MsgInfo, RecvDone, WorldInner, CTRL_BYTES, HEADER_BYTES};
+
+/// A nonblocking operation handle (the `MPI_Request` analogue).
+pub struct Request(ReqInner);
+
+enum ReqInner {
+    /// Already complete (eager sends).
+    Done(Option<MsgInfo>),
+    /// A rendezvous send in flight.
+    Send(Completion<()>),
+    /// A receive in flight.
+    Recv(Completion<RecvDone>),
+    /// A receive satisfied from the unexpected queue; the copy cost is paid
+    /// at wait time.
+    RecvImmediate(MsgInfo, SimDuration),
+}
+
+/// Execution context handed to each rank of an MPI program.
+pub struct RankCtx {
+    rank: usize,
+    size: usize,
+    proc: Proc,
+    world: Arc<WorldInner>,
+    gflops: f64,
+    pub(crate) coll_seq: u64,
+    in_collective: bool,
+}
+
+impl RankCtx {
+    pub(crate) fn new(rank: usize, proc: Proc, world: Arc<WorldInner>) -> RankCtx {
+        let gflops = world.net.cpu_gflops(world.placement[rank]);
+        RankCtx {
+            rank,
+            size: world.size(),
+            proc,
+            world,
+            gflops,
+            coll_seq: 0,
+            in_collective: false,
+        }
+    }
+
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.proc.now()
+    }
+
+    /// The underlying simulation process handle.
+    pub fn proc(&self) -> &Proc {
+        &self.proc
+    }
+
+    /// The node's compute rate in Gflop/s (heterogeneous across sites).
+    pub fn gflops(&self) -> f64 {
+        self.gflops
+    }
+
+    pub(crate) fn world(&self) -> &Arc<WorldInner> {
+        &self.world
+    }
+
+    /// Rank → site name (topology introspection for grid-aware workloads).
+    pub fn site_of_rank(&self, rank: usize) -> String {
+        let node = self.world.placement[rank];
+        self.world.net.site_name(self.world.net.site_of(node))
+    }
+
+    /// Model `gflop` billion floating-point operations of local compute.
+    pub fn compute_gflop(&self, gflop: f64) {
+        self.compute(SimDuration::from_secs_f64(gflop / self.gflops));
+    }
+
+    /// Model a fixed amount of local compute time.
+    pub fn compute(&self, d: SimDuration) {
+        let t0 = self.proc.now();
+        self.proc.advance(d);
+        self.trace(TraceKind::Compute, None, 0, t0);
+    }
+
+    /// Append a trace span ending now (no-op unless tracing is enabled).
+    fn trace(&self, kind: TraceKind, peer: Option<usize>, bytes: u64, start: SimTime) {
+        if let Some(t) = &self.world.trace {
+            t.lock().push(TraceEvent {
+                rank: self.rank,
+                kind,
+                peer,
+                bytes,
+                start_ns: start.as_nanos(),
+                end_ns: self.proc.now().as_nanos(),
+            });
+        }
+    }
+
+    /// Record a named measurement for the run report.
+    pub fn record(&self, key: impl Into<String>, value: f64) {
+        self.world
+            .records
+            .lock()
+            .push((self.rank, key.into(), value));
+    }
+
+    fn pay_overhead(&self, peer: usize) {
+        self.proc.advance(self.world.overhead(self.rank, peer));
+    }
+
+    /// Blocking standard-mode send (`MPI_Send`): eager messages buffer and
+    /// return, rendezvous messages block until delivered.
+    pub fn send(&mut self, dst: usize, bytes: u64, tag: u64) {
+        let r = self.isend(dst, bytes, tag);
+        self.wait(r);
+    }
+
+    /// Nonblocking send (`MPI_Isend`).
+    pub fn isend(&mut self, dst: usize, bytes: u64, tag: u64) -> Request {
+        if !self.in_collective {
+            self.world.stats.lock().record_p2p(bytes);
+        }
+        let t0 = self.proc.now();
+        let r = self.send_raw(dst, bytes, tag);
+        if !self.in_collective {
+            self.trace(TraceKind::Send, Some(dst), bytes, t0);
+        }
+        r
+    }
+
+    /// Internal send without application-level statistics (collective
+    /// steps).
+    pub(crate) fn send_raw(&mut self, dst: usize, bytes: u64, tag: u64) -> Request {
+        self.world.stats.lock().record_pair(self.rank, dst, bytes);
+        self.pay_overhead(dst);
+        let s = self.proc.sched();
+        if bytes <= self.world.eager_threshold {
+            self.world.stats.lock().record_wire(bytes + HEADER_BYTES);
+            self.world.eager_send(&s, self.rank, dst, tag, bytes);
+            Request(ReqInner::Done(None))
+        } else {
+            self.world
+                .stats
+                .lock()
+                .record_wire(bytes + HEADER_BYTES + 2 * CTRL_BYTES);
+            let c = self.world.rndv_send(&s, self.rank, dst, tag, bytes);
+            Request(ReqInner::Send(c))
+        }
+    }
+
+    /// Blocking receive from a specific source and tag (`MPI_Recv`).
+    pub fn recv(&mut self, src: usize, tag: u64) -> MsgInfo {
+        self.recv_sel(Some(src), Some(tag))
+    }
+
+    /// Blocking receive from any source (`MPI_ANY_SOURCE`).
+    pub fn recv_any(&mut self, tag: u64) -> MsgInfo {
+        self.recv_sel(None, Some(tag))
+    }
+
+    /// Blocking receive with full wildcard control.
+    pub fn recv_sel(&mut self, src: Option<usize>, tag: Option<u64>) -> MsgInfo {
+        let r = self.irecv_sel(src, tag);
+        self.wait(r).expect("receive yields a message")
+    }
+
+    /// Nonblocking receive (`MPI_Irecv`).
+    pub fn irecv(&mut self, src: usize, tag: u64) -> Request {
+        self.irecv_sel(Some(src), Some(tag))
+    }
+
+    /// Nonblocking receive with wildcards.
+    pub fn irecv_sel(&mut self, src: Option<usize>, tag: Option<u64>) -> Request {
+        let s = self.proc.sched();
+        match self.world.post_recv(&s, self.rank, src, tag) {
+            Ok(done) => Request(ReqInner::RecvImmediate(done.info, done.copy)),
+            Err(c) => Request(ReqInner::Recv(c)),
+        }
+    }
+
+    /// Complete a request (`MPI_Wait`). Returns the envelope for receives.
+    pub fn wait(&mut self, r: Request) -> Option<MsgInfo> {
+        match r.0 {
+            ReqInner::Done(info) => info,
+            ReqInner::Send(c) => {
+                let t0 = self.proc.now();
+                c.wait(&self.proc);
+                if !self.in_collective {
+                    self.trace(TraceKind::WaitSend, None, 0, t0);
+                }
+                None
+            }
+            ReqInner::Recv(c) => {
+                let t0 = self.proc.now();
+                let done = c.wait(&self.proc);
+                if !done.copy.is_zero() {
+                    self.proc.advance(done.copy);
+                }
+                if !self.in_collective {
+                    self.trace(TraceKind::Recv, Some(done.info.src), done.info.bytes, t0);
+                }
+                Some(done.info)
+            }
+            ReqInner::RecvImmediate(info, copy) => {
+                let t0 = self.proc.now();
+                if !copy.is_zero() {
+                    self.proc.advance(copy);
+                }
+                if !self.in_collective {
+                    self.trace(TraceKind::Recv, Some(info.src), info.bytes, t0);
+                }
+                Some(info)
+            }
+        }
+    }
+
+    /// Complete a set of requests (`MPI_Waitall`).
+    pub fn waitall(&mut self, rs: Vec<Request>) -> Vec<Option<MsgInfo>> {
+        rs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Simultaneous send and receive (`MPI_Sendrecv`).
+    pub fn sendrecv(
+        &mut self,
+        dst: usize,
+        send_bytes: u64,
+        src: usize,
+        tag: u64,
+    ) -> MsgInfo {
+        let rr = self.irecv(src, tag);
+        let sr = self.isend(dst, send_bytes, tag);
+        let info = self.wait(rr).expect("sendrecv receives");
+        self.wait(sr);
+        info
+    }
+
+    // ----- collectives (delegate to `collectives`) -----
+
+    /// Shared collective prologue/epilogue for sub-communicator operations.
+    pub(crate) fn coll_on(&mut self, op: &str, bytes: u64, f: impl FnOnce(&mut RankCtx, u64)) {
+        self.coll(op, bytes, f)
+    }
+
+    fn coll<R>(
+        &mut self,
+        op: &str,
+        bytes: u64,
+        f: impl FnOnce(&mut RankCtx, u64) -> R,
+    ) -> R {
+        self.world.stats.lock().record_collective(op, bytes);
+        self.coll_seq += 1;
+        let tag = collectives::coll_tag(self.coll_seq);
+        let was = std::mem::replace(&mut self.in_collective, true);
+        let t0 = self.proc.now();
+        let r = f(self, tag);
+        self.in_collective = was;
+        if !was {
+            let kind = TraceKind::Collective(match op {
+                "barrier" => "barrier",
+                "bcast" | "comm_bcast" => "bcast",
+                "reduce" | "comm_reduce" => "reduce",
+                "allreduce" | "comm_allreduce" => "allreduce",
+                "allgather" | "comm_allgather" => "allgather",
+                "alltoall" => "alltoall",
+                "alltoallv" => "alltoallv",
+                "gather" => "gather",
+                "scatter" => "scatter",
+                _ => "collective",
+            });
+            self.trace(kind, None, bytes, t0);
+        }
+        r
+    }
+
+    /// `MPI_Barrier` (dissemination algorithm).
+    pub fn barrier(&mut self) {
+        self.coll("barrier", 0, collectives::barrier);
+    }
+
+    /// `MPI_Bcast` of `bytes` from `root` (algorithm per implementation).
+    pub fn bcast(&mut self, root: usize, bytes: u64) {
+        self.coll("bcast", bytes, |c, tag| {
+            collectives::bcast(c, root, bytes, tag)
+        });
+    }
+
+    /// `MPI_Reduce` of `bytes` to `root` (binomial tree).
+    pub fn reduce(&mut self, root: usize, bytes: u64) {
+        self.coll("reduce", bytes, |c, tag| {
+            collectives::reduce(c, root, bytes, tag)
+        });
+    }
+
+    /// `MPI_Allreduce` of `bytes` (algorithm per implementation).
+    pub fn allreduce(&mut self, bytes: u64) {
+        self.coll("allreduce", bytes, |c, tag| {
+            collectives::allreduce(c, bytes, tag)
+        });
+    }
+
+    /// `MPI_Allgather` with `bytes_each` contributed per rank (ring).
+    pub fn allgather(&mut self, bytes_each: u64) {
+        self.coll("allgather", bytes_each, |c, tag| {
+            collectives::ring_allgather(c, bytes_each, tag)
+        });
+    }
+
+    /// `MPI_Alltoall` with `bytes_per_pair` exchanged between every pair.
+    pub fn alltoall(&mut self, bytes_per_pair: u64) {
+        self.coll("alltoall", bytes_per_pair, |c, tag| {
+            let sizes = vec![bytes_per_pair; c.size()];
+            collectives::alltoallv(c, &sizes, tag)
+        });
+    }
+
+    /// `MPI_Alltoallv`: `send_sizes[d]` bytes go to rank `d`.
+    pub fn alltoallv(&mut self, send_sizes: &[u64]) {
+        let total: u64 = send_sizes.iter().sum();
+        let sizes = send_sizes.to_vec();
+        self.coll("alltoallv", total, move |c, tag| {
+            collectives::alltoallv(c, &sizes, tag)
+        });
+    }
+
+    /// `MPI_Gather` of `bytes_each` per rank to `root` (linear).
+    pub fn gather(&mut self, root: usize, bytes_each: u64) {
+        self.coll("gather", bytes_each, |c, tag| {
+            collectives::gather(c, root, bytes_each, tag)
+        });
+    }
+
+    /// `MPI_Scatter` of `bytes_each` per rank from `root` (linear).
+    pub fn scatter(&mut self, root: usize, bytes_each: u64) {
+        self.coll("scatter", bytes_each, |c, tag| {
+            collectives::scatter(c, root, bytes_each, tag)
+        });
+    }
+}

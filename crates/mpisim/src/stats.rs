@@ -1,0 +1,147 @@
+//! Per-run communication statistics — the instrumentation behind the
+//! paper's Table 2 ("we have run each NAS with a modified MPI
+//! implementation to find their communication pattern").
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+/// Aggregated communication statistics of one MPI run.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct CommStats {
+    /// Application-level point-to-point sends: payload size → count.
+    pub p2p_sizes: BTreeMap<u64, u64>,
+    /// Application-level collective calls: (operation, payload size) → count.
+    pub collective_calls: BTreeMap<(String, u64), u64>,
+    /// Wire-level messages produced by all protocols (fragments, control
+    /// messages, collective steps).
+    pub wire_messages: u64,
+    /// Wire-level bytes (headers included).
+    pub wire_bytes: u64,
+    /// Application payload bytes per directed rank pair (includes
+    /// collective steps) — the input to placement optimisation.
+    pub pair_bytes: BTreeMap<(usize, usize), u64>,
+    /// Message counts per directed rank pair (includes collective steps).
+    pub pair_msgs: BTreeMap<(usize, usize), u64>,
+}
+
+impl CommStats {
+    /// Record one application-level point-to-point send.
+    pub fn record_p2p(&mut self, bytes: u64) {
+        *self.p2p_sizes.entry(bytes).or_insert(0) += 1;
+    }
+
+    /// Record one application-level collective call.
+    pub fn record_collective(&mut self, op: &str, bytes: u64) {
+        *self
+            .collective_calls
+            .entry((op.to_string(), bytes))
+            .or_insert(0) += 1;
+    }
+
+    /// Record one wire-level message.
+    pub fn record_wire(&mut self, bytes: u64) {
+        self.wire_messages += 1;
+        self.wire_bytes += bytes;
+    }
+
+    /// Record payload bytes flowing between a directed rank pair.
+    pub fn record_pair(&mut self, src: usize, dst: usize, bytes: u64) {
+        *self.pair_bytes.entry((src, dst)).or_insert(0) += bytes;
+        *self.pair_msgs.entry((src, dst)).or_insert(0) += 1;
+    }
+
+    /// Total application-level point-to-point messages.
+    pub fn p2p_messages(&self) -> u64 {
+        self.p2p_sizes.values().sum()
+    }
+
+    /// Total application-level point-to-point payload bytes.
+    pub fn p2p_bytes(&self) -> u64 {
+        self.p2p_sizes.iter().map(|(sz, n)| sz * n).sum()
+    }
+
+    /// Total collective calls.
+    pub fn collective_messages(&self) -> u64 {
+        self.collective_calls.values().sum()
+    }
+
+    /// Summarise point-to-point sizes into `(min, max, count)` buckets by
+    /// powers of two — the shape of the paper's Table 2 rows.
+    pub fn p2p_buckets(&self) -> Vec<(u64, u64, u64)> {
+        let mut buckets: BTreeMap<u32, (u64, u64, u64)> = BTreeMap::new();
+        for (&sz, &n) in &self.p2p_sizes {
+            let k = 64 - sz.max(1).leading_zeros();
+            let e = buckets.entry(k).or_insert((u64::MAX, 0, 0));
+            e.0 = e.0.min(sz);
+            e.1 = e.1.max(sz);
+            e.2 += n;
+        }
+        buckets.into_values().collect()
+    }
+
+    /// Merge another run's statistics into this one.
+    pub fn merge(&mut self, other: &CommStats) {
+        for (&sz, &n) in &other.p2p_sizes {
+            *self.p2p_sizes.entry(sz).or_insert(0) += n;
+        }
+        for ((op, sz), &n) in &other.collective_calls {
+            *self
+                .collective_calls
+                .entry((op.clone(), *sz))
+                .or_insert(0) += n;
+        }
+        self.wire_messages += other.wire_messages;
+        self.wire_bytes += other.wire_bytes;
+        for (&pair, &n) in &other.pair_bytes {
+            *self.pair_bytes.entry(pair).or_insert(0) += n;
+        }
+        for (&pair, &n) in &other.pair_msgs {
+            *self.pair_msgs.entry(pair).or_insert(0) += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_recording_and_totals() {
+        let mut s = CommStats::default();
+        s.record_p2p(1000);
+        s.record_p2p(1000);
+        s.record_p2p(8);
+        assert_eq!(s.p2p_messages(), 3);
+        assert_eq!(s.p2p_bytes(), 2008);
+        assert_eq!(s.p2p_sizes[&1000], 2);
+    }
+
+    #[test]
+    fn buckets_group_by_power_of_two() {
+        let mut s = CommStats::default();
+        s.record_p2p(960);
+        s.record_p2p(1000);
+        s.record_p2p(1040);
+        s.record_p2p(147_000);
+        let b = s.p2p_buckets();
+        // 960 lands in the 512..1024 bucket; 1000/1040 in 1024..2048.
+        assert_eq!(b.len(), 3);
+        let total: u64 = b.iter().map(|x| x.2).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CommStats::default();
+        a.record_p2p(4);
+        a.record_collective("bcast", 128);
+        let mut b = CommStats::default();
+        b.record_p2p(4);
+        b.record_wire(100);
+        a.merge(&b);
+        assert_eq!(a.p2p_sizes[&4], 2);
+        assert_eq!(a.wire_bytes, 100);
+        assert_eq!(a.collective_calls[&("bcast".to_string(), 128)], 1);
+    }
+}

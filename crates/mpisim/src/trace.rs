@@ -1,0 +1,203 @@
+//! Operation tracing: per-rank timelines of compute, point-to-point and
+//! collective activity — the instrumentation a "modified MPI
+//! implementation" (§3.1) provides, generalised into a reusable facility.
+//!
+//! Enable with [`crate::MpiJob::with_tracing`]; the run report then
+//! carries every traced span, and [`TraceSummary`] digests them into the
+//! numbers a performance analyst asks first: how much of each rank's time
+//! is computation vs communication, and which rank pairs move the bytes.
+
+use serde::Serialize;
+
+/// What a traced span was doing.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub enum TraceKind {
+    /// Local computation.
+    Compute,
+    /// Send initiation (eager buffering or rendezvous handshake start).
+    Send,
+    /// Blocked in a receive (or a receive-completing wait).
+    Recv,
+    /// Blocked completing a send request.
+    WaitSend,
+    /// Inside a collective operation (name attached).
+    Collective(&'static str),
+}
+
+/// One traced span of one rank.
+#[derive(Clone, Debug, Serialize)]
+pub struct TraceEvent {
+    /// Acting rank.
+    pub rank: usize,
+    /// Operation kind.
+    pub kind: TraceKind,
+    /// Peer rank for point-to-point operations.
+    pub peer: Option<usize>,
+    /// Payload bytes (0 for waits/compute).
+    pub bytes: u64,
+    /// Span start, nanoseconds of virtual time.
+    pub start_ns: u64,
+    /// Span end, nanoseconds of virtual time.
+    pub end_ns: u64,
+}
+
+impl TraceEvent {
+    /// Span length in seconds.
+    pub fn secs(&self) -> f64 {
+        (self.end_ns - self.start_ns) as f64 / 1e9
+    }
+}
+
+/// Per-rank activity breakdown.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct RankBreakdown {
+    /// Seconds of local computation.
+    pub compute_secs: f64,
+    /// Seconds blocked in point-to-point communication.
+    pub p2p_secs: f64,
+    /// Seconds inside collectives.
+    pub collective_secs: f64,
+    /// Bytes sent by this rank (application payloads).
+    pub bytes_sent: u64,
+}
+
+/// Digest of a traced run.
+#[derive(Clone, Debug, Serialize)]
+pub struct TraceSummary {
+    /// Breakdown per rank.
+    pub per_rank: Vec<RankBreakdown>,
+    /// Heaviest directed rank pairs by payload bytes, descending.
+    pub top_pairs: Vec<(usize, usize, u64)>,
+    /// Total traced events.
+    pub events: usize,
+}
+
+impl TraceSummary {
+    /// Build a summary from raw spans. `ranks` sizes the breakdown table.
+    pub fn from_events(events: &[TraceEvent], ranks: usize) -> TraceSummary {
+        let mut per_rank = vec![RankBreakdown::default(); ranks];
+        let mut pair_bytes: std::collections::BTreeMap<(usize, usize), u64> =
+            std::collections::BTreeMap::new();
+        for e in events {
+            let b = &mut per_rank[e.rank];
+            match e.kind {
+                TraceKind::Compute => b.compute_secs += e.secs(),
+                TraceKind::Send | TraceKind::WaitSend => {
+                    b.p2p_secs += e.secs();
+                    if e.kind == TraceKind::Send {
+                        b.bytes_sent += e.bytes;
+                        if let Some(peer) = e.peer {
+                            *pair_bytes.entry((e.rank, peer)).or_insert(0) += e.bytes;
+                        }
+                    }
+                }
+                TraceKind::Recv => b.p2p_secs += e.secs(),
+                TraceKind::Collective(_) => b.collective_secs += e.secs(),
+            }
+        }
+        let mut top_pairs: Vec<(usize, usize, u64)> = pair_bytes
+            .into_iter()
+            .map(|((a, b), n)| (a, b, n))
+            .collect();
+        top_pairs.sort_by(|x, y| y.2.cmp(&x.2).then((x.0, x.1).cmp(&(y.0, y.1))));
+        top_pairs.truncate(10);
+        TraceSummary {
+            per_rank,
+            top_pairs,
+            events: events.len(),
+        }
+    }
+}
+
+/// Render an ASCII space-time diagram of the traced run: one row per rank,
+/// `width` columns over `[t0, t1]`; `C` compute, `s` send/wait, `r`
+/// receive, `A` collective, `.` idle.
+pub fn ascii_timeline(
+    events: &[TraceEvent],
+    ranks: usize,
+    t0_ns: u64,
+    t1_ns: u64,
+    width: usize,
+) -> Vec<String> {
+    let span = (t1_ns.saturating_sub(t0_ns)).max(1) as f64;
+    let mut rows = vec![vec!['.'; width]; ranks];
+    // Paint in priority order: collectives under p2p under compute, so the
+    // densest information wins ties within a cell.
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| match e.kind {
+        TraceKind::Collective(_) => 0,
+        TraceKind::Recv | TraceKind::Send | TraceKind::WaitSend => 1,
+        TraceKind::Compute => 2,
+    });
+    for e in ordered {
+        if e.rank >= ranks || e.end_ns < t0_ns || e.start_ns > t1_ns {
+            continue;
+        }
+        let a = ((e.start_ns.max(t0_ns) - t0_ns) as f64 / span * width as f64) as usize;
+        let b = ((e.end_ns.min(t1_ns) - t0_ns) as f64 / span * width as f64) as usize;
+        let c = match e.kind {
+            TraceKind::Compute => 'C',
+            TraceKind::Send | TraceKind::WaitSend => 's',
+            TraceKind::Recv => 'r',
+            TraceKind::Collective(_) => 'A',
+        };
+        for cell in &mut rows[e.rank][a.min(width - 1)..=b.min(width - 1)] {
+            *cell = c;
+        }
+    }
+    rows.into_iter().map(|r| r.into_iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(rank: usize, kind: TraceKind, peer: Option<usize>, bytes: u64, a: u64, b: u64) -> TraceEvent {
+        TraceEvent {
+            rank,
+            kind,
+            peer,
+            bytes,
+            start_ns: a,
+            end_ns: b,
+        }
+    }
+
+    #[test]
+    fn summary_accumulates_by_kind() {
+        let events = vec![
+            ev(0, TraceKind::Compute, None, 0, 0, 1_000_000_000),
+            ev(0, TraceKind::Send, Some(1), 500, 1_000_000_000, 1_100_000_000),
+            ev(1, TraceKind::Recv, Some(0), 0, 0, 1_100_000_000),
+            ev(1, TraceKind::Collective("bcast"), None, 64, 2_000_000_000, 2_500_000_000),
+        ];
+        let s = TraceSummary::from_events(&events, 2);
+        assert!((s.per_rank[0].compute_secs - 1.0).abs() < 1e-9);
+        assert!((s.per_rank[0].p2p_secs - 0.1).abs() < 1e-9);
+        assert_eq!(s.per_rank[0].bytes_sent, 500);
+        assert!((s.per_rank[1].p2p_secs - 1.1).abs() < 1e-9);
+        assert!((s.per_rank[1].collective_secs - 0.5).abs() < 1e-9);
+        assert_eq!(s.top_pairs, vec![(0, 1, 500)]);
+    }
+
+    #[test]
+    fn timeline_paints_rows() {
+        let events = vec![
+            ev(0, TraceKind::Compute, None, 0, 0, 50),
+            ev(0, TraceKind::Recv, Some(1), 0, 50, 100),
+            ev(1, TraceKind::Collective("barrier"), None, 0, 0, 100),
+        ];
+        let rows = ascii_timeline(&events, 2, 0, 100, 10);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].starts_with('C'));
+        assert!(rows[0].ends_with('r'));
+        assert!(rows[1].chars().all(|c| c == 'A'));
+    }
+
+    #[test]
+    fn timeline_clips_out_of_range_events() {
+        let events = vec![ev(0, TraceKind::Compute, None, 0, 200, 300)];
+        let rows = ascii_timeline(&events, 1, 0, 100, 10);
+        assert!(rows[0].chars().all(|c| c == '.'));
+    }
+}

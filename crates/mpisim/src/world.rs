@@ -1,0 +1,433 @@
+//! The shared state of one MPI run: rank placement, per-pair TCP channels,
+//! message matching, and the eager / rendezvous wire protocols of Fig. 4.
+//!
+//! ## Protocol model
+//!
+//! * **Eager** (`bytes ≤ threshold`): the sender pays its software overhead,
+//!   hands `header + bytes` to the TCP channel and returns (buffered-send
+//!   semantics). At arrival the envelope either matches a posted receive
+//!   (data lands in the application buffer — Fig. 4 arrow 1) or joins the
+//!   *unexpected queue*; a receive that matches an unexpected message pays
+//!   the extra memory copy (Fig. 4 arrow 2).
+//! * **Rendezvous** (`bytes > threshold`): the sender transmits a small
+//!   `MPI_Request` control message and blocks. When the matching receive
+//!   is posted, the receiver returns an acknowledgement; data then flows
+//!   and both sides complete at data arrival. The handshake costs a full
+//!   RTT, which is why the paper raises the threshold on the grid
+//!   (Table 5).
+//!
+//! Both control and data messages share the per-(src,dst) TCP channel, so
+//! head-of-line blocking across messages is modelled faithfully.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use desim::{completion, Completion, Sched, SimDuration, Trigger};
+use netsim::{ChannelId, Network, NodeId};
+use parking_lot::Mutex;
+
+use crate::profile::{ImplProfile, Tuning};
+use crate::stats::CommStats;
+use crate::trace::TraceEvent;
+
+/// MPI envelope header bytes added to every data message on the wire.
+pub const HEADER_BYTES: u64 = 64;
+/// Size of rendezvous control messages (request / acknowledgement).
+pub const CTRL_BYTES: u64 = 64;
+
+/// What a completed receive reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsgInfo {
+    /// Sending rank.
+    pub src: usize,
+    /// Message tag.
+    pub tag: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// Internal receive completion: the envelope plus any deferred copy cost
+/// (unexpected-message copy) the receiving process must pay.
+pub(crate) struct RecvDone {
+    pub info: MsgInfo,
+    pub copy: SimDuration,
+}
+
+struct PostedRecv {
+    sel_src: Option<usize>,
+    sel_tag: Option<u64>,
+    tx: Trigger<RecvDone>,
+}
+
+enum Unexpected {
+    Eager {
+        src: usize,
+        tag: u64,
+        bytes: u64,
+    },
+    RndvReq {
+        src: usize,
+        tag: u64,
+        bytes: u64,
+        sender_done: Trigger<()>,
+    },
+}
+
+impl Unexpected {
+    fn matches(&self, sel_src: Option<usize>, sel_tag: Option<u64>) -> bool {
+        let (src, tag) = match self {
+            Unexpected::Eager { src, tag, .. } => (*src, *tag),
+            Unexpected::RndvReq { src, tag, .. } => (*src, *tag),
+        };
+        sel_src.is_none_or(|s| s == src) && sel_tag.is_none_or(|t| t == tag)
+    }
+}
+
+#[derive(Default)]
+struct RankMatch {
+    unexpected: VecDeque<Unexpected>,
+    posted: VecDeque<PostedRecv>,
+}
+
+/// Shared state of one MPI world (all ranks of one run).
+pub(crate) struct WorldInner {
+    pub net: Network,
+    pub profile: ImplProfile,
+    pub eager_threshold: u64,
+    pub placement: Vec<NodeId>,
+    /// Ranks grouped by site, in order of first appearance.
+    pub site_groups: Vec<Vec<usize>>,
+    /// Rank → index into `site_groups`.
+    pub rank_site: Vec<usize>,
+    matchers: Vec<Mutex<RankMatch>>,
+    channels: Mutex<HashMap<(usize, usize, u32), ChannelId>>,
+    pub stats: Mutex<CommStats>,
+    pub records: Mutex<Vec<(usize, String, f64)>>,
+    /// Traced spans (populated only when tracing is enabled).
+    pub trace: Option<Mutex<Vec<TraceEvent>>>,
+}
+
+impl WorldInner {
+    pub fn new(
+        net: Network,
+        placement: Vec<NodeId>,
+        profile: ImplProfile,
+        tuning: Tuning,
+        tracing: bool,
+    ) -> Arc<WorldInner> {
+        let eager_threshold = tuning
+            .eager_threshold
+            .unwrap_or(profile.eager_threshold);
+        let mut profile = profile;
+        if let Some(buf) = tuning.socket_buffer {
+            profile.socket_policy = crate::profile::SocketPolicy::Fixed(buf);
+        }
+        let n = placement.len();
+        let mut site_groups: Vec<(netsim::SiteId, Vec<usize>)> = Vec::new();
+        let mut rank_site = Vec::with_capacity(n);
+        for (r, &node) in placement.iter().enumerate() {
+            let s = net.site_of(node);
+            match site_groups.iter_mut().position(|(sid, _)| *sid == s) {
+                Some(i) => {
+                    site_groups[i].1.push(r);
+                    rank_site.push(i);
+                }
+                None => {
+                    site_groups.push((s, vec![r]));
+                    rank_site.push(site_groups.len() - 1);
+                }
+            }
+        }
+        let site_groups = site_groups.into_iter().map(|(_, g)| g).collect();
+        Arc::new(WorldInner {
+            net,
+            profile,
+            eager_threshold,
+            placement,
+            site_groups,
+            rank_site,
+            matchers: (0..n).map(|_| Mutex::new(RankMatch::default())).collect(),
+            channels: Mutex::new(HashMap::new()),
+            stats: Mutex::new(CommStats::default()),
+            records: Mutex::new(Vec::new()),
+            trace: tracing.then(|| Mutex::new(Vec::new())),
+        })
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// True if the two ranks live on different sites (WAN path).
+    pub fn is_wan(&self, a: usize, b: usize) -> bool {
+        self.net.site_of(self.placement[a]) != self.net.site_of(self.placement[b])
+    }
+
+    /// Per-message software overhead between two ranks (Table 4), plus the
+    /// heterogeneity-management cost when the message rides the fast
+    /// fabric.
+    pub fn overhead(&self, src: usize, dst: usize) -> SimDuration {
+        if self.is_wan(src, dst) {
+            self.profile.overhead_wan
+        } else {
+            let mut o = self.profile.overhead_lan;
+            if let Some(gateway) = self.profile.fast_lan {
+                if self
+                    .net
+                    .with_topology(|t| {
+                        t.route_fast(self.placement[src], self.placement[dst]).is_some()
+                    })
+                {
+                    o += gateway;
+                }
+            }
+            o
+        }
+    }
+
+    /// The lazily-created TCP channel from `src` to `dst`.
+    pub fn channel(&self, src: usize, dst: usize) -> ChannelId {
+        self.channel_stream(src, dst, 0)
+    }
+
+    /// One of the parallel sockets between a pair (stream 0 carries
+    /// control traffic and unstriped data).
+    fn channel_stream(&self, src: usize, dst: usize, stream: u32) -> ChannelId {
+        let mut g = self.channels.lock();
+        *g.entry((src, dst, stream)).or_insert_with(|| {
+            if self.profile.fast_lan.is_some() {
+                if let Some(ch) = self
+                    .net
+                    .fast_channel(self.placement[src], self.placement[dst])
+                {
+                    return ch;
+                }
+            }
+            let req = self.profile.socket_policy.request();
+            self.net.channel_with(
+                self.placement[src],
+                self.placement[dst],
+                req,
+                req,
+                self.profile.pacing,
+                self.profile.data_window_cap,
+            )
+        })
+    }
+
+    /// Move `bytes` of user data (plus header) from `src` to `dst`,
+    /// invoking `done` when the last byte has arrived. Messages above the
+    /// profile's parallel-stream threshold are striped over several TCP
+    /// connections (MPICH-G2, §2.1.5); the callback fires when every
+    /// stripe has landed.
+    fn data_transfer(
+        self: &Arc<Self>,
+        s: &Sched,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        done: impl FnOnce(&Sched) + Send + 'static,
+    ) {
+        let streams = match self.profile.parallel_streams {
+            Some((threshold, k)) if bytes > threshold && k > 1 => k,
+            _ => 1,
+        };
+        if streams == 1 {
+            let ch = self.channel_stream(src, dst, 0);
+            self.net.transfer_then(s, ch, bytes + HEADER_BYTES, done);
+            return;
+        }
+        let chunk = bytes / streams as u64;
+        let pending = Arc::new(Mutex::new((streams, Some(done))));
+        for k in 0..streams {
+            let this_chunk = if k == streams - 1 {
+                bytes - chunk * (streams as u64 - 1)
+            } else {
+                chunk
+            };
+            let ch = self.channel_stream(src, dst, k);
+            let pending = Arc::clone(&pending);
+            self.net
+                .transfer_then(s, ch, this_chunk + HEADER_BYTES, move |s2| {
+                    let mut g = pending.lock();
+                    g.0 -= 1;
+                    if g.0 == 0 {
+                        let done = g.1.take().expect("stripe callback pending");
+                        drop(g);
+                        done(s2);
+                    }
+                });
+        }
+    }
+
+    /// Start an eager transmission (sender does not block).
+    pub fn eager_send(
+        self: &Arc<Self>,
+        s: &Sched,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        bytes: u64,
+    ) {
+        let w = Arc::clone(self);
+        self.data_transfer(s, src, dst, bytes, move |s2| {
+            w.deliver_eager(s2, src, dst, tag, bytes)
+        });
+    }
+
+    fn deliver_eager(&self, s: &Sched, src: usize, dst: usize, tag: u64, bytes: u64) {
+        let mut m = self.matchers[dst].lock();
+        if let Some(pos) = m
+            .posted
+            .iter()
+            .position(|p| p.sel_src.is_none_or(|x| x == src) && p.sel_tag.is_none_or(|t| t == tag))
+        {
+            let pr = m.posted.remove(pos).expect("position valid");
+            drop(m);
+            pr.tx.fire_from(
+                s,
+                RecvDone {
+                    info: MsgInfo { src, tag, bytes },
+                    copy: SimDuration::ZERO,
+                },
+            );
+        } else {
+            m.unexpected.push_back(Unexpected::Eager { src, tag, bytes });
+        }
+    }
+
+    /// Start a rendezvous transmission; the returned completion fires (for
+    /// the sender) once the data has been delivered.
+    pub fn rndv_send(
+        self: &Arc<Self>,
+        s: &Sched,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        bytes: u64,
+    ) -> Completion<()> {
+        let (stx, srx) = completion();
+        let ch = self.channel(src, dst);
+        let w = Arc::clone(self);
+        self.net.transfer_then(s, ch, CTRL_BYTES, move |s2| {
+            w.deliver_rndv_req(s2, src, dst, tag, bytes, stx)
+        });
+        srx
+    }
+
+    fn deliver_rndv_req(
+        self: &Arc<Self>,
+        s: &Sched,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        bytes: u64,
+        sender_done: Trigger<()>,
+    ) {
+        let mut m = self.matchers[dst].lock();
+        if let Some(pos) = m
+            .posted
+            .iter()
+            .position(|p| p.sel_src.is_none_or(|x| x == src) && p.sel_tag.is_none_or(|t| t == tag))
+        {
+            let pr = m.posted.remove(pos).expect("position valid");
+            drop(m);
+            self.rndv_matched(s, src, dst, tag, bytes, sender_done, pr.tx);
+        } else {
+            m.unexpected.push_back(Unexpected::RndvReq {
+                src,
+                tag,
+                bytes,
+                sender_done,
+            });
+        }
+    }
+
+    /// The receive matching a rendezvous request exists: send the
+    /// acknowledgement back, then the bulk data.
+    #[allow(clippy::too_many_arguments)] // protocol state, deliberately flat
+    fn rndv_matched(
+        self: &Arc<Self>,
+        s: &Sched,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        bytes: u64,
+        sender_done: Trigger<()>,
+        recv_tx: Trigger<RecvDone>,
+    ) {
+        let ack_ch = self.channel(dst, src);
+        let w = Arc::clone(self);
+        self.net.transfer_then(s, ack_ch, CTRL_BYTES, move |s2| {
+            let w2 = Arc::clone(&w);
+            w2.data_transfer(s2, src, dst, bytes, move |s3| {
+                recv_tx.fire_from(
+                    s3,
+                    RecvDone {
+                        info: MsgInfo { src, tag, bytes },
+                        copy: SimDuration::ZERO,
+                    },
+                );
+                sender_done.fire_from(s3, ());
+            });
+        });
+    }
+
+    /// Post a receive for rank `me`. Returns `Ok` if an unexpected eager
+    /// message satisfies it immediately, otherwise the completion to wait
+    /// on.
+    pub fn post_recv(
+        self: &Arc<Self>,
+        s: &Sched,
+        me: usize,
+        sel_src: Option<usize>,
+        sel_tag: Option<u64>,
+    ) -> Result<RecvDone, Completion<RecvDone>> {
+        let mut m = self.matchers[me].lock();
+        if let Some(pos) = m.unexpected.iter().position(|u| u.matches(sel_src, sel_tag)) {
+            let u = m.unexpected.remove(pos).expect("position valid");
+            drop(m);
+            match u {
+                Unexpected::Eager { src, tag, bytes } => {
+                    // Extra copy out of the temporary MPI buffer (Fig. 4).
+                    let copy =
+                        SimDuration::from_secs_f64(bytes as f64 / self.profile.copy_rate);
+                    Ok(RecvDone {
+                        info: MsgInfo { src, tag, bytes },
+                        copy,
+                    })
+                }
+                Unexpected::RndvReq {
+                    src,
+                    tag,
+                    bytes,
+                    sender_done,
+                } => {
+                    let (rtx, rrx) = completion();
+                    self.rndv_matched(s, src, me, tag, bytes, sender_done, rtx);
+                    Err(rrx)
+                }
+            }
+        } else {
+            let (rtx, rrx) = completion();
+            m.posted.push_back(PostedRecv {
+                sel_src,
+                sel_tag,
+                tx: rtx,
+            });
+            Err(rrx)
+        }
+    }
+
+    /// True if nothing is pending anywhere (used by tests to assert
+    /// quiescence at the end of a run).
+    pub fn quiescent(&self) -> bool {
+        self.matchers
+            .iter()
+            .all(|m| {
+                let g = m.lock();
+                g.unexpected.is_empty() && g.posted.is_empty()
+            })
+    }
+}

@@ -1,0 +1,209 @@
+//! Timing-shape tests for the collective algorithm families: these pin
+//! down the mechanisms behind the paper's Fig. 10 (which algorithm wins
+//! where, and by how much).
+
+use desim::SimDuration;
+use mpisim::{
+    AllreduceAlgo, BcastAlgo, ImplProfile, MpiImpl, MpiJob, RankCtx, Tuning,
+};
+use netsim::{grid5000_pair, KernelConfig, Network, NodeId};
+
+fn testbed(split: bool) -> (Network, Vec<NodeId>) {
+    let (mut topo, rn, nn) = grid5000_pair(if split { 8 } else { 16 });
+    topo.set_kernel_all(KernelConfig::tuned_with_default(4 << 20, 4 << 20));
+    let placement = if split {
+        let mut p = rn;
+        p.extend(nn);
+        p
+    } else {
+        rn
+    };
+    (Network::new(topo), placement)
+}
+
+fn bcast_secs(algo: BcastAlgo, bytes: u64, split: bool) -> f64 {
+    let (net, placement) = testbed(split);
+    let mut profile = ImplProfile::gridmpi();
+    profile.collectives.bcast = algo;
+    let report = MpiJob::new(net, placement, MpiImpl::GridMpi)
+        .with_profile(profile)
+        .with_tuning(Tuning::none())
+        .run(move |ctx: &mut RankCtx| {
+            for _ in 0..5 {
+                ctx.bcast(0, bytes);
+            }
+        })
+        .expect("bcast completes");
+    report.elapsed.as_secs_f64() / 5.0
+}
+
+fn allreduce_secs(algo: AllreduceAlgo, bytes: u64, split: bool) -> f64 {
+    let (net, placement) = testbed(split);
+    let mut profile = ImplProfile::gridmpi();
+    profile.collectives.allreduce = algo;
+    let report = MpiJob::new(net, placement, MpiImpl::GridMpi)
+        .with_profile(profile)
+        .with_tuning(Tuning::none())
+        .run(move |ctx: &mut RankCtx| {
+            for _ in 0..5 {
+                ctx.allreduce(bytes);
+            }
+        })
+        .expect("allreduce completes");
+    report.elapsed.as_secs_f64() / 5.0
+}
+
+#[test]
+fn ring_allgather_is_the_grid_pathology() {
+    // Scatter+ring beats binomial on a cluster but collapses on the grid
+    // (its ring crosses the WAN repeatedly) — the Fig. 10 FT mechanism.
+    let bytes = 128 << 10;
+    let ring_cluster = bcast_secs(BcastAlgo::ScatterAllgather, bytes, false);
+    let bin_cluster = bcast_secs(BcastAlgo::Binomial, bytes, false);
+    assert!(
+        ring_cluster < bin_cluster,
+        "on a cluster scatter+ring ({ring_cluster}) should beat binomial ({bin_cluster})"
+    );
+    let ring_grid = bcast_secs(BcastAlgo::ScatterAllgather, bytes, true);
+    let grid_aware = bcast_secs(BcastAlgo::GridAware, bytes, true);
+    assert!(
+        ring_grid > 2.0 * grid_aware,
+        "on the grid scatter+ring ({ring_grid}) should lose badly to grid-aware ({grid_aware})"
+    );
+}
+
+#[test]
+fn grid_aware_bcast_is_latency_bound() {
+    // One WAN crossing: the hierarchical bcast of 128 kB should cost a few
+    // one-way latencies (5.8 ms), not tens.
+    let t = bcast_secs(BcastAlgo::GridAware, 128 << 10, true);
+    assert!(
+        (5.8e-3..20e-3).contains(&t),
+        "grid-aware bcast took {t}s, expected a few WAN latencies"
+    );
+}
+
+#[test]
+fn grid_aware_allreduce_beats_oblivious_on_large_payloads() {
+    let bytes = 1 << 20;
+    let oblivious = allreduce_secs(AllreduceAlgo::Rabenseifner, bytes, true);
+    let aware = allreduce_secs(AllreduceAlgo::GridAware, bytes, true);
+    assert!(
+        aware < oblivious,
+        "grid-aware allreduce ({aware}) should beat Rabenseifner ({oblivious}) across the WAN"
+    );
+}
+
+#[test]
+fn small_allreduce_is_one_wan_round_trip() {
+    for algo in [
+        AllreduceAlgo::RecursiveDoubling,
+        AllreduceAlgo::Rabenseifner,
+        AllreduceAlgo::GridAware,
+    ] {
+        let t = allreduce_secs(algo, 8, true);
+        assert!(
+            (5.8e-3..25e-3).contains(&t),
+            "{algo:?}: 8-byte allreduce took {t}s"
+        );
+    }
+}
+
+#[test]
+fn barrier_scales_logarithmically() {
+    fn barrier_secs(ranks: usize) -> f64 {
+        let (net, placement) = testbed(false);
+        let report = MpiJob::new(net, placement[..ranks].to_vec(), MpiImpl::Mpich2)
+            .run(|ctx: &mut RankCtx| {
+                for _ in 0..10 {
+                    ctx.barrier();
+                }
+            })
+            .expect("barrier completes");
+        report.elapsed.as_secs_f64() / 10.0
+    }
+    let b4 = barrier_secs(4);
+    let b16 = barrier_secs(16);
+    // Dissemination: log2(16)/log2(4) = 2 rounds ratio, far from linear.
+    assert!(b16 < b4 * 3.0, "barrier not logarithmic: {b4} -> {b16}");
+    assert!(b16 > b4, "more ranks must not be free");
+}
+
+#[test]
+fn g2_parallel_streams_speed_up_large_messages_on_small_buffers() {
+    // The MPICH-G2 model: 4 parallel streams multiply the effective window
+    // when buffers are the bottleneck.
+    fn one_way(profile: ImplProfile) -> f64 {
+        let (mut topo, rn, nn) = grid5000_pair(1);
+        topo.set_kernel_all(KernelConfig::untuned_2007());
+        let report = MpiJob::new(Network::new(topo), vec![rn[0], nn[0]], profile.impl_id)
+            .with_profile(profile)
+            .run(|ctx: &mut RankCtx| {
+                const TAG: u64 = 1;
+                let bytes = 8 << 20;
+                if ctx.rank() == 0 {
+                    ctx.send(1, bytes, TAG);
+                    ctx.recv(1, 2);
+                } else {
+                    ctx.recv(0, TAG);
+                    ctx.send(0, 1, 2);
+                }
+            })
+            .expect("transfer completes");
+        report.elapsed.as_secs_f64()
+    }
+    let mut striped = ImplProfile::mpich_g2();
+    striped.eager_threshold = u64::MAX;
+    let mut single = striped.clone();
+    single.parallel_streams = None;
+    let t_striped = one_way(striped);
+    let t_single = one_way(single);
+    assert!(
+        t_single > 2.5 * t_striped,
+        "parallel streams should be ~4x on window-bound paths: {t_single} vs {t_striped}"
+    );
+}
+
+#[test]
+fn fast_lan_shortcuts_intra_site_traffic() {
+    use netsim::{FastLanParams, SiteParams, Topology};
+    let mut t = Topology::new();
+    let s = t.add_site(
+        "fabric",
+        SiteParams {
+            name: "fabric".into(),
+            fast_lan: Some(FastLanParams::myrinet()),
+            ..SiteParams::default()
+        },
+    );
+    let a = t.add_node(s, netsim::NodeParams::default());
+    let b = t.add_node(s, netsim::NodeParams::default());
+    t.set_kernel_all(KernelConfig::tuned(4 << 20));
+    let net = Network::new(t);
+
+    let mut fabric = ImplProfile::mpich_madeleine();
+    fabric.fast_lan = Some(SimDuration::from_micros(5));
+    let run = |profile: ImplProfile| -> f64 {
+        let report = MpiJob::new(net.clone(), vec![a, b], profile.impl_id)
+            .with_profile(profile)
+            .run(|ctx: &mut RankCtx| {
+                const TAG: u64 = 1;
+                if ctx.rank() == 0 {
+                    ctx.send(1, 1 << 20, TAG);
+                    ctx.recv(1, 2);
+                } else {
+                    ctx.recv(0, TAG);
+                    ctx.send(0, 1, 2);
+                }
+            })
+            .expect("fabric run completes");
+        report.elapsed.as_secs_f64()
+    };
+    let tcp = run(ImplProfile::mpich_madeleine());
+    let myrinet = run(fabric);
+    // 2 Gbps vs 940 Mbps on a 1 MB payload.
+    assert!(
+        myrinet < 0.7 * tcp,
+        "Myrinet should win on bandwidth: {myrinet} vs {tcp}"
+    );
+}

@@ -1,0 +1,148 @@
+//! Tests for the extension surfaces: tracing, extended profiles,
+//! parallel streams, and statistics matrices.
+
+use mpisim::trace::{TraceKind, TraceSummary};
+use mpisim::{MpiImpl, MpiJob, RankCtx};
+use netsim::{grid5000_pair, KernelConfig, Network, NodeId};
+
+fn grid(nodes_per_site: usize) -> (Network, Vec<NodeId>) {
+    let (mut topo, rn, nn) = grid5000_pair(nodes_per_site);
+    topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+    let mut placement = rn;
+    placement.extend(nn);
+    (Network::new(topo), placement)
+}
+
+#[test]
+fn tracing_captures_all_activity_kinds() {
+    let (net, placement) = grid(1);
+    let report = MpiJob::new(net, placement, MpiImpl::Mpich2)
+        .with_tracing()
+        .run(|ctx: &mut RankCtx| {
+            ctx.compute_gflop(0.1);
+            if ctx.rank() == 0 {
+                ctx.send(1, 1000, 7);
+            } else {
+                ctx.recv(0, 7);
+            }
+            ctx.barrier();
+        })
+        .unwrap();
+    assert!(!report.trace.is_empty());
+    let kinds: Vec<&TraceKind> = report.trace.iter().map(|e| &e.kind).collect();
+    assert!(kinds.contains(&&TraceKind::Compute));
+    assert!(kinds.contains(&&TraceKind::Send));
+    assert!(kinds.contains(&&TraceKind::Recv));
+    assert!(kinds
+        .iter()
+        .any(|k| matches!(k, TraceKind::Collective("barrier"))));
+    // Spans are well-formed and the summary accounts for both ranks.
+    for e in &report.trace {
+        assert!(e.end_ns >= e.start_ns);
+    }
+    let summary = TraceSummary::from_events(&report.trace, 2);
+    assert!(summary.per_rank[0].compute_secs > 0.0);
+    assert!(summary.per_rank[1].p2p_secs > 0.0);
+    assert_eq!(summary.top_pairs[0], (0, 1, 1000));
+}
+
+#[test]
+fn tracing_off_leaves_report_empty() {
+    let (net, placement) = grid(1);
+    let report = MpiJob::new(net, placement, MpiImpl::Mpich2)
+        .run(|ctx: &mut RankCtx| {
+            ctx.barrier();
+        })
+        .unwrap();
+    assert!(report.trace.is_empty());
+}
+
+#[test]
+fn pair_bytes_matrix_is_complete_and_directed() {
+    let (net, placement) = grid(2);
+    let report = MpiJob::new(net, placement, MpiImpl::Mpich2)
+        .run(|ctx: &mut RankCtx| {
+            if ctx.rank() == 0 {
+                ctx.send(2, 5000, 1);
+                ctx.send(3, 111, 1);
+            } else if ctx.rank() == 2 || ctx.rank() == 3 {
+                ctx.recv(0, 1);
+            }
+        })
+        .unwrap();
+    assert_eq!(report.stats.pair_bytes[&(0, 2)], 5000);
+    assert_eq!(report.stats.pair_bytes[&(0, 3)], 111);
+    assert!(!report.stats.pair_bytes.contains_key(&(2, 0)));
+    assert_eq!(report.stats.pair_msgs[&(0, 2)], 1);
+}
+
+#[test]
+fn extended_profiles_run_the_same_programs() {
+    for id in [MpiImpl::MpichG2, MpiImpl::MpichVmi] {
+        let (net, placement) = grid(2);
+        let report = MpiJob::new(net, placement, id)
+            .run(|ctx: &mut RankCtx| {
+                ctx.bcast(0, 64 << 10);
+                ctx.allreduce(4096);
+                if ctx.rank() == 0 {
+                    ctx.send(3, 2 << 20, 5);
+                } else if ctx.rank() == 3 {
+                    ctx.recv(0, 5);
+                }
+                ctx.barrier();
+            })
+            .unwrap();
+        assert!(report.clean, "{id:?}");
+    }
+}
+
+#[test]
+fn g2_striping_preserves_message_semantics() {
+    // A striped 4 MB message must still arrive as ONE message with the
+    // right size, after all stripes land.
+    let (net, placement) = grid(1);
+    let mut profile = mpisim::ImplProfile::mpich_g2();
+    profile.eager_threshold = u64::MAX;
+    let report = MpiJob::new(net, placement, MpiImpl::MpichG2)
+        .with_profile(profile)
+        .run(|ctx: &mut RankCtx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 4 << 20, 9);
+                ctx.send(1, 100, 9);
+            } else {
+                let a = ctx.recv(0, 9);
+                assert_eq!(a.bytes, 4 << 20);
+                let b = ctx.recv(0, 9);
+                assert_eq!(b.bytes, 100);
+            }
+        })
+        .unwrap();
+    assert!(report.clean);
+}
+
+#[test]
+fn deadline_aborts_runaway_runs() {
+    use desim::{SimError, SimTime};
+    let (net, placement) = grid(1);
+    let err = MpiJob::new(net, placement, MpiImpl::Mpich2)
+        .with_deadline(SimTime::from_nanos(1_000_000_000))
+        .run(|ctx: &mut RankCtx| {
+            // 10 virtual seconds of compute: must hit the 1 s deadline.
+            ctx.compute_gflop(ctx.gflops() * 10.0);
+        })
+        .unwrap_err();
+    assert!(matches!(err, SimError::TimeLimitExceeded(_)), "{err}");
+}
+
+#[test]
+fn deadline_is_inert_when_met() {
+    use desim::SimTime;
+    let (net, placement) = grid(1);
+    let report = MpiJob::new(net, placement, MpiImpl::Mpich2)
+        .with_deadline(SimTime::from_nanos(10_000_000_000))
+        .run(|ctx: &mut RankCtx| {
+            ctx.barrier();
+        })
+        .unwrap();
+    assert!(report.clean);
+}

@@ -1,0 +1,362 @@
+//! MPI semantics tests: matching, ordering, protocols, collectives.
+
+use desim::SimDuration;
+use mpisim::{MpiImpl, MpiJob, RankCtx, Tuning};
+use netsim::{grid5000_pair, KernelConfig, Network, NodeParams, SiteParams, Topology};
+
+const TAG: u64 = 7;
+
+/// A one-site cluster of `n` nodes.
+fn cluster(n: usize) -> (Network, Vec<netsim::NodeId>) {
+    let mut t = Topology::new();
+    let s = t.add_site("rennes", SiteParams::default());
+    let nodes: Vec<_> = (0..n).map(|_| t.add_node(s, NodeParams::default())).collect();
+    (Network::new(t), nodes)
+}
+
+/// An 8+8 grid with tuned kernels.
+fn grid(nodes_per_site: usize, tuned: bool) -> (Network, Vec<netsim::NodeId>) {
+    let (mut topo, rn, nn) = grid5000_pair(nodes_per_site);
+    if tuned {
+        topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+    }
+    let mut placement = rn;
+    placement.extend(nn);
+    (Network::new(topo), placement)
+}
+
+fn job(net: Network, placement: Vec<netsim::NodeId>, id: MpiImpl) -> MpiJob {
+    MpiJob::new(net, placement, id)
+}
+
+#[test]
+fn blocking_send_recv_transfers_envelope() {
+    let (net, nodes) = cluster(2);
+    let report = job(net, nodes, MpiImpl::Mpich2)
+        .run(|ctx: &mut RankCtx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1234, TAG);
+            } else {
+                let m = ctx.recv(0, TAG);
+                assert_eq!(m.src, 0);
+                assert_eq!(m.bytes, 1234);
+                assert_eq!(m.tag, TAG);
+            }
+        })
+        .unwrap();
+    assert!(report.clean);
+    assert_eq!(report.stats.p2p_messages(), 1);
+}
+
+#[test]
+fn messages_do_not_overtake_on_one_pair() {
+    // FIFO per (src, dst, tag): a big message sent first must be received
+    // first even though a small one follows immediately.
+    let (net, nodes) = cluster(2);
+    job(net, nodes, MpiImpl::Mpich2)
+        .run(|ctx: &mut RankCtx| {
+            if ctx.rank() == 0 {
+                let r1 = ctx.isend(1, 100_000, TAG);
+                let r2 = ctx.isend(1, 10, TAG);
+                ctx.waitall(vec![r1, r2]);
+            } else {
+                let a = ctx.recv(0, TAG);
+                let b = ctx.recv(0, TAG);
+                assert_eq!(a.bytes, 100_000, "big message was sent first");
+                assert_eq!(b.bytes, 10);
+            }
+        })
+        .unwrap();
+}
+
+#[test]
+fn tag_selection_matches_out_of_order() {
+    let (net, nodes) = cluster(2);
+    job(net, nodes, MpiImpl::Mpich2)
+        .run(|ctx: &mut RankCtx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 11, 1);
+                ctx.send(1, 22, 2);
+            } else {
+                // Receive the tag-2 message first although tag-1 arrived
+                // earlier (it waits in the unexpected queue).
+                let b = ctx.recv(0, 2);
+                let a = ctx.recv(0, 1);
+                assert_eq!(b.bytes, 22);
+                assert_eq!(a.bytes, 11);
+            }
+        })
+        .unwrap();
+}
+
+#[test]
+fn wildcard_source_receives_from_all() {
+    let (net, nodes) = cluster(4);
+    job(net, nodes, MpiImpl::Mpich2)
+        .run(|ctx: &mut RankCtx| {
+            if ctx.rank() == 0 {
+                let mut seen = [false; 4];
+                for _ in 0..3 {
+                    let m = ctx.recv_any(TAG);
+                    assert!(!seen[m.src], "duplicate source {}", m.src);
+                    seen[m.src] = true;
+                }
+            } else {
+                ctx.send(0, 64, TAG);
+            }
+        })
+        .unwrap();
+}
+
+#[test]
+fn rendezvous_costs_an_extra_round_trip() {
+    // Same payload, once below and once above the eager threshold: the
+    // rendezvous variant must be slower by about one LAN round trip.
+    fn one_way(thresh_tuning: Option<u64>) -> f64 {
+        let (net, nodes) = cluster(2);
+        let mut j = job(net, nodes, MpiImpl::Mpich2);
+        j.tuning = Tuning {
+            eager_threshold: thresh_tuning,
+            socket_buffer: None,
+        };
+        let report = j
+            .run(|ctx: &mut RankCtx| {
+                let bytes = 300 * 1024; // above MPICH2's 256 kB default
+                if ctx.rank() == 0 {
+                    // Warm the window, then measure.
+                    for _ in 0..3 {
+                        ctx.send(1, bytes, TAG);
+                        ctx.recv(1, TAG);
+                    }
+                    let t0 = ctx.now();
+                    ctx.send(1, bytes, TAG);
+                    ctx.recv(1, TAG);
+                    ctx.record("rt", ctx.now().since(t0).as_secs_f64());
+                } else {
+                    for _ in 0..4 {
+                        ctx.recv(0, TAG);
+                        ctx.send(0, bytes, TAG);
+                    }
+                }
+            })
+            .unwrap();
+        report.values("rt")[0].1
+    }
+    let rndv = one_way(None); // default threshold: 300 kB goes rendezvous
+    let eager = one_way(Some(64 << 20)); // tuned: eager
+    assert!(
+        rndv > eager + 100e-6,
+        "rendezvous {rndv} not slower than eager {eager}"
+    );
+}
+
+#[test]
+fn unexpected_message_pays_copy_cost() {
+    // Receiver posts late: the eager message waits in the unexpected queue
+    // and the receive pays the extra copy. With a posted receive the copy
+    // is overlapped.
+    fn recv_time(post_late: bool) -> f64 {
+        let (net, nodes) = cluster(2);
+        let report = job(net, nodes, MpiImpl::Mpich2)
+            .run(move |ctx: &mut RankCtx| {
+                let bytes = 100 << 10;
+                if ctx.rank() == 0 {
+                    ctx.send(1, bytes, TAG);
+                } else {
+                    if post_late {
+                        // Let the message arrive first.
+                        ctx.compute(SimDuration::from_millis(5));
+                        let t0 = ctx.now();
+                        ctx.recv(0, TAG);
+                        ctx.record("t", ctx.now().since(t0).as_secs_f64());
+                    } else {
+                        let t0 = ctx.now();
+                        ctx.recv(0, TAG);
+                        // Subtract nothing: the transfer itself dominates;
+                        // report end-to-end.
+                        ctx.record("t", ctx.now().since(t0).as_secs_f64());
+                    }
+                }
+            })
+            .unwrap();
+        report.values("t")[0].1
+    }
+    let late = recv_time(true);
+    // 100 KiB / 1.5 GB/s ≈ 68 µs of copy; the late receive pays only that
+    // (message already arrived).
+    assert!(
+        (50e-6..120e-6).contains(&late),
+        "late recv should cost ~the copy, got {late}"
+    );
+}
+
+#[test]
+fn sendrecv_is_deadlock_free_in_a_ring() {
+    let (net, nodes) = cluster(8);
+    job(net, nodes, MpiImpl::Mpich2)
+        .run(|ctx: &mut RankCtx| {
+            let p = ctx.size();
+            let right = (ctx.rank() + 1) % p;
+            let left = (ctx.rank() + p - 1) % p;
+            for _ in 0..4 {
+                let m = ctx.sendrecv(right, 32 << 10, left, TAG);
+                assert_eq!(m.src, left);
+            }
+        })
+        .unwrap();
+}
+
+#[test]
+fn barrier_synchronises_all_ranks() {
+    let (net, nodes) = cluster(8);
+    let report = job(net, nodes, MpiImpl::Mpich2)
+        .run(|ctx: &mut RankCtx| {
+            // Rank r computes r ms, then a barrier: everyone must leave the
+            // barrier no earlier than the slowest rank's 7 ms.
+            ctx.compute(SimDuration::from_millis(ctx.rank() as u64));
+            ctx.barrier();
+            ctx.record("after", ctx.now().as_secs_f64());
+        })
+        .unwrap();
+    for (r, v) in report.values("after") {
+        assert!(v >= 7e-3, "rank {r} left the barrier at {v}");
+    }
+}
+
+#[test]
+fn bcast_reaches_every_rank_for_all_impls() {
+    for id in MpiImpl::ALL {
+        for n in [3usize, 4, 8, 16] {
+            let (net, nodes) = grid(n.div_ceil(2), true);
+            let placement = nodes[..n].to_vec();
+            let report = job(net, placement, id)
+                .run(move |ctx: &mut RankCtx| {
+                    ctx.bcast(0, 128 << 10);
+                    ctx.record("done", ctx.now().as_secs_f64());
+                })
+                .unwrap();
+            assert!(report.clean, "{id:?} n={n} left messages behind");
+            assert_eq!(report.values("done").len(), n);
+        }
+    }
+}
+
+#[test]
+fn allreduce_completes_for_all_impls_and_sizes() {
+    for id in MpiImpl::ALL {
+        for n in [2usize, 5, 8, 16] {
+            let (net, nodes) = grid(8, true);
+            let placement = nodes[..n].to_vec();
+            let report = job(net, placement, id)
+                .run(move |ctx: &mut RankCtx| {
+                    ctx.allreduce(8);
+                    ctx.allreduce(1 << 20);
+                    ctx.barrier();
+                })
+                .unwrap();
+            assert!(report.clean, "{id:?} n={n}");
+        }
+    }
+}
+
+#[test]
+fn alltoall_and_gather_complete() {
+    let (net, nodes) = cluster(8);
+    let report = job(net, nodes, MpiImpl::OpenMpi)
+        .run(|ctx: &mut RankCtx| {
+            ctx.alltoall(64 << 10);
+            let sizes: Vec<u64> = (0..ctx.size() as u64).map(|d| (d + 1) * 1000).collect();
+            ctx.alltoallv(&sizes);
+            ctx.gather(0, 32 << 10);
+            ctx.scatter(0, 32 << 10);
+            ctx.allgather(16 << 10);
+            ctx.barrier();
+        })
+        .unwrap();
+    assert!(report.clean);
+    // 5 collective call types + barrier recorded per rank.
+    assert_eq!(report.stats.collective_messages(), 6 * 8);
+}
+
+#[test]
+fn gridmpi_collectives_beat_oblivious_ones_on_the_grid() {
+    // The paper's central collective result (Fig. 10): on 8+8 nodes over
+    // the WAN, GridMPI's grid-aware bcast/allreduce are much faster than
+    // the topology-oblivious scatter+ring algorithms of MPICH2.
+    fn bcast_time(id: MpiImpl) -> f64 {
+        let (net, placement) = grid(8, true);
+        let report = job(net, placement, id)
+            .with_tuning(Tuning::paper_tuned(id))
+            .run(|ctx: &mut RankCtx| {
+                for _ in 0..5 {
+                    ctx.bcast(0, 128 << 10);
+                }
+            })
+            .unwrap();
+        report.elapsed.as_secs_f64()
+    }
+    let gridmpi = bcast_time(MpiImpl::GridMpi);
+    let mpich2 = bcast_time(MpiImpl::Mpich2);
+    assert!(
+        mpich2 > 2.0 * gridmpi,
+        "grid-aware bcast should win big: GridMPI {gridmpi}s vs MPICH2 {mpich2}s"
+    );
+}
+
+#[test]
+fn grid_latency_dominates_small_messages() {
+    // Table 4: one-way small-message latency ≈ 5.8 ms on the grid vs tens
+    // of µs on the cluster.
+    let (net, placement) = grid(1, false);
+    let report = job(net, placement, MpiImpl::Mpich2)
+        .run(|ctx: &mut RankCtx| {
+            if ctx.rank() == 0 {
+                let t0 = ctx.now();
+                ctx.send(1, 1, TAG);
+                ctx.recv(1, TAG);
+                ctx.record("rtt", ctx.now().since(t0).as_secs_f64());
+            } else {
+                ctx.recv(0, TAG);
+                ctx.send(0, 1, TAG);
+            }
+        })
+        .unwrap();
+    let rtt = report.values("rtt")[0].1;
+    assert!(
+        (11.6e-3..11.75e-3).contains(&rtt),
+        "grid pingpong rtt = {rtt}"
+    );
+}
+
+#[test]
+fn per_rank_times_and_records_are_reported() {
+    let (net, nodes) = cluster(3);
+    let report = job(net, nodes, MpiImpl::Mpich2)
+        .run(|ctx: &mut RankCtx| {
+            ctx.compute(SimDuration::from_millis(1 + ctx.rank() as u64));
+            ctx.record("x", ctx.rank() as f64);
+        })
+        .unwrap();
+    assert_eq!(report.per_rank.len(), 3);
+    assert!(report.per_rank[2] > report.per_rank[0]);
+    assert_eq!(report.values("x").len(), 3);
+}
+
+#[test]
+fn compute_rate_scales_with_cpu() {
+    // Rennes (2.2 Gflop/s) computes the same work faster than Nancy (2.0).
+    let (net, placement) = grid(1, false);
+    let report = job(net, placement, MpiImpl::Mpich2)
+        .run(|ctx: &mut RankCtx| {
+            let t0 = ctx.now();
+            ctx.compute_gflop(10.0);
+            ctx.record("t", ctx.now().since(t0).as_secs_f64());
+        })
+        .unwrap();
+    let vals = report.values("t");
+    let rennes = vals[0].1;
+    let nancy = vals[1].1;
+    assert!((rennes - 10.0 / 2.2).abs() < 1e-6);
+    assert!((nancy - 10.0 / 2.0).abs() < 1e-6);
+    assert!(nancy > rennes);
+}

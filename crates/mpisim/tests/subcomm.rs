@@ -1,0 +1,144 @@
+//! Sub-communicator semantics and the site-split surface.
+
+use desim::SimDuration;
+use mpisim::{MpiImpl, MpiJob, RankCtx};
+use netsim::{grid5000_pair, KernelConfig, Network, NodeId};
+
+fn grid_8_8() -> (Network, Vec<NodeId>) {
+    let (mut topo, rn, nn) = grid5000_pair(8);
+    topo.set_kernel_all(KernelConfig::tuned_with_default(4 << 20, 4 << 20));
+    let mut placement = rn;
+    placement.extend(nn);
+    (Network::new(topo), placement)
+}
+
+#[test]
+fn comm_split_groups_by_color() {
+    let (net, placement) = grid_8_8();
+    MpiJob::new(net, placement, MpiImpl::Mpich2)
+        .run(|ctx: &mut RankCtx| {
+            let parity = ctx.comm_split(|r| (r % 2) as u64);
+            assert_eq!(parity.size(), 8);
+            assert_eq!(parity.world_rank(parity.rank()), ctx.rank());
+            for i in 0..parity.size() {
+                assert_eq!(parity.world_rank(i) % 2, ctx.rank() % 2);
+            }
+        })
+        .unwrap();
+}
+
+#[test]
+fn comm_site_matches_topology() {
+    let (net, placement) = grid_8_8();
+    MpiJob::new(net, placement, MpiImpl::Mpich2)
+        .run(|ctx: &mut RankCtx| {
+            let site = ctx.comm_site();
+            assert_eq!(site.size(), 8);
+            let my_site = ctx.site_of_rank(ctx.rank());
+            for i in 0..site.size() {
+                assert_eq!(ctx.site_of_rank(site.world_rank(i)), my_site);
+            }
+        })
+        .unwrap();
+}
+
+#[test]
+fn site_local_collectives_avoid_the_wan() {
+    // An intra-site bcast of 1 MB must complete in LAN time (≪ the 5.8 ms
+    // WAN one-way), while a world bcast pays the WAN.
+    let (net, placement) = grid_8_8();
+    let report = MpiJob::new(net, placement, MpiImpl::MpichMadeleine)
+        .run(|ctx: &mut RankCtx| {
+            let site = ctx.comm_site();
+            let t0 = ctx.now();
+            ctx.comm_bcast(&site, 0, 1 << 20);
+            ctx.record("local", ctx.now().since(t0).as_secs_f64());
+            ctx.barrier();
+            let t1 = ctx.now();
+            ctx.bcast(0, 1 << 20);
+            ctx.record("world", ctx.now().since(t1).as_secs_f64());
+        })
+        .unwrap();
+    let local_max = report
+        .values("local")
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0, f64::max);
+    let world_max = report
+        .values("world")
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0, f64::max);
+    // LAN work (tree + window ramp) costs tens of ms for 1 MB; the WAN
+    // bcast must additionally pay inter-site latency and bandwidth.
+    assert!(
+        local_max < world_max,
+        "site-local bcast ({local_max}s) should beat the world bcast ({world_max}s)"
+    );
+    assert!(
+        world_max > 5.8e-3,
+        "world bcast cannot beat the WAN latency: {world_max}s"
+    );
+}
+
+#[test]
+fn subcomm_collectives_complete_cleanly() {
+    let (net, placement) = grid_8_8();
+    let report = MpiJob::new(net, placement, MpiImpl::GridMpi)
+        .run(|ctx: &mut RankCtx| {
+            let site = ctx.comm_site();
+            ctx.comm_barrier(&site);
+            ctx.comm_allreduce(&site, 4096);
+            ctx.comm_allgather(&site, 1024);
+            ctx.comm_reduce(&site, 0, 64 << 10);
+            ctx.comm_bcast(&site, 0, 64 << 10);
+            // Odd split exercises the non-power-of-two fold.
+            let thirds = ctx.comm_split(|r| (r % 3) as u64);
+            ctx.comm_allreduce(&thirds, 10_000);
+            ctx.comm_barrier(&thirds);
+            ctx.barrier();
+        })
+        .unwrap();
+    assert!(report.clean);
+}
+
+#[test]
+fn hierarchical_allreduce_via_subcomms_matches_builtin_shape() {
+    // A hand-written hierarchical allreduce (site reduce → leader exchange
+    // → site bcast) should be competitive with the built-in GridAware one.
+    let (net, placement) = grid_8_8();
+    let report = MpiJob::new(net, placement, MpiImpl::GridMpi)
+        .run(|ctx: &mut RankCtx| {
+            let bytes = 256 << 10;
+            let site = ctx.comm_site();
+            let t0 = ctx.now();
+            // Hand-rolled hierarchy.
+            ctx.comm_reduce(&site, 0, bytes);
+            if site.rank() == 0 {
+                let peer = if ctx.rank() == 0 { 8 } else { 0 };
+                ctx.sendrecv(peer, bytes, peer, 77);
+            }
+            ctx.comm_bcast(&site, 0, bytes);
+            ctx.record("manual", ctx.now().since(t0).as_secs_f64());
+            ctx.barrier();
+            let t1 = ctx.now();
+            ctx.allreduce(bytes);
+            ctx.record("builtin", ctx.now().since(t1).as_secs_f64());
+        })
+        .unwrap();
+    let manual = report
+        .values("manual")
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0, f64::max);
+    let builtin = report
+        .values("builtin")
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0, f64::max);
+    assert!(
+        manual < 3.0 * builtin && builtin < 3.0 * manual,
+        "hand-rolled {manual}s vs builtin {builtin}s diverge"
+    );
+    let _ = SimDuration::ZERO;
+}

@@ -1,0 +1,189 @@
+//! Kernel network configuration — the sysctl surface the paper tunes.
+//!
+//! RR-6200 §4.2.1 tunes exactly two things at the TCP level:
+//! `/proc/sys/net/core/{rmem_max,wmem_max}` (the cap on what an application
+//! may request via `setsockopt(SO_SNDBUF/SO_RCVBUF)`) and
+//! `/proc/sys/net/ipv4/tcp_{rmem,wmem}` (the `[min, default, max]` triple
+//! that bounds kernel autotuning; the middle value is the initial size of a
+//! socket that never calls `setsockopt`). This module reproduces those
+//! semantics.
+
+use serde::{Deserialize, Serialize};
+
+/// Congestion-control algorithm. The paper's nodes ran Linux 2.6.18 with
+/// "BIC + Sack" (Table 3); Reno is provided as a baseline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CongestionControl {
+    /// Binary Increase Congestion control (Linux 2.6.18 default).
+    Bic,
+    /// Classic additive-increase/multiplicative-decrease Reno.
+    Reno,
+}
+
+/// How an application sizes a socket buffer — the three behaviours the
+/// paper encounters across MPI implementations (§4.2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SockBufRequest {
+    /// No `setsockopt`: the kernel autotunes between `tcp_*mem[0]` and
+    /// `tcp_*mem[2]` (MPICH2, MPICH-Madeleine).
+    OsDefault,
+    /// Explicit `setsockopt(bytes)`, capped by `rmem_max`/`wmem_max`;
+    /// disables autotuning (OpenMPI: 128 kB unless `-mca btl_tcp_sndbuf`
+    /// is passed).
+    Explicit(u64),
+    /// Explicitly set to the kernel default (`tcp_*mem[1]`), disabling
+    /// autotuning — the GridMPI behaviour that forces the paper to raise
+    /// the *middle* value of the triple.
+    KernelDefault,
+}
+
+/// Per-node kernel network configuration (the sysctl analogue).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// `/proc/sys/net/core/rmem_max`: cap on explicit `SO_RCVBUF` requests.
+    pub rmem_max: u64,
+    /// `/proc/sys/net/core/wmem_max`: cap on explicit `SO_SNDBUF` requests.
+    pub wmem_max: u64,
+    /// `/proc/sys/net/ipv4/tcp_rmem`: `[min, default, max]` receive triple.
+    pub tcp_rmem: [u64; 3],
+    /// `/proc/sys/net/ipv4/tcp_wmem`: `[min, default, max]` send triple.
+    pub tcp_wmem: [u64; 3],
+    /// Receive/send buffer autotuning (on by default in 2.6 kernels).
+    pub autotuning: bool,
+    /// Congestion control algorithm.
+    pub congestion_control: CongestionControl,
+    /// `tcp_slow_start_after_idle`: reset cwnd after an idle RTO.
+    pub slow_start_after_idle: bool,
+    /// Initial congestion window, in segments (2.6-era: 3).
+    pub init_cwnd_segments: u32,
+    /// Maximum segment size in bytes (Ethernet: 1448 payload).
+    pub mss: u32,
+}
+
+impl KernelConfig {
+    /// The untuned 2006-era Debian/2.6.18 defaults the paper starts from:
+    /// small `wmem` bounds that cap a long-fat-network window far below the
+    /// 1.45 MB bandwidth-delay product of the Rennes–Nancy path, producing
+    /// the "very bad" grid results of Fig. 3 (≤ 120 Mbps).
+    pub fn untuned_2007() -> Self {
+        KernelConfig {
+            rmem_max: 131_072,
+            wmem_max: 131_072,
+            tcp_rmem: [4_096, 87_380, 174_760],
+            tcp_wmem: [4_096, 16_384, 131_072],
+            autotuning: true,
+            congestion_control: CongestionControl::Bic,
+            slow_start_after_idle: true,
+            init_cwnd_segments: 3,
+            mss: 1_448,
+        }
+    }
+
+    /// The paper's tuning (§4.2.1): raise `rmem_max`/`wmem_max` and the last
+    /// value of both triples to `buf` (they use 4 MB — above the 1.45 MB
+    /// RTT×bandwidth product of the longest path, "for compatibility with
+    /// the rest of the grid").
+    pub fn tuned(buf: u64) -> Self {
+        let mut cfg = Self::untuned_2007();
+        cfg.rmem_max = buf;
+        cfg.wmem_max = buf;
+        cfg.tcp_rmem[2] = buf;
+        cfg.tcp_wmem[2] = buf;
+        cfg
+    }
+
+    /// The extra GridMPI tuning (§4.2.1): additionally raise the *middle*
+    /// value of the triples, because GridMPI pins its sockets to the kernel
+    /// default size, disabling autotuning.
+    pub fn tuned_with_default(buf: u64, middle: u64) -> Self {
+        let mut cfg = Self::tuned(buf);
+        cfg.tcp_rmem[1] = middle.min(buf);
+        cfg.tcp_wmem[1] = middle.min(buf);
+        cfg
+    }
+
+    /// Effective **send** window bound for a socket created with `req`.
+    pub fn send_buffer_bound(&self, req: SockBufRequest) -> u64 {
+        match req {
+            SockBufRequest::OsDefault => {
+                if self.autotuning {
+                    self.tcp_wmem[2]
+                } else {
+                    self.tcp_wmem[1]
+                }
+            }
+            SockBufRequest::Explicit(b) => b.min(self.wmem_max),
+            SockBufRequest::KernelDefault => self.tcp_wmem[1],
+        }
+    }
+
+    /// Effective **receive** window bound for a socket created with `req`.
+    pub fn recv_buffer_bound(&self, req: SockBufRequest) -> u64 {
+        match req {
+            SockBufRequest::OsDefault => {
+                if self.autotuning {
+                    self.tcp_rmem[2]
+                } else {
+                    self.tcp_rmem[1]
+                }
+            }
+            SockBufRequest::Explicit(b) => b.min(self.rmem_max),
+            SockBufRequest::KernelDefault => self.tcp_rmem[1],
+        }
+    }
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self::untuned_2007()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untuned_windows_are_small() {
+        let k = KernelConfig::untuned_2007();
+        // Autotuned send window ≤ 131072 B → ≈ 90 Mbps on an 11.6 ms path.
+        assert_eq!(k.send_buffer_bound(SockBufRequest::OsDefault), 131_072);
+        assert_eq!(k.recv_buffer_bound(SockBufRequest::OsDefault), 174_760);
+    }
+
+    #[test]
+    fn explicit_requests_are_capped_by_core_max() {
+        let k = KernelConfig::untuned_2007();
+        // The OpenMPI trap: asking for 4 MB without raising wmem_max.
+        assert_eq!(
+            k.send_buffer_bound(SockBufRequest::Explicit(4 << 20)),
+            131_072
+        );
+        let t = KernelConfig::tuned(4 << 20);
+        assert_eq!(
+            t.send_buffer_bound(SockBufRequest::Explicit(4 << 20)),
+            4 << 20
+        );
+    }
+
+    #[test]
+    fn kernel_default_request_ignores_autotuning_bounds() {
+        // The GridMPI trap: tuned max is irrelevant if the socket pins the
+        // default (middle) value.
+        let t = KernelConfig::tuned(4 << 20);
+        assert_eq!(t.send_buffer_bound(SockBufRequest::KernelDefault), 16_384);
+        let t2 = KernelConfig::tuned_with_default(4 << 20, 4 << 20);
+        assert_eq!(
+            t2.send_buffer_bound(SockBufRequest::KernelDefault),
+            4 << 20
+        );
+    }
+
+    #[test]
+    fn autotuning_off_pins_default() {
+        let mut k = KernelConfig::untuned_2007();
+        k.autotuning = false;
+        assert_eq!(k.send_buffer_bound(SockBufRequest::OsDefault), 16_384);
+        assert_eq!(k.recv_buffer_bound(SockBufRequest::OsDefault), 87_380);
+    }
+}

@@ -1,0 +1,600 @@
+//! Fluid max-min fair bandwidth sharing.
+//!
+//! Every in-flight message is a *flow*. A flow's instantaneous rate is the
+//! max-min fair share of the directed links it crosses, additionally capped
+//! by its TCP connection's window-limited rate (`effective_window / RTT`)
+//! and the path bottleneck. Rates are piecewise constant between
+//! *recompute points* (flow arrival, flow completion, TCP window round,
+//! RTO stall boundaries), so progress integration is exact.
+//!
+//! Transfers on the same channel (same TCP socket direction) are FIFO: a
+//! new message starts draining when the previous one has left the sender,
+//! which is how a byte-stream socket actually behaves under MPI.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use desim::{Sched, SimDuration, SimTime};
+use parking_lot::Mutex;
+
+use crate::tcp::{RoundOutcome, TcpState};
+use crate::topology::{LinkId, Path, Topology};
+
+/// Identifier of a unidirectional TCP channel created by
+/// [`crate::Network::channel`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ChannelId(pub(crate) usize);
+
+/// Callback invoked (in `Sched` context) when the last byte of a transfer
+/// reaches the receiving host.
+pub(crate) type ArrivalFn = Box<dyn FnOnce(&Sched) + Send>;
+
+pub(crate) struct PendingTransfer {
+    bytes: u64,
+    done: ArrivalFn,
+}
+
+pub(crate) struct ChannelState {
+    pub(crate) path: Path,
+    pub(crate) tcp: TcpState,
+    active: Option<usize>,
+    queue: VecDeque<PendingTransfer>,
+    stalled_until: SimTime,
+    round_gen: u64,
+    pub(crate) bytes_done: u64,
+    pub(crate) transfers: u64,
+}
+
+struct FlowState {
+    chan: usize,
+    total: u64,
+    remaining: f64,
+    rate: f64,
+    started: SimTime,
+    last_settle: SimTime,
+    done: Option<ArrivalFn>,
+}
+
+pub(crate) struct NetState {
+    pub(crate) topo: Topology,
+    pub(crate) stack_overhead: SimDuration,
+    pub(crate) channels: Vec<ChannelState>,
+    flows: Vec<Option<FlowState>>,
+    free: Vec<usize>,
+    active: Vec<usize>,
+    finish_gen: u64,
+    /// Bytes delivered over each directed link (utilization accounting).
+    pub(crate) link_delivered: Vec<f64>,
+}
+
+impl NetState {
+    pub(crate) fn new(topo: Topology, stack_overhead: SimDuration) -> NetState {
+        NetState {
+            topo,
+            stack_overhead,
+            channels: Vec::new(),
+            flows: Vec::new(),
+            free: Vec::new(),
+            active: Vec::new(),
+            finish_gen: 0,
+            link_delivered: Vec::new(),
+        }
+    }
+
+    pub(crate) fn add_channel(&mut self, path: Path, tcp: TcpState) -> ChannelId {
+        self.channels.push(ChannelState {
+            path,
+            tcp,
+            active: None,
+            queue: VecDeque::new(),
+            stalled_until: SimTime::ZERO,
+            round_gen: 0,
+            bytes_done: 0,
+            transfers: 0,
+        });
+        ChannelId(self.channels.len() - 1)
+    }
+
+    fn alloc_flow(&mut self, f: FlowState) -> usize {
+        if let Some(i) = self.free.pop() {
+            self.flows[i] = Some(f);
+            i
+        } else {
+            self.flows.push(Some(f));
+            self.flows.len() - 1
+        }
+    }
+
+    /// Integrate progress of all active flows up to `now`, crediting the
+    /// moved bytes to every link each flow crosses.
+    fn settle(&mut self, now: SimTime) {
+        if self.link_delivered.len() < self.topo.link_count() {
+            self.link_delivered.resize(self.topo.link_count(), 0.0);
+        }
+        for &fid in &self.active {
+            let f = self.flows[fid].as_mut().expect("active flow exists");
+            let dt = now.since(f.last_settle).as_secs_f64();
+            if dt > 0.0 {
+                let moved = (f.rate * dt).min(f.remaining);
+                f.remaining -= moved;
+                let chan = f.chan;
+                f.last_settle = now;
+                for &l in &self.channels[chan].path.links {
+                    self.link_delivered[l.0 as usize] += moved;
+                }
+            } else {
+                f.last_settle = now;
+            }
+        }
+    }
+
+    /// Max-min fair allocation over the directed links, honouring per-flow
+    /// caps (progressive filling with per-flow cap pseudo-links). Updates
+    /// `FlowState::rate` in place. O((flows + links) · rounds).
+    fn allocate(&mut self, now: SimTime) {
+        let n = self.active.len();
+        if n == 0 {
+            return;
+        }
+        // Per-flow caps and link membership (each flow crosses ≤ 3 links).
+        let mut caps: Vec<f64> = Vec::with_capacity(n);
+        let mut memberships: Vec<&[LinkId]> = Vec::with_capacity(n);
+        for &fid in &self.active {
+            let f = self.flows[fid].as_ref().unwrap();
+            let ch = &self.channels[f.chan];
+            let cap = if ch.stalled_until > now {
+                0.0
+            } else {
+                ch.tcp.window_rate().min(ch.path.bottleneck)
+            };
+            caps.push(cap);
+            memberships.push(&ch.path.links);
+        }
+        // Dense link table: residual capacity + unfrozen user count.
+        let mut link_index: BTreeMap<LinkId, usize> = BTreeMap::new();
+        let mut residual: Vec<f64> = Vec::new();
+        let mut users: Vec<usize> = Vec::new();
+        let mut flow_links: Vec<[usize; 3]> = Vec::with_capacity(n);
+        let mut flow_nlinks: Vec<u8> = Vec::with_capacity(n);
+        for m in &memberships {
+            let mut idxs = [usize::MAX; 3];
+            for (k, &l) in m.iter().enumerate() {
+                let li = *link_index.entry(l).or_insert_with(|| {
+                    residual.push(self.topo.link(l).capacity);
+                    users.push(0);
+                    residual.len() - 1
+                });
+                users[li] += 1;
+                idxs[k] = li;
+            }
+            flow_links.push(idxs);
+            flow_nlinks.push(m.len() as u8);
+        }
+        let mut rate = vec![0.0f64; n];
+        let mut frozen = vec![false; n];
+        let mut unfrozen = n;
+        // Freeze a flow at `r`, draining its share from its links.
+        macro_rules! freeze {
+            ($i:expr, $r:expr) => {{
+                frozen[$i] = true;
+                unfrozen -= 1;
+                rate[$i] = $r;
+                for k in 0..flow_nlinks[$i] as usize {
+                    let li = flow_links[$i][k];
+                    residual[li] = (residual[li] - $r).max(0.0);
+                    users[li] -= 1;
+                }
+            }};
+        }
+        // Stalled flows freeze at zero immediately.
+        for i in 0..n {
+            if !frozen[i] && caps[i] <= 0.0 {
+                freeze!(i, 0.0);
+            }
+        }
+        while unfrozen > 0 {
+            // Tightest link level and tightest unfrozen cap.
+            let mut link_level = f64::INFINITY;
+            let mut link_at = usize::MAX;
+            for li in 0..residual.len() {
+                if users[li] > 0 {
+                    let lvl = residual[li] / users[li] as f64;
+                    if lvl < link_level {
+                        link_level = lvl;
+                        link_at = li;
+                    }
+                }
+            }
+            let mut cap_level = f64::INFINITY;
+            for i in 0..n {
+                if !frozen[i] {
+                    cap_level = cap_level.min(caps[i]);
+                }
+            }
+            let eps = 1e-9;
+            if cap_level <= link_level * (1.0 + eps) || link_at == usize::MAX {
+                // Freeze every flow whose cap binds at this level.
+                for i in 0..n {
+                    if !frozen[i] && caps[i] <= cap_level * (1.0 + eps) {
+                        let r = caps[i];
+                        freeze!(i, r);
+                    }
+                }
+            } else {
+                // Freeze every unfrozen flow crossing the bottleneck link.
+                for i in 0..n {
+                    if !frozen[i]
+                        && flow_links[i][..flow_nlinks[i] as usize].contains(&link_at)
+                    {
+                        freeze!(i, link_level);
+                    }
+                }
+            }
+        }
+        for (i, &fid) in self.active.iter().enumerate() {
+            self.flows[fid].as_mut().unwrap().rate = rate[i];
+        }
+    }
+
+    /// True if `flow`'s allocation could change when its window cap moves:
+    /// i.e. the cap is currently (nearly) binding.
+    fn cap_is_binding(&self, fid: usize, now: SimTime) -> bool {
+        let f = self.flows[fid].as_ref().unwrap();
+        let ch = &self.channels[f.chan];
+        if ch.stalled_until > now {
+            return true;
+        }
+        let cap = ch.tcp.window_rate().min(ch.path.bottleneck);
+        f.rate >= cap * 0.999
+    }
+}
+
+/// Number of currently active flows crossing `link`.
+fn self_active_on_link(g: &NetState, link: LinkId) -> usize {
+    g.active
+        .iter()
+        .filter(|&&fid| {
+            let f = g.flows[fid].as_ref().expect("active flow exists");
+            g.channels[f.chan].path.links.first() == Some(&link)
+        })
+        .count()
+}
+
+pub(crate) type SharedNet = Arc<Mutex<NetState>>;
+
+/// Enqueue a transfer on `ch`; the returned trigger fires when the last
+/// byte reaches the receiver.
+pub(crate) fn start_transfer(
+    net: &SharedNet,
+    s: &Sched,
+    ch: ChannelId,
+    bytes: u64,
+    done: ArrivalFn,
+) {
+    let now = s.now();
+    let mut g = net.lock();
+    g.channels[ch.0].queue.push_back(PendingTransfer {
+        bytes: bytes.max(1),
+        done,
+    });
+    if g.channels[ch.0].active.is_none() && g.channels[ch.0].stalled_until <= now {
+        g.settle(now);
+        activate_next(&mut g, net, s, ch.0, now);
+        reallocate(&mut g, net, s, now);
+    }
+}
+
+/// Start the next queued transfer on an idle channel. Caller must settle
+/// first and reallocate afterwards.
+fn activate_next(g: &mut NetState, net: &SharedNet, s: &Sched, ch: usize, now: SimTime) {
+    let Some(pt) = g.channels[ch].queue.pop_front() else {
+        return;
+    };
+    g.channels[ch].tcp.on_transfer_start(now);
+    // One-time burst credit: the first window's worth of bytes leaves at
+    // line rate rather than at the ack-clocked fluid rate, so a
+    // window-limited transfer of B bytes costs
+    // `rtt/2 + W/line + (B-W)/(W/rtt)` as real TCP does. We charge the
+    // difference by discounting the initial backlog.
+    let remaining = {
+        // Concurrent flows on the same first link (the sender's uplink)
+        // share the line: their initial bursts cannot all ride a full
+        // pipe, so the credit shrinks with the occupancy.
+        let sharing = g.channels[ch]
+            .path
+            .links
+            .first()
+            .map(|&l0| {
+                1 + self_active_on_link(g, l0)
+            })
+            .unwrap_or(1) as f64;
+        let c = &g.channels[ch];
+        let w = c.tcp.effective_window() as f64;
+        let line_bdp = c.path.bottleneck * c.tcp.params().rtt.as_secs_f64() / sharing;
+        let factor = (1.0 - w / line_bdp.max(1.0)).max(0.0);
+        let credit = (pt.bytes as f64).min(w) * factor;
+        // The credited bytes still cross the wire: account them to the
+        // links now since `settle` will never see them.
+        if g.link_delivered.len() < g.topo.link_count() {
+            g.link_delivered.resize(g.topo.link_count(), 0.0);
+        }
+        let links = g.channels[ch].path.links.clone();
+        for l in links {
+            g.link_delivered[l.index()] += credit;
+        }
+        (pt.bytes as f64 - credit).max(1e-3)
+    };
+    let fid = g.alloc_flow(FlowState {
+        chan: ch,
+        total: pt.bytes,
+        remaining,
+        rate: 0.0,
+        started: now,
+        last_settle: now,
+        done: Some(pt.done),
+    });
+    g.active.push(fid);
+    g.channels[ch].active = Some(fid);
+    g.channels[ch].transfers += 1;
+    g.channels[ch].round_gen += 1;
+    schedule_round(g, net, s, ch, now);
+}
+
+fn schedule_round(g: &mut NetState, net: &SharedNet, s: &Sched, ch: usize, now: SimTime) {
+    let c = &g.channels[ch];
+    if c.tcp.saturated() {
+        return; // Flow-control-bound: the window will never move again.
+    }
+    let gen = c.round_gen;
+    let at = now + c.tcp.params().rtt;
+    let net2 = Arc::clone(net);
+    s.call_at(at, move |s2| round_event(&net2, s2, ch, gen));
+}
+
+fn round_event(net: &SharedNet, s: &Sched, ch: usize, gen: u64) {
+    let now = s.now();
+    let mut g = net.lock();
+    if g.channels[ch].round_gen != gen || g.channels[ch].active.is_none() {
+        return;
+    }
+    if g.channels[ch].stalled_until > now {
+        return; // The stall-clear event resumes rounds.
+    }
+    g.settle(now);
+    let was_binding = g.channels[ch]
+        .active
+        .map(|fid| g.cap_is_binding(fid, now))
+        .unwrap_or(false);
+    match g.channels[ch].tcp.on_round() {
+        RoundOutcome::Progress => {
+            // Window growth only changes the allocation if the window cap
+            // was actually the binding constraint.
+            if was_binding {
+                reallocate(&mut g, net, s, now);
+            }
+            schedule_round(&mut g, net, s, ch, now);
+        }
+        RoundOutcome::FastRecovery => {
+            reallocate(&mut g, net, s, now);
+            schedule_round(&mut g, net, s, ch, now);
+        }
+        RoundOutcome::RtoStall(d) => {
+            let until = now + d;
+            g.channels[ch].stalled_until = until;
+            reallocate(&mut g, net, s, now);
+            let net2 = Arc::clone(net);
+            s.call_at(until, move |s2| stall_clear(&net2, s2, ch, gen));
+        }
+    }
+}
+
+/// Wake a channel whose post-completion RTO stall has elapsed.
+fn resume_channel(net: &SharedNet, s: &Sched, ch: usize) {
+    let now = s.now();
+    let mut g = net.lock();
+    if g.channels[ch].stalled_until > now || g.channels[ch].active.is_some() {
+        return;
+    }
+    g.settle(now);
+    activate_next(&mut g, net, s, ch, now);
+    reallocate(&mut g, net, s, now);
+}
+
+fn stall_clear(net: &SharedNet, s: &Sched, ch: usize, gen: u64) {
+    let now = s.now();
+    let mut g = net.lock();
+    if g.channels[ch].round_gen != gen {
+        return;
+    }
+    g.settle(now);
+    if g.channels[ch].active.is_some() {
+        reallocate(&mut g, net, s, now);
+        schedule_round(&mut g, net, s, ch, now);
+    } else if g.channels[ch].queue.front().is_some() {
+        activate_next(&mut g, net, s, ch, now);
+        reallocate(&mut g, net, s, now);
+    }
+}
+
+/// Recompute rates and (re)schedule the earliest-finish event.
+fn reallocate(g: &mut NetState, net: &SharedNet, s: &Sched, now: SimTime) {
+    g.allocate(now);
+    g.finish_gen += 1;
+    let gen = g.finish_gen;
+    let mut earliest: Option<SimTime> = None;
+    for &fid in &g.active {
+        let f = g.flows[fid].as_ref().unwrap();
+        if f.rate > 0.0 {
+            let t = now
+                + SimDuration::from_secs_f64(f.remaining / f.rate)
+                + SimDuration::from_nanos(1);
+            earliest = Some(match earliest {
+                Some(e) => e.min(t),
+                None => t,
+            });
+        }
+    }
+    if let Some(at) = earliest {
+        let net2 = Arc::clone(net);
+        s.call_at(at, move |s2| finish_event(&net2, s2, gen));
+    }
+}
+
+fn finish_event(net: &SharedNet, s: &Sched, gen: u64) {
+    let now = s.now();
+    let mut g = net.lock();
+    if g.finish_gen != gen {
+        return; // Superseded by a later reallocation.
+    }
+    g.settle(now);
+    // Collect finished flows.
+    let finished: Vec<usize> = g
+        .active
+        .iter()
+        .copied()
+        .filter(|&fid| g.flows[fid].as_ref().unwrap().remaining < 0.5)
+        .collect();
+    let mut fires: Vec<(ArrivalFn, SimTime)> = Vec::new();
+    for fid in finished {
+        g.active.retain(|&x| x != fid);
+        let mut f = g.flows[fid].take().expect("finished flow exists");
+        g.free.push(fid);
+        let ch = f.chan;
+        g.channels[ch].bytes_done += f.total;
+        if now.since(f.started) < g.channels[ch].tcp.params().rtt {
+            // The flow never lived through a window round: apply the
+            // ack-clocked growth it earned. A first-burst overshoot on an
+            // unpaced WAN path stalls the channel for one RTO.
+            if let Some(stall) = g.channels[ch].tcp.on_short_ack(f.total) {
+                let until = now + stall;
+                g.channels[ch].stalled_until = until;
+                g.channels[ch].round_gen += 1;
+                let net2 = Arc::clone(net);
+                s.call_at(until, move |s2| resume_channel(&net2, s2, ch));
+            }
+        }
+        let one_way = g.channels[ch].path.rtt / 2;
+        let arrival = now + one_way + g.stack_overhead;
+        if let Some(done) = f.done.take() {
+            fires.push((done, arrival));
+        }
+        g.channels[ch].tcp.touch(now);
+        g.channels[ch].active = None;
+        g.channels[ch].round_gen += 1;
+        if g.channels[ch].stalled_until <= now {
+            activate_next(&mut g, net, s, ch, now);
+        }
+        // A stalled channel resumes from stall_clear.
+    }
+    reallocate(&mut g, net, s, now);
+    drop(g);
+    for (done, at) in fires {
+        s.call_at(at, done);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KernelConfig;
+    use crate::tcp::TcpParams;
+    use crate::topology::{NodeParams, SiteParams};
+
+    fn mk_state() -> NetState {
+        let mut t = Topology::new();
+        let s1 = t.add_site("a", SiteParams::default());
+        let _n = t.add_node(s1, NodeParams::default());
+        NetState::new(t, SimDuration::from_micros(11))
+    }
+
+    fn flow_params(cap_window: u64) -> TcpParams {
+        TcpParams {
+            mss: 1448,
+            init_cwnd: u64::MAX / 4, // effectively no slow start for this test
+            cc: KernelConfig::untuned_2007().congestion_control,
+            pacing: false,
+            max_window: cap_window,
+            rtt: SimDuration::from_micros(100),
+            bdp: 1 << 30,
+            queue_bytes: 1 << 30,
+            wan: false,
+            slow_start_after_idle: false,
+            rto: SimDuration::from_millis(200),
+            smax_paced_segments: 8.0,
+            smax_unpaced_segments: 2.0,
+            beta: 0.8,
+        }
+    }
+
+    #[test]
+    fn waterfill_equal_share_on_common_link() {
+        let mut g = mk_state();
+        // Two flows, both crossing one 100-unit link, generous caps.
+        let link = {
+            let mut t = Topology::new();
+            let s = t.add_site("x", SiteParams::default());
+            let a = t.add_node(s, NodeParams::default());
+            let b = t.add_node(s, NodeParams::default());
+            let p = t.route(a, b);
+            g.topo = t;
+            p
+        };
+        for _ in 0..2 {
+            let ch = g.add_channel(link.clone(), TcpState::new(flow_params(1 << 30)));
+            let fid = g.alloc_flow(FlowState {
+                chan: ch.0,
+                total: 1_000_000,
+                remaining: 1e6,
+                rate: 0.0,
+                started: SimTime::ZERO,
+                last_settle: SimTime::ZERO,
+                done: None,
+            });
+            g.active.push(fid);
+        }
+        g.allocate(SimTime::ZERO);
+        let r0 = g.flows[0].as_ref().unwrap().rate;
+        let r1 = g.flows[1].as_ref().unwrap().rate;
+        let nic = NodeParams::default().nic_bytes_per_sec;
+        assert!((r0 - r1).abs() < 1.0, "fair shares differ: {r0} vs {r1}");
+        // Both cross the same uplink: each gets half the NIC.
+        assert!((r0 - nic / 2.0).abs() < 1.0, "r0={r0} nic/2={}", nic / 2.0);
+    }
+
+    #[test]
+    fn waterfill_respects_window_cap() {
+        let mut g = mk_state();
+        let (path, _) = {
+            let mut t = Topology::new();
+            let s = t.add_site("x", SiteParams::default());
+            let a = t.add_node(s, NodeParams::default());
+            let b = t.add_node(s, NodeParams::default());
+            let p = t.route(a, b);
+            g.topo = t;
+            (p, ())
+        };
+        // Flow 0 window-capped well below its fair share; flow 1 takes over
+        // the slack.
+        let small_window = 2_896; // 2 MSS / 100 µs ≈ 29 MB/s
+        let ch0 = g.add_channel(path.clone(), TcpState::new(flow_params(small_window)));
+        let ch1 = g.add_channel(path.clone(), TcpState::new(flow_params(1 << 30)));
+        for ch in [ch0, ch1] {
+            let fid = g.alloc_flow(FlowState {
+                chan: ch.0,
+                total: 1_000_000,
+                remaining: 1e6,
+                rate: 0.0,
+                started: SimTime::ZERO,
+                last_settle: SimTime::ZERO,
+                done: None,
+            });
+            g.active.push(fid);
+        }
+        g.allocate(SimTime::ZERO);
+        let r0 = g.flows[0].as_ref().unwrap().rate;
+        let r1 = g.flows[1].as_ref().unwrap().rate;
+        let nic = NodeParams::default().nic_bytes_per_sec;
+        assert!((r0 - 2.896e7).abs() < 10.0, "r0={r0}");
+        assert!((r1 - (nic - 2.896e7)).abs() < 10.0, "r1={r1}");
+    }
+}

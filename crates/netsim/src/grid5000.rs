@@ -1,0 +1,207 @@
+//! Grid'5000 presets matching the paper's testbed.
+//!
+//! * [`grid5000_pair`] — the Rennes + Nancy configuration of Fig. 2 used
+//!   for the pingpong and NPB experiments (1 Gbps NICs, 11.6 ms RTT,
+//!   10 Gbps RENATER backbone).
+//! * [`grid5000_four_sites`] — the four-site configuration of Fig. 8 used
+//!   for ray2mesh (Rennes, Nancy, Toulouse, Sophia with the measured RTT
+//!   matrix).
+//!
+//! CPU rates follow the paper's ordering "Nancy < Rennes, Toulouse <
+//! Sophia" (§4.4) with Table 3's Opteron 246/248 clocks.
+
+use desim::SimDuration;
+
+use crate::topology::{NodeId, NodeParams, SiteId, SiteParams, Topology, GIGABIT_GOODPUT};
+
+/// The four Grid'5000 sites used by the paper's experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Grid5000Site {
+    /// AMD Opteron 248, 2.2 GHz (Sun Fire V20z).
+    Rennes,
+    /// AMD Opteron 246, 2.0 GHz (HP ProLiant DL145G2).
+    Nancy,
+    /// Ordered with Rennes by the paper ("Nancy < Rennes, Toulouse <").
+    Toulouse,
+    /// The most powerful cluster in the ray2mesh runs (computes the most
+    /// rays in Table 6).
+    Sophia,
+}
+
+impl Grid5000Site {
+    /// All four sites in the paper's enumeration order.
+    pub const ALL: [Grid5000Site; 4] = [
+        Grid5000Site::Rennes,
+        Grid5000Site::Nancy,
+        Grid5000Site::Toulouse,
+        Grid5000Site::Sophia,
+    ];
+
+    /// Site name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Grid5000Site::Rennes => "rennes",
+            Grid5000Site::Nancy => "nancy",
+            Grid5000Site::Toulouse => "toulouse",
+            Grid5000Site::Sophia => "sophia",
+        }
+    }
+
+    /// Modelled per-node compute rate, Gflop/s. Absolute values are
+    /// arbitrary; the ratios implement the paper's cluster power ordering.
+    pub fn cpu_gflops(self) -> f64 {
+        match self {
+            Grid5000Site::Nancy => 2.0,
+            Grid5000Site::Rennes => 2.2,
+            Grid5000Site::Toulouse => 2.2,
+            Grid5000Site::Sophia => 2.7,
+        }
+    }
+
+    /// Index into [`GRID5000_RTT_MS`].
+    pub fn index(self) -> usize {
+        match self {
+            Grid5000Site::Rennes => 0,
+            Grid5000Site::Nancy => 1,
+            Grid5000Site::Toulouse => 2,
+            Grid5000Site::Sophia => 3,
+        }
+    }
+}
+
+/// Measured node-to-node RTTs in milliseconds between the four sites
+/// (paper Fig. 8; Rennes–Nancy also in §3.2). Indexed by
+/// `[Grid5000Site::index()][Grid5000Site::index()]`.
+pub const GRID5000_RTT_MS: [[f64; 4]; 4] = [
+    //            Rennes Nancy Toulouse Sophia
+    /* Rennes  */ [0.0, 11.6, 17.2, 19.2],
+    /* Nancy   */ [11.6, 0.0, 17.8, 14.5],
+    /* Toulouse*/ [17.2, 17.8, 0.0, 19.9],
+    /* Sophia  */ [19.2, 14.5, 19.9, 0.0],
+];
+
+/// RENATER backbone goodput per direction (10 GbE links in Fig. 1).
+const WAN_GOODPUT: f64 = 9.4e9 / 8.0;
+
+/// Bottleneck router queue on WAN paths. Together with the BDP this sets
+/// where slow-start overshoot losses happen (Fig. 9).
+const WAN_QUEUE_BYTES: u64 = 512 * 1024;
+
+fn node_params(site: Grid5000Site) -> NodeParams {
+    NodeParams {
+        nic_bytes_per_sec: GIGABIT_GOODPUT,
+        cpu_gflops: site.cpu_gflops(),
+        kernel: crate::KernelConfig::untuned_2007(),
+    }
+}
+
+/// The paper's two-site testbed (Fig. 2): `nodes_per_site` hosts in Rennes
+/// and in Nancy. Returns the topology and the node lists
+/// `(rennes_nodes, nancy_nodes)`.
+pub fn grid5000_pair(nodes_per_site: usize) -> (Topology, Vec<NodeId>, Vec<NodeId>) {
+    grid5000_pair_with_queue(nodes_per_site, WAN_QUEUE_BYTES)
+}
+
+/// [`grid5000_pair`] with an explicit WAN bottleneck queue depth — the
+/// ablation knob for the burst-loss model.
+pub fn grid5000_pair_with_queue(
+    nodes_per_site: usize,
+    wan_queue_bytes: u64,
+) -> (Topology, Vec<NodeId>, Vec<NodeId>) {
+    let mut t = Topology::new();
+    let rennes = t.add_site(Grid5000Site::Rennes.name(), SiteParams::default());
+    let nancy = t.add_site(Grid5000Site::Nancy.name(), SiteParams::default());
+    let rn: Vec<NodeId> = (0..nodes_per_site)
+        .map(|_| t.add_node(rennes, node_params(Grid5000Site::Rennes)))
+        .collect();
+    let nn: Vec<NodeId> = (0..nodes_per_site)
+        .map(|_| t.add_node(nancy, node_params(Grid5000Site::Nancy)))
+        .collect();
+    t.connect_sites(
+        rennes,
+        nancy,
+        SimDuration::from_secs_f64(GRID5000_RTT_MS[0][1] / 1e3),
+        WAN_GOODPUT,
+        wan_queue_bytes,
+    );
+    (t, rn, nn)
+}
+
+/// The paper's four-site ray2mesh testbed (Fig. 8): `nodes_per_site` hosts
+/// per site, all site pairs connected with the measured RTTs. Returns the
+/// topology, the per-site `SiteId`s in [`Grid5000Site::ALL`] order, and
+/// per-site node lists.
+pub fn grid5000_four_sites(
+    nodes_per_site: usize,
+) -> (Topology, Vec<SiteId>, Vec<Vec<NodeId>>) {
+    let mut t = Topology::new();
+    let mut site_ids = Vec::new();
+    let mut nodes = Vec::new();
+    for site in Grid5000Site::ALL {
+        let sid = t.add_site(site.name(), SiteParams::default());
+        site_ids.push(sid);
+        nodes.push(
+            (0..nodes_per_site)
+                .map(|_| t.add_node(sid, node_params(site)))
+                .collect::<Vec<_>>(),
+        );
+    }
+    for (i, &a) in site_ids.iter().enumerate() {
+        for (j, &b) in site_ids.iter().enumerate().skip(i + 1) {
+            t.connect_sites(
+                a,
+                b,
+                SimDuration::from_secs_f64(GRID5000_RTT_MS[i][j] / 1e3),
+                WAN_GOODPUT,
+                WAN_QUEUE_BYTES,
+            );
+        }
+    }
+    (t, site_ids, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_preset_matches_paper_numbers() {
+        let (t, rn, nn) = grid5000_pair(8);
+        assert_eq!(t.node_count(), 16);
+        let p = t.route(rn[0], nn[0]);
+        assert_eq!(p.rtt.as_micros(), 11_600);
+        // The paper: max bandwidth between one Rennes and one Nancy process
+        // is 1 Gbps (the NIC), not the 10 Gbps WAN.
+        assert_eq!(p.bottleneck, GIGABIT_GOODPUT);
+        // Intra-site stays LAN-fast.
+        let lan = t.route(rn[0], rn[1]);
+        assert_eq!(lan.rtt.as_micros(), 60);
+    }
+
+    #[test]
+    fn four_sites_rtt_matrix_is_symmetric_and_applied() {
+        let (t, _sites, nodes) = grid5000_four_sites(2);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(GRID5000_RTT_MS[i][j], GRID5000_RTT_MS[j][i]);
+                if i != j {
+                    let p = t.route(nodes[i][0], nodes[j][0]);
+                    let expect_us = (GRID5000_RTT_MS[i][j] * 1e3) as i64;
+                    let got = p.rtt.as_micros() as i64;
+                    assert!((got - expect_us).abs() <= 1, "sites {i}->{j}: {got} vs {expect_us}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_ordering_follows_paper() {
+        // "Nancy < Rennes, Toulouse < Sophia" (§4.4).
+        assert!(Grid5000Site::Nancy.cpu_gflops() < Grid5000Site::Rennes.cpu_gflops());
+        assert_eq!(
+            Grid5000Site::Rennes.cpu_gflops(),
+            Grid5000Site::Toulouse.cpu_gflops()
+        );
+        assert!(Grid5000Site::Toulouse.cpu_gflops() < Grid5000Site::Sophia.cpu_gflops());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the fluid bandwidth-sharing engine and the TCP
+//! state machine.
+
+use desim::{Sim, SimDuration};
+use netsim::{
+    CongestionControl, KernelConfig, Network, NodeId, NodeParams, SiteParams, SockBufRequest,
+    TcpParams, TcpState, Topology,
+};
+use proptest::prelude::*;
+
+fn star_topology(nodes: usize, buf: u64) -> (Network, Vec<NodeId>) {
+    let mut t = Topology::new();
+    let s = t.add_site("hub", SiteParams::default());
+    let ids: Vec<NodeId> = (0..nodes).map(|_| t.add_node(s, NodeParams::default())).collect();
+    t.set_kernel_all(KernelConfig::tuned(buf));
+    (Network::new(t), ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// N concurrent equal flows into one receiver share its downlink: the
+    /// aggregate completion time is ≈ N × the single-flow time, never
+    /// faster (capacity conservation).
+    #[test]
+    fn incast_conserves_capacity(n in 2usize..8, kb in 64u64..4096) {
+        let bytes = kb * 1024;
+        let single = {
+            let (net, ids) = star_topology(2, 8 << 20);
+            timed_flows(&net, &[(ids[1], ids[0], bytes)])
+        };
+        let (net, ids) = star_topology(n + 1, 8 << 20);
+        let flows: Vec<(NodeId, NodeId, u64)> =
+            (1..=n).map(|i| (ids[i], ids[0], bytes)).collect();
+        let aggregate = timed_flows(&net, &flows);
+        // Serialisation on the shared downlink dominates: at least
+        // (N-1) extra transfer times beyond latency.
+        let drain = bytes as f64 / 117.5e6;
+        prop_assert!(
+            aggregate + 1e-6 >= single + (n as f64 - 1.0) * drain * 0.95,
+            "n={n} aggregate={aggregate} single={single} drain={drain}"
+        );
+    }
+
+    /// Disjoint pairs don't interfere: k independent transfers finish in
+    /// single-transfer time.
+    #[test]
+    fn disjoint_pairs_run_in_parallel(k in 1usize..5, kb in 64u64..2048) {
+        let bytes = kb * 1024;
+        let single = {
+            let (net, ids) = star_topology(2, 8 << 20);
+            timed_flows(&net, &[(ids[0], ids[1], bytes)])
+        };
+        let (net, ids) = star_topology(2 * k, 8 << 20);
+        let flows: Vec<(NodeId, NodeId, u64)> =
+            (0..k).map(|i| (ids[2 * i], ids[2 * i + 1], bytes)).collect();
+        let parallel = timed_flows(&net, &flows);
+        prop_assert!(
+            (parallel - single).abs() < single * 0.01 + 1e-6,
+            "k={k}: parallel={parallel} single={single}"
+        );
+    }
+
+    /// The TCP window never exceeds flow-control bounds and never drops
+    /// below one segment, across arbitrary round sequences.
+    #[test]
+    fn window_stays_in_bounds(rounds in 1u32..4000, max_window_kb in 8u64..8192) {
+        let params = TcpParams {
+            mss: 1448,
+            init_cwnd: 3 * 1448,
+            cc: CongestionControl::Bic,
+            pacing: false,
+            max_window: max_window_kb * 1024,
+            rtt: SimDuration::from_micros(11_600),
+            bdp: 1_363_000,
+            queue_bytes: 512 * 1024,
+            wan: true,
+            slow_start_after_idle: true,
+            rto: SimDuration::from_millis(200),
+            smax_paced_segments: 32.0,
+            smax_unpaced_segments: 32.0,
+            beta: 0.8,
+        };
+        let mut t = TcpState::new(params);
+        for _ in 0..rounds {
+            t.on_round();
+            let w = t.effective_window();
+            prop_assert!(w >= 1448, "window fell below one MSS: {w}");
+            prop_assert!(
+                w <= max_window_kb * 1024 || w == 1448,
+                "window exceeded flow control: {w}"
+            );
+        }
+    }
+
+    /// Reno never ramps faster than BIC from the same loss state.
+    #[test]
+    fn reno_is_never_faster_than_bic(rounds in 50u32..2000) {
+        fn window_after(cc: CongestionControl, rounds: u32) -> u64 {
+            let params = TcpParams {
+                mss: 1448,
+                init_cwnd: 3 * 1448,
+                cc,
+                pacing: true,
+                max_window: 8 << 20,
+                rtt: SimDuration::from_micros(11_600),
+                bdp: 1_363_000,
+                queue_bytes: 512 * 1024,
+                wan: true,
+                slow_start_after_idle: true,
+                rto: SimDuration::from_millis(200),
+                smax_paced_segments: 32.0,
+                smax_unpaced_segments: 32.0,
+                beta: 0.8,
+            };
+            let mut t = TcpState::new(params);
+            for _ in 0..rounds {
+                t.on_round();
+            }
+            t.effective_window()
+        }
+        let bic = window_after(CongestionControl::Bic, rounds);
+        let reno = window_after(CongestionControl::Reno, rounds);
+        // Within a sawtooth both oscillate; compare conservatively.
+        prop_assert!(reno <= bic.saturating_mul(2), "reno={reno} bic={bic}");
+    }
+}
+
+/// Run a set of flows to completion, returning the virtual makespan.
+fn timed_flows(net: &Network, flows: &[(NodeId, NodeId, u64)]) -> f64 {
+    let sim = Sim::new();
+    for (i, &(a, b, bytes)) in flows.iter().enumerate() {
+        let net = net.clone();
+        sim.spawn(format!("f{i}"), move |p| {
+            let ch = net.channel(
+                a,
+                b,
+                SockBufRequest::OsDefault,
+                SockBufRequest::OsDefault,
+                true,
+            );
+            net.transfer_blocking(&p, ch, bytes);
+        });
+    }
+    sim.run().unwrap().as_secs_f64()
+}

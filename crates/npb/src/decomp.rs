@@ -1,0 +1,84 @@
+//! Processor-grid decompositions shared by the benchmark skeletons.
+
+/// Near-square 2D factorisation of a power-of-two process count:
+/// `(rows, cols)` with `cols >= rows` and `rows * cols == p`.
+pub(crate) fn grid2d(p: usize) -> (usize, usize) {
+    assert!(p.is_power_of_two(), "NPB process counts are powers of two");
+    let lg = p.trailing_zeros();
+    let rows = 1 << (lg / 2);
+    let cols = p / rows;
+    (rows, cols)
+}
+
+/// 3D factorisation `(px, py, pz)` with `px >= py >= pz`.
+pub(crate) fn grid3d(p: usize) -> (usize, usize, usize) {
+    assert!(p.is_power_of_two());
+    let lg = p.trailing_zeros() as usize;
+    let px = 1 << (lg.div_ceil(3));
+    let rest = p / px;
+    let py = 1 << ((rest.trailing_zeros() as usize).div_ceil(2));
+    let pz = rest / py;
+    (px, py, pz)
+}
+
+/// Rank ↔ 2D coordinates (row-major).
+pub(crate) fn coords2d(rank: usize, cols: usize) -> (usize, usize) {
+    (rank / cols, rank % cols)
+}
+
+pub(crate) fn rank2d(row: usize, col: usize, cols: usize) -> usize {
+    row * cols + col
+}
+
+/// Rank ↔ 3D coordinates (x fastest).
+pub(crate) fn coords3d(rank: usize, px: usize, py: usize) -> (usize, usize, usize) {
+    let x = rank % px;
+    let y = (rank / px) % py;
+    let z = rank / (px * py);
+    (x, y, z)
+}
+
+pub(crate) fn rank3d(x: usize, y: usize, z: usize, px: usize, py: usize) -> usize {
+    z * px * py + y * px + x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2d_factors() {
+        assert_eq!(grid2d(1), (1, 1));
+        assert_eq!(grid2d(2), (1, 2));
+        assert_eq!(grid2d(4), (2, 2));
+        assert_eq!(grid2d(8), (2, 4));
+        assert_eq!(grid2d(16), (4, 4));
+        assert_eq!(grid2d(32), (4, 8));
+    }
+
+    #[test]
+    fn grid3d_factors() {
+        for p in [1usize, 2, 4, 8, 16, 32, 64] {
+            let (px, py, pz) = grid3d(p);
+            assert_eq!(px * py * pz, p, "p={p}");
+            assert!(px >= py && py >= pz, "p={p}: ({px},{py},{pz})");
+        }
+        assert_eq!(grid3d(16), (4, 2, 2));
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let (rows, cols) = grid2d(16);
+        for r in 0..16 {
+            let (i, j) = coords2d(r, cols);
+            assert!(i < rows && j < cols);
+            assert_eq!(rank2d(i, j, cols), r);
+        }
+        let (px, py, pz) = grid3d(16);
+        for r in 0..16 {
+            let (x, y, z) = coords3d(r, px, py);
+            assert!(x < px && y < py && z < pz);
+            assert_eq!(rank3d(x, y, z, px, py), r);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! NPB skeleton integration tests: every kernel completes cleanly for
+//! every implementation, and message profiles match the paper's Table 2.
+
+use mpisim::{MpiImpl, MpiJob, Tuning};
+use netsim::{grid5000_pair, KernelConfig, Network};
+use npb::{NasBenchmark, NasClass, NasRun};
+
+fn grid_job(nodes_per_site: usize, ranks: usize, id: MpiImpl, tuned: bool) -> MpiJob {
+    let (mut topo, rn, nn) = grid5000_pair(nodes_per_site);
+    if tuned {
+        topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+    }
+    let mut placement: Vec<_> = rn.into_iter().take(ranks / 2).collect();
+    placement.extend(nn.into_iter().take(ranks - ranks / 2));
+    MpiJob::new(Network::new(topo), placement, id)
+}
+
+fn cluster_job(ranks: usize, id: MpiImpl) -> MpiJob {
+    let (topo, rn, _) = grid5000_pair(ranks);
+    MpiJob::new(Network::new(topo), rn, id)
+}
+
+#[test]
+fn every_kernel_completes_on_a_cluster_class_s() {
+    for bench in NasBenchmark::ALL {
+        for np in [4usize, 16] {
+            let run = NasRun::quick(bench, NasClass::S);
+            let report = cluster_job(np, MpiImpl::Mpich2)
+                .run(run.program())
+                .unwrap();
+            assert!(report.clean, "{} np={np} left messages", bench.name());
+            let t = run.estimate(&report);
+            assert!(t.as_nanos() > 0, "{} np={np}", bench.name());
+        }
+    }
+}
+
+#[test]
+fn every_impl_runs_class_s_on_the_grid() {
+    for id in MpiImpl::ALL {
+        for bench in NasBenchmark::ALL {
+            let run = NasRun::quick(bench, NasClass::S);
+            let report = grid_job(2, 4, id, true)
+                .with_tuning(Tuning::paper_tuned(id))
+                .run(run.program())
+                .unwrap();
+            assert!(report.clean, "{:?} {}", id, bench.name());
+        }
+    }
+}
+
+#[test]
+fn lu_message_sizes_match_table2() {
+    // Class B on 16 ranks: 960 B < msg < 1040 B point-to-point messages.
+    let run = NasRun::quick(NasBenchmark::Lu, NasClass::B);
+    let report = cluster_job(16, MpiImpl::Mpich2).run(run.program()).unwrap();
+    let sizes: Vec<u64> = report.stats.p2p_sizes.keys().copied().collect();
+    let wavefront: Vec<u64> = sizes.iter().copied().filter(|&s| s > 500).collect();
+    assert!(!wavefront.is_empty());
+    for s in wavefront {
+        assert!(
+            (960..=1040).contains(&s),
+            "LU message size {s} outside Table 2 range"
+        );
+    }
+}
+
+#[test]
+fn cg_big_messages_match_table2() {
+    // Class B on 16 ranks: ~147 kB transpose/row messages + 8 B dots.
+    let run = NasRun::quick(NasBenchmark::Cg, NasClass::B);
+    let report = cluster_job(16, MpiImpl::Mpich2).run(run.program()).unwrap();
+    assert!(report.stats.p2p_sizes.contains_key(&8));
+    let big: Vec<u64> = report
+        .stats
+        .p2p_sizes
+        .keys()
+        .copied()
+        .filter(|&s| s > 100_000)
+        .collect();
+    assert_eq!(big, vec![150_000], "CG vector segment ≈ 147 kB");
+}
+
+#[test]
+fn bt_sp_sizes_match_table2() {
+    for (bench, lo, hi) in [
+        (NasBenchmark::Bt, 146 << 10, 156 << 10),
+        (NasBenchmark::Sp, 100 << 10, 160 << 10),
+    ] {
+        let run = NasRun::quick(bench, NasClass::B);
+        let report = cluster_job(16, MpiImpl::Mpich2).run(run.program()).unwrap();
+        let biggest = *report.stats.p2p_sizes.keys().max().unwrap();
+        assert!(
+            (lo..=hi).contains(&biggest),
+            "{} biggest message {biggest} outside [{lo}, {hi}]",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn is_and_ft_are_collective_dominated() {
+    for bench in [NasBenchmark::Is, NasBenchmark::Ft] {
+        let run = NasRun::quick(bench, NasClass::A);
+        let report = cluster_job(16, MpiImpl::Mpich2).run(run.program()).unwrap();
+        assert!(
+            report.stats.collective_messages() > 0,
+            "{} must use collectives",
+            bench.name()
+        );
+        assert!(bench.is_collective());
+    }
+    // FT's collectives include bcast; IS's include allreduce + alltoallv.
+    let ft = cluster_job(16, MpiImpl::Mpich2)
+        .run(NasRun::quick(NasBenchmark::Ft, NasClass::A).program())
+        .unwrap();
+    assert!(ft
+        .stats
+        .collective_calls
+        .keys()
+        .any(|(op, _)| op == "bcast"));
+    let is = cluster_job(16, MpiImpl::Mpich2)
+        .run(NasRun::quick(NasBenchmark::Is, NasClass::A).program())
+        .unwrap();
+    for op in ["allreduce", "alltoall", "alltoallv"] {
+        assert!(
+            is.stats.collective_calls.keys().any(|(o, _)| o == op),
+            "IS missing {op}"
+        );
+    }
+}
+
+#[test]
+fn ep_barely_communicates() {
+    let run = NasRun::quick(NasBenchmark::Ep, NasClass::B);
+    let report = cluster_job(16, MpiImpl::Mpich2).run(run.program()).unwrap();
+    // Table 2: only 8 B and 80 B messages.
+    for &sz in report.stats.p2p_sizes.keys() {
+        assert!(sz <= 80, "EP sent a {sz}-byte message");
+    }
+    assert!(report.stats.p2p_bytes() < 10_000);
+}
+
+#[test]
+fn estimates_scale_with_timed_window() {
+    // Doubling the timed window must leave the full-run estimate roughly
+    // unchanged (stationary iterations).
+    let short = NasRun {
+        bench: NasBenchmark::Mg,
+        class: NasClass::A,
+        warmup: 1,
+        timed: 2,
+    };
+    let long = NasRun {
+        bench: NasBenchmark::Mg,
+        class: NasClass::A,
+        warmup: 1,
+        timed: 4,
+    };
+    let t_short = short.estimate(
+        &cluster_job(16, MpiImpl::Mpich2)
+            .run(short.program())
+            .unwrap(),
+    );
+    let t_long = long.estimate(
+        &cluster_job(16, MpiImpl::Mpich2)
+            .run(long.program())
+            .unwrap(),
+    );
+    let ratio = t_short.as_secs_f64() / t_long.as_secs_f64();
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "estimates diverge: {t_short} vs {t_long}"
+    );
+}
+
+#[test]
+fn classes_w_and_c_have_consistent_scaling() {
+    // Class C must be a strictly bigger problem than W on the same layout.
+    for bench in [NasBenchmark::Cg, NasBenchmark::Mg, NasBenchmark::Lu] {
+        let time = |class: NasClass| -> f64 {
+            let run = NasRun::quick(bench, class);
+            let report = cluster_job(16, MpiImpl::Mpich2).run(run.program()).unwrap();
+            run.estimate(&report).as_secs_f64()
+        };
+        let w = time(NasClass::W);
+        let c = time(NasClass::C);
+        assert!(
+            c > 10.0 * w,
+            "{}: class C ({c}s) should dwarf class W ({w}s)",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn all_five_classes_run_every_kernel() {
+    for class in [NasClass::S, NasClass::W, NasClass::A, NasClass::B, NasClass::C] {
+        for bench in [NasBenchmark::Ep, NasBenchmark::Ft, NasBenchmark::Is] {
+            let run = NasRun::quick(bench, class);
+            let report = cluster_job(4, MpiImpl::GridMpi).run(run.program()).unwrap();
+            assert!(report.clean, "{} class {}", bench.name(), class.name());
+        }
+    }
+}
+
+#[test]
+fn scaled_estimate_matches_a_full_run() {
+    // The warmup + timed-window extrapolation must agree with simulating
+    // every iteration, within a few percent (class S keeps this cheap).
+    for bench in [NasBenchmark::Mg, NasBenchmark::Ft] {
+        let full = NasRun::full(bench, NasClass::S);
+        let full_t = full
+            .estimate(&cluster_job(16, MpiImpl::Mpich2).run(full.program()).unwrap())
+            .as_secs_f64();
+        let scaled = NasRun::new(bench, NasClass::S);
+        let scaled_t = scaled
+            .estimate(
+                &cluster_job(16, MpiImpl::Mpich2)
+                    .run(scaled.program())
+                    .unwrap(),
+            )
+            .as_secs_f64();
+        let err = (scaled_t - full_t).abs() / full_t;
+        assert!(
+            err < 0.05,
+            "{}: extrapolated {scaled_t}s vs full {full_t}s ({:.1}% off)",
+            bench.name(),
+            err * 100.0
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! The placement cost model: latency per message plus serialisation per
+//! byte over the route each pair would use.
+
+use netsim::{NodeId, Topology};
+
+use crate::profile::CommProfile;
+
+/// Predicted communication cost (seconds of aggregate transfer effort) of
+/// running `profile` with rank `i` on `placement[i]`.
+///
+/// Each directed pair contributes `msgs × one_way_latency +
+/// bytes / bottleneck_bandwidth`. The absolute number is not an execution
+/// time (transfers overlap in a real run); it is a *ranking* function —
+/// lower predicted cost means less WAN exposure, which is what placement
+/// can influence.
+pub fn predict_cost(topo: &Topology, placement: &[NodeId], profile: &CommProfile) -> f64 {
+    assert_eq!(placement.len(), profile.n, "placement must cover all ranks");
+    let mut cost = 0.0;
+    for src in 0..profile.n {
+        for dst in 0..profile.n {
+            if src == dst {
+                continue;
+            }
+            let msgs = profile.msgs_between(src, dst);
+            let bytes = profile.bytes_between(src, dst);
+            if msgs == 0 && bytes == 0 {
+                continue;
+            }
+            let path = topo.route(placement[src], placement[dst]);
+            cost += msgs as f64 * path.rtt.as_secs_f64() / 2.0
+                + bytes as f64 / path.bottleneck;
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimDuration;
+    use mpisim::CommStats;
+    use netsim::{NodeParams, SiteParams};
+
+    fn grid() -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let a = t.add_site("a", SiteParams::default());
+        let b = t.add_site("b", SiteParams::default());
+        let nodes = vec![
+            t.add_node(a, NodeParams::default()),
+            t.add_node(a, NodeParams::default()),
+            t.add_node(b, NodeParams::default()),
+            t.add_node(b, NodeParams::default()),
+        ];
+        t.connect_sites(a, b, SimDuration::from_micros(11_600), 9.4e9 / 8.0, 512 << 10);
+        (t, nodes)
+    }
+
+    #[test]
+    fn wan_pairs_cost_more_than_lan_pairs() {
+        let (topo, nodes) = grid();
+        let mut stats = CommStats::default();
+        stats.record_pair(0, 1, 1000);
+        let profile = CommProfile::from_stats(2, &stats);
+        let lan = predict_cost(&topo, &[nodes[0], nodes[1]], &profile);
+        let wan = predict_cost(&topo, &[nodes[0], nodes[2]], &profile);
+        assert!(wan > 50.0 * lan, "wan={wan} lan={lan}");
+    }
+
+    #[test]
+    fn cost_is_additive_over_pairs() {
+        let (topo, nodes) = grid();
+        let mut s1 = CommStats::default();
+        s1.record_pair(0, 1, 500);
+        let mut s2 = CommStats::default();
+        s2.record_pair(1, 0, 700);
+        let mut both = CommStats::default();
+        both.record_pair(0, 1, 500);
+        both.record_pair(1, 0, 700);
+        let place = [nodes[0], nodes[2]];
+        let c1 = predict_cost(&topo, &place, &CommProfile::from_stats(2, &s1));
+        let c2 = predict_cost(&topo, &place, &CommProfile::from_stats(2, &s2));
+        let c = predict_cost(&topo, &place, &CommProfile::from_stats(2, &both));
+        assert!((c - (c1 + c2)).abs() < 1e-12);
+    }
+}

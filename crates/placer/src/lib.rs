@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # placer — task placement from measured communication profiles
+//!
+//! The paper's introduction names task placement as an open problem for
+//! grids ("it could be of interest to take this heterogeneity into account
+//! in the task placement phase", §1), and MPICH-VMI's profile database was
+//! built for exactly this (§2.1.6). This crate closes that loop for the
+//! simulator:
+//!
+//! 1. run a workload once with instrumentation and extract its
+//!    [`CommProfile`] (per-pair bytes and message counts, from
+//!    `mpisim::CommStats`);
+//! 2. predict the communication cost of any rank→node placement on a
+//!    topology with a latency + bandwidth model ([`predict_cost`]);
+//! 3. search placements with deterministic pairwise-swap hill climbing
+//!    ([`optimize`]), and verify the win by re-simulating.
+//!
+//! ```
+//! use mpisim::{MpiImpl, MpiJob, RankCtx};
+//! use netsim::{grid5000_pair, Network};
+//! use placer::{CommProfile, optimize, predict_cost};
+//!
+//! // Profile a ring exchange on a cluster...
+//! let (topo, rennes, nancy) = grid5000_pair(2);
+//! let report = MpiJob::new(Network::new(topo.clone()), rennes.clone(), MpiImpl::Mpich2)
+//!     .run(|ctx: &mut RankCtx| {
+//!         let right = (ctx.rank() + 1) % ctx.size();
+//!         let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+//!         ctx.sendrecv(right, 1 << 20, left, 0);
+//!     })
+//!     .unwrap();
+//! let profile = CommProfile::from_stats(2, &report.stats);
+//!
+//! // ...then place it on the grid: both candidate assignments keep the
+//! // ring's cost identical by symmetry, and the optimizer terminates.
+//! let candidates = vec![rennes[0], nancy[0]];
+//! let (placement, cost) = optimize(&topo, &candidates, &profile);
+//! assert_eq!(placement.len(), 2);
+//! assert!(cost > 0.0);
+//! assert_eq!(cost, predict_cost(&topo, &placement, &profile));
+//! ```
+
+mod cost;
+mod profile;
+mod search;
+
+pub use cost::predict_cost;
+pub use profile::CommProfile;
+pub use search::{optimize, optimize_detailed, optimize_master, PlacementResult};

@@ -1,0 +1,78 @@
+//! Communication profiles extracted from instrumented runs.
+
+use mpisim::CommStats;
+use serde::Serialize;
+
+/// A workload's communication demand: directed per-pair payload bytes and
+/// message counts (the "communication patterns … stored in a database" of
+/// MPICH-VMI, §2.1.6).
+#[derive(Clone, Debug, Serialize)]
+pub struct CommProfile {
+    /// Rank count.
+    pub n: usize,
+    /// `bytes[src * n + dst]`: payload bytes sent src → dst.
+    pub bytes: Vec<u64>,
+    /// `msgs[src * n + dst]`: messages sent src → dst.
+    pub msgs: Vec<u64>,
+}
+
+impl CommProfile {
+    /// Build a profile from a run's statistics.
+    pub fn from_stats(n: usize, stats: &CommStats) -> CommProfile {
+        let mut bytes = vec![0u64; n * n];
+        let mut msgs = vec![0u64; n * n];
+        for (&(s, d), &b) in &stats.pair_bytes {
+            if s < n && d < n {
+                bytes[s * n + d] += b;
+            }
+        }
+        for (&(s, d), &m) in &stats.pair_msgs {
+            if s < n && d < n {
+                msgs[s * n + d] += m;
+            }
+        }
+        CommProfile { n, bytes, msgs }
+    }
+
+    /// Bytes sent from `src` to `dst`.
+    pub fn bytes_between(&self, src: usize, dst: usize) -> u64 {
+        self.bytes[src * self.n + dst]
+    }
+
+    /// Messages sent from `src` to `dst`.
+    pub fn msgs_between(&self, src: usize, dst: usize) -> u64 {
+        self.msgs[src * self.n + dst]
+    }
+
+    /// Total payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_stats_builds_the_matrix() {
+        let mut stats = CommStats::default();
+        stats.record_pair(0, 1, 100);
+        stats.record_pair(0, 1, 50);
+        stats.record_pair(2, 0, 7);
+        let p = CommProfile::from_stats(3, &stats);
+        assert_eq!(p.bytes_between(0, 1), 150);
+        assert_eq!(p.msgs_between(0, 1), 2);
+        assert_eq!(p.bytes_between(2, 0), 7);
+        assert_eq!(p.bytes_between(1, 2), 0);
+        assert_eq!(p.total_bytes(), 157);
+    }
+
+    #[test]
+    fn out_of_range_pairs_are_ignored() {
+        let mut stats = CommStats::default();
+        stats.record_pair(5, 6, 1);
+        let p = CommProfile::from_stats(2, &stats);
+        assert_eq!(p.total_bytes(), 0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Deterministic placement search: greedy pairwise-swap hill climbing.
+
+use netsim::{NodeId, Topology};
+
+use crate::cost::predict_cost;
+use crate::profile::CommProfile;
+
+/// Outcome of a placement search.
+#[derive(Clone, Debug)]
+pub struct PlacementResult {
+    /// Rank → node assignment.
+    pub placement: Vec<NodeId>,
+    /// Predicted cost of the assignment.
+    pub cost: f64,
+    /// Cost of the initial (identity) assignment, for comparison.
+    pub initial_cost: f64,
+    /// Hill-climbing swap steps taken.
+    pub steps: usize,
+}
+
+/// Optimise the assignment of `profile.n` ranks onto the first
+/// `profile.n` of `candidates` by pairwise-swap hill climbing (steepest
+/// descent, deterministic tie-breaking). Returns the placement and its
+/// predicted cost.
+pub fn optimize(
+    topo: &Topology,
+    candidates: &[NodeId],
+    profile: &CommProfile,
+) -> (Vec<NodeId>, f64) {
+    let r = optimize_detailed(topo, candidates, profile);
+    (r.placement, r.cost)
+}
+
+/// Exact placement for the two-site case: enumerate every balanced
+/// assignment of ranks to the two site pools (the per-pair cost only
+/// depends on whether a pair is co-sited, so each candidate costs a
+/// table lookup sum). Feasible up to ~20 ranks; returns `None` beyond
+/// that or when the candidates span more or fewer than two sites.
+fn optimize_two_sites_exact(
+    topo: &Topology,
+    candidates: &[NodeId],
+    profile: &CommProfile,
+) -> Option<(Vec<NodeId>, f64)> {
+    let n = profile.n;
+    if n > 20 || n == 0 {
+        return None;
+    }
+    let pool = &candidates[..n];
+    let mut sites: Vec<netsim::SiteId> = pool.iter().map(|&c| topo.site_of(c)).collect();
+    sites.sort();
+    sites.dedup();
+    if sites.len() != 2 {
+        return None;
+    }
+    let a_nodes: Vec<NodeId> = pool.iter().copied().filter(|&c| topo.site_of(c) == sites[0]).collect();
+    let b_nodes: Vec<NodeId> = pool.iter().copied().filter(|&c| topo.site_of(c) == sites[1]).collect();
+    // Representative same-site and cross-site routes (sites are uniform).
+    let same_path = topo.route(a_nodes[0], *a_nodes.get(1).unwrap_or(&b_nodes[0]));
+    let cross_path = topo.route(a_nodes[0], b_nodes[0]);
+    let pair_cost = |src: usize, dst: usize, path: &netsim::Path| -> f64 {
+        profile.msgs_between(src, dst) as f64 * path.rtt.as_secs_f64() / 2.0
+            + profile.bytes_between(src, dst) as f64 / path.bottleneck
+    };
+    let mut w_same = vec![0.0f64; n * n];
+    let mut w_cross = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                w_same[i * n + j] = pair_cost(i, j, &same_path);
+                w_cross[i * n + j] = pair_cost(i, j, &cross_path);
+            }
+        }
+    }
+    let k = a_nodes.len();
+    let mut best: Option<(u32, f64)> = None;
+    for mask in 0u32..(1 << n) {
+        if mask.count_ones() as usize != k {
+            continue;
+        }
+        let mut cost = 0.0;
+        for i in 0..n {
+            let si = mask >> i & 1;
+            for j in 0..n {
+                if i != j {
+                    let w = if si == (mask >> j & 1) { &w_same } else { &w_cross };
+                    cost += w[i * n + j];
+                }
+            }
+        }
+        if best.is_none_or(|(_, b)| cost < b) {
+            best = Some((mask, cost));
+        }
+    }
+    let (mask, _) = best?;
+    let mut placement = vec![a_nodes[0]; n];
+    let (mut ai, mut bi) = (0, 0);
+    for (i, slot) in placement.iter_mut().enumerate() {
+        if mask >> i & 1 == 1 {
+            *slot = a_nodes[ai];
+            ai += 1;
+        } else {
+            *slot = b_nodes[bi];
+            bi += 1;
+        }
+    }
+    let cost = predict_cost(topo, &placement, profile);
+    Some((placement, cost))
+}
+
+/// [`optimize`] with full search diagnostics. The search runs a
+/// Kernighan–Lin style pass first (swapping whole rank pairs across the
+/// site cut — the move class pairwise hill climbing cannot see on
+/// symmetric communication graphs), then polishes with steepest-descent
+/// pairwise swaps.
+pub fn optimize_detailed(
+    topo: &Topology,
+    candidates: &[NodeId],
+    profile: &CommProfile,
+) -> PlacementResult {
+    assert!(
+        candidates.len() >= profile.n,
+        "need at least as many candidate nodes as ranks"
+    );
+    let mut placement: Vec<NodeId> = candidates[..profile.n].to_vec();
+    let initial_cost = predict_cost(topo, &placement, profile);
+    let mut cost = initial_cost;
+    let mut steps = 0;
+    // Two sites: solve the bipartition exactly.
+    if let Some((exact, exact_cost)) = optimize_two_sites_exact(topo, candidates, profile) {
+        if exact_cost + 1e-12 < cost {
+            steps = exact
+                .iter()
+                .zip(&placement)
+                .filter(|(a, b)| a != b)
+                .count();
+            placement = exact;
+            cost = exact_cost;
+        }
+        return PlacementResult {
+            placement,
+            cost,
+            initial_cost,
+            steps,
+        };
+    }
+    // Kernighan–Lin pass: tentative best-gain swaps with locking, keeping
+    // the best prefix of the swap sequence; repeated until a pass yields
+    // no improvement.
+    loop {
+        let mut work = placement.clone();
+        let mut locked = vec![false; work.len()];
+        let mut seq: Vec<(usize, usize, f64)> = Vec::new();
+        for _ in 0..work.len() / 2 {
+            let mut best: Option<(usize, usize, f64)> = None;
+            for i in 0..work.len() {
+                if locked[i] {
+                    continue;
+                }
+                #[allow(clippy::needless_range_loop)] // j indexes two slices
+                for j in i + 1..work.len() {
+                    if locked[j] {
+                        continue;
+                    }
+                    work.swap(i, j);
+                    let c = predict_cost(topo, &work, profile);
+                    work.swap(i, j);
+                    if best.is_none_or(|(_, _, b)| c < b) {
+                        best = Some((i, j, c));
+                    }
+                }
+            }
+            let Some((i, j, c)) = best else { break };
+            work.swap(i, j);
+            locked[i] = true;
+            locked[j] = true;
+            seq.push((i, j, c));
+        }
+        // Best prefix of the tentative sequence.
+        let Some((best_k, &(_, _, best_c))) = seq
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .2.partial_cmp(&b.1 .2).expect("costs are finite"))
+        else {
+            break;
+        };
+        if best_c + 1e-12 < cost {
+            for &(i, j, _) in &seq[..=best_k] {
+                placement.swap(i, j);
+                steps += 1;
+            }
+            cost = best_c;
+        } else {
+            break;
+        }
+    }
+    // Greedy polish.
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..placement.len() {
+            for j in i + 1..placement.len() {
+                placement.swap(i, j);
+                let c = predict_cost(topo, &placement, profile);
+                placement.swap(i, j);
+                if c + 1e-15 < best.map_or(cost, |(_, _, b)| b) {
+                    best = Some((i, j, c));
+                }
+            }
+        }
+        match best {
+            Some((i, j, c)) if c + 1e-15 < cost => {
+                placement.swap(i, j);
+                cost = c;
+                steps += 1;
+            }
+            _ => break,
+        }
+    }
+    PlacementResult {
+        placement,
+        cost,
+        initial_cost,
+        steps,
+    }
+}
+
+/// Specialised search for master/worker applications: try each candidate
+/// as rank 0 (the master), keeping the workers fixed. Returns the
+/// per-candidate predicted costs (the §4.4 master-location question).
+pub fn optimize_master(
+    topo: &Topology,
+    master_candidates: &[NodeId],
+    workers: &[NodeId],
+    profile: &CommProfile,
+) -> Vec<(NodeId, f64)> {
+    assert_eq!(
+        workers.len() + 1,
+        profile.n,
+        "profile must cover master + workers"
+    );
+    master_candidates
+        .iter()
+        .map(|&m| {
+            let mut placement = vec![m];
+            placement.extend_from_slice(workers);
+            (m, predict_cost(topo, &placement, profile))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimDuration;
+    use mpisim::CommStats;
+    use netsim::{NodeParams, SiteParams};
+
+    /// Two sites, two nodes each. Ranks 0↔1 and 2↔3 chat heavily; the
+    /// identity placement splits both pairs across the WAN, so the
+    /// optimizer must regroup them.
+    #[test]
+    fn hill_climbing_regroups_chatty_pairs() {
+        let mut t = Topology::new();
+        let a = t.add_site("a", SiteParams::default());
+        let b = t.add_site("b", SiteParams::default());
+        let n0 = t.add_node(a, NodeParams::default());
+        let n1 = t.add_node(b, NodeParams::default());
+        let n2 = t.add_node(a, NodeParams::default());
+        let n3 = t.add_node(b, NodeParams::default());
+        t.connect_sites(a, b, SimDuration::from_micros(11_600), 9.4e9 / 8.0, 512 << 10);
+
+        let mut stats = CommStats::default();
+        for _ in 0..100 {
+            stats.record_pair(0, 1, 100_000);
+            stats.record_pair(1, 0, 100_000);
+            stats.record_pair(2, 3, 100_000);
+            stats.record_pair(3, 2, 100_000);
+        }
+        let profile = CommProfile::from_stats(4, &stats);
+        // Identity: rank0→site a, rank1→site b (WAN), rank2→a, rank3→b.
+        let r = optimize_detailed(&t, &[n0, n1, n2, n3], &profile);
+        // The serialisation term (40 MB over the NICs) is placement-
+        // invariant; the latency term must vanish.
+        assert!(r.cost < r.initial_cost / 5.0, "no regrouping: {r:?}");
+        // Verify both chatty pairs are now co-sited.
+        let site = |n: NodeId| t.site_of(n);
+        assert_eq!(site(r.placement[0]), site(r.placement[1]));
+        assert_eq!(site(r.placement[2]), site(r.placement[3]));
+        assert!(r.steps >= 1);
+    }
+
+    #[test]
+    fn already_optimal_placement_takes_no_steps() {
+        let mut t = Topology::new();
+        let a = t.add_site("a", SiteParams::default());
+        let nodes = vec![
+            t.add_node(a, NodeParams::default()),
+            t.add_node(a, NodeParams::default()),
+        ];
+        let mut stats = CommStats::default();
+        stats.record_pair(0, 1, 1000);
+        let profile = CommProfile::from_stats(2, &stats);
+        let r = optimize_detailed(&t, &nodes, &profile);
+        assert_eq!(r.steps, 0);
+        assert_eq!(r.cost, r.initial_cost);
+    }
+}

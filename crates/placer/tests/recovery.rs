@@ -1,0 +1,82 @@
+//! End-to-end placement recovery: profile a benchmark, scramble its
+//! placement, and verify the optimizer restores near-optimal cost *and*
+//! that the re-simulated run confirms the prediction.
+
+use mpisim::{MpiImpl, MpiJob, Tuning};
+use netsim::{grid5000_pair, KernelConfig, Network, NodeId};
+use npb::{NasBenchmark, NasClass, NasRun};
+use placer::{optimize_detailed, predict_cost, CommProfile};
+
+fn profile_cg() -> CommProfile {
+    let (mut topo, rn, _) = grid5000_pair(16);
+    topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+    let run = NasRun::quick(NasBenchmark::Cg, NasClass::S);
+    let report = MpiJob::new(Network::new(topo), rn, MpiImpl::GridMpi)
+        .with_tuning(Tuning::paper_tuned(MpiImpl::GridMpi))
+        .run(run.program())
+        .unwrap();
+    CommProfile::from_stats(16, &report.stats)
+}
+
+#[test]
+fn optimizer_repairs_an_interleaved_cg_placement() {
+    let profile = profile_cg();
+    let (mut topo, rn, nn) = grid5000_pair(8);
+    topo.set_kernel_all(KernelConfig::tuned_with_default(4 << 20, 4 << 20));
+    let interleaved: Vec<NodeId> = rn
+        .iter()
+        .zip(nn.iter())
+        .flat_map(|(&a, &b)| [a, b])
+        .collect();
+    let mut block = rn.clone();
+    block.extend(nn.clone());
+
+    let result = optimize_detailed(&topo, &interleaved, &profile);
+    let block_cost = predict_cost(&topo, &block, &profile);
+    assert!(
+        result.cost < result.initial_cost * 0.75,
+        "optimizer should cut the interleaved cost: {} -> {}",
+        result.initial_cost,
+        result.cost
+    );
+    assert!(
+        result.cost <= block_cost * 1.01,
+        "optimizer ({}) should match or beat the block default ({block_cost})",
+        result.cost
+    );
+
+    // Verify with the simulator.
+    let simulate = |placement: Vec<NodeId>| -> f64 {
+        let run = NasRun::quick(NasBenchmark::Cg, NasClass::S);
+        let report = MpiJob::new(Network::new(topo.clone()), placement, MpiImpl::GridMpi)
+            .with_tuning(Tuning::paper_tuned(MpiImpl::GridMpi))
+            .run(run.program())
+            .unwrap();
+        run.estimate(&report).as_secs_f64()
+    };
+    let t_bad = simulate(interleaved);
+    let t_opt = simulate(result.placement);
+    assert!(
+        t_opt < t_bad * 0.95,
+        "optimized placement must actually run faster: {t_bad}s -> {t_opt}s"
+    );
+}
+
+#[test]
+fn predictions_rank_placements_like_the_simulator() {
+    // Ordering consistency: for CG, predicted cost and simulated time must
+    // agree on which of (block, interleaved) is better.
+    let profile = profile_cg();
+    let (mut topo, rn, nn) = grid5000_pair(8);
+    topo.set_kernel_all(KernelConfig::tuned_with_default(4 << 20, 4 << 20));
+    let interleaved: Vec<NodeId> = rn
+        .iter()
+        .zip(nn.iter())
+        .flat_map(|(&a, &b)| [a, b])
+        .collect();
+    let mut block = rn.clone();
+    block.extend(nn.clone());
+    let predicted_block = predict_cost(&topo, &block, &profile);
+    let predicted_inter = predict_cost(&topo, &interleaved, &profile);
+    assert!(predicted_block < predicted_inter);
+}

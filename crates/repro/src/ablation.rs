@@ -1,0 +1,170 @@
+//! Ablation studies over the model's design choices (DESIGN.md §4):
+//! isolate each mechanism the paper's results depend on and show what
+//! breaks without it.
+//!
+//! * **pacing** — GridMPI with pacing disabled must inherit the unpaced
+//!   slow-start collapse (Fig. 9);
+//! * **bottleneck queue depth** — deeper WAN port buffers delay the first
+//!   burst loss and shorten the ramp;
+//! * **congestion control** — Reno's additive increase recovers far more
+//!   slowly than BIC's binary search;
+//! * **collective algorithm** — the same 128 kB broadcast under the three
+//!   algorithm families, cluster vs grid (the entire Fig. 10 FT story);
+//! * **BTL window cap** — OpenMPI with the pipeline cap removed matches
+//!   the other implementations at 64 MB.
+
+use desim::SimDuration;
+use mpisim::{BcastAlgo, ImplProfile, MpiImpl, MpiJob, RankCtx, Tuning};
+use netsim::{grid5000_pair_with_queue, CongestionControl, KernelConfig, Network};
+
+use crate::util::npb_placement;
+
+/// Mean per-message bandwidth of the i-th decile of a 1 MB message train
+/// (slow-start ramp probe).
+fn ramp_time_to_500(
+    mut profile: ImplProfile,
+    queue_bytes: u64,
+    cc: CongestionControl,
+) -> Option<f64> {
+    // Tuned thresholds (Table 5): the probe isolates TCP dynamics, not
+    // the rendezvous handshake.
+    profile.eager_threshold = u64::MAX;
+    let (mut topo, rn, nn) = grid5000_pair_with_queue(1, queue_bytes);
+    let mut kernel = KernelConfig::tuned_with_default(4 << 20, 4 << 20);
+    kernel.congestion_control = cc;
+    topo.set_kernel_all(kernel);
+    let bytes = 1u64 << 20;
+    let report = MpiJob::new(Network::new(topo), vec![rn[0], nn[0]], profile.impl_id)
+        .with_profile(profile)
+        .run(move |ctx: &mut RankCtx| {
+            const TAG: u64 = 1;
+            for _ in 0..200 {
+                if ctx.rank() == 0 {
+                    let t0 = ctx.now();
+                    ctx.send(1, bytes, TAG);
+                    ctx.recv(1, TAG);
+                    let ow = ctx.now().since(t0).as_secs_f64() / 2.0;
+                    ctx.record("t", ctx.now().as_secs_f64());
+                    ctx.record("bw", bytes as f64 * 8.0 / ow / 1e6);
+                } else {
+                    ctx.recv(0, TAG);
+                    ctx.send(0, bytes, TAG);
+                }
+            }
+        })
+        .expect("ramp probe completes");
+    let ts = report.values("t");
+    let bws = report.values("bw");
+    ts.iter()
+        .zip(bws.iter())
+        .find(|(_, &(_, bw))| bw >= 500.0)
+        .map(|(&(_, t), _)| t)
+}
+
+fn fmt_opt(t: Option<f64>) -> String {
+    t.map_or("never".into(), |t| format!("{t:5.2}s"))
+}
+
+pub fn cmd_ablation() {
+    crate::header("Ablation 1: software pacing (GridMPI's TCP optimisation)");
+    let paced = ImplProfile::gridmpi();
+    let mut unpaced = ImplProfile::gridmpi();
+    unpaced.pacing = false;
+    println!(
+        "time to 500 Mbps on 1 MB messages: paced {}  |  pacing disabled {}",
+        fmt_opt(ramp_time_to_500(paced, 512 << 10, CongestionControl::Bic)),
+        fmt_opt(ramp_time_to_500(
+            unpaced.clone(),
+            512 << 10,
+            CongestionControl::Bic
+        )),
+    );
+
+    crate::header("Ablation 2: WAN bottleneck queue depth (unpaced sender)");
+    for queue_kb in [128u64, 512, 2048, 8192] {
+        let t = ramp_time_to_500(
+            ImplProfile::mpich2(),
+            queue_kb << 10,
+            CongestionControl::Bic,
+        );
+        println!("queue {queue_kb:>5} kB -> 500 Mbps at {}", fmt_opt(t));
+    }
+
+    crate::header("Ablation 3: congestion control algorithm (unpaced sender)");
+    for (name, cc) in [
+        ("BIC ", CongestionControl::Bic),
+        ("Reno", CongestionControl::Reno),
+    ] {
+        let t = ramp_time_to_500(ImplProfile::mpich2(), 512 << 10, cc);
+        println!("{name} -> 500 Mbps at {}", fmt_opt(t));
+    }
+
+    crate::header("Ablation 4: broadcast algorithm, 128 kB, 16 ranks");
+    for (label, algo) in [
+        ("binomial tree", BcastAlgo::Binomial),
+        ("scatter+ring (Van de Geijn)", BcastAlgo::ScatterAllgather),
+        ("grid-aware hierarchical", BcastAlgo::GridAware),
+    ] {
+        let mut t_by_layout = Vec::new();
+        for split in [false, true] {
+            let mut profile = ImplProfile::gridmpi();
+            profile.collectives.bcast = algo;
+            let kernel = KernelConfig::tuned_with_default(4 << 20, 4 << 20);
+            let (net, placement) = if split {
+                npb_placement(8, 8, 8, kernel)
+            } else {
+                npb_placement(16, 16, 0, kernel)
+            };
+            let report = MpiJob::new(net, placement, MpiImpl::GridMpi)
+                .with_profile(profile)
+                .run(|ctx: &mut RankCtx| {
+                    for _ in 0..10 {
+                        ctx.bcast(0, 128 << 10);
+                    }
+                })
+                .expect("bcast ablation completes");
+            t_by_layout.push(report.elapsed.as_secs_f64() / 10.0 * 1e3);
+        }
+        println!(
+            "{label:<28} cluster {:>7.2} ms/bcast   8+8 grid {:>7.2} ms/bcast",
+            t_by_layout[0], t_by_layout[1]
+        );
+    }
+
+    crate::header("Ablation 5: OpenMPI BTL pipeline window cap, 64 MB transfer");
+    for (label, cap) in [("cap 1 MB (model)", Some(1u64 << 20)), ("cap removed", None)] {
+        let mut profile = ImplProfile::openmpi();
+        profile.data_window_cap = cap;
+        let (mut topo, rn, nn) = grid5000_pair_with_queue(1, 512 << 10);
+        topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+        let bytes = 64u64 << 20;
+        let report = MpiJob::new(Network::new(topo), vec![rn[0], nn[0]], MpiImpl::OpenMpi)
+            .with_profile(profile)
+            .with_tuning(Tuning::paper_tuned(MpiImpl::OpenMpi))
+            .run(move |ctx: &mut RankCtx| {
+                const TAG: u64 = 1;
+                for _ in 0..8 {
+                    if ctx.rank() == 0 {
+                        let t0 = ctx.now();
+                        ctx.send(1, bytes, TAG);
+                        ctx.recv(1, TAG);
+                        ctx.record("ow", ctx.now().since(t0).as_secs_f64() / 2.0);
+                    } else {
+                        ctx.recv(0, TAG);
+                        ctx.send(0, bytes, TAG);
+                    }
+                }
+            })
+            .expect("cap ablation completes");
+        let best = report
+            .values("ow")
+            .into_iter()
+            .map(|(_, v)| v)
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "{label:<18} -> {:>6.0} Mbps",
+            bytes as f64 * 8.0 / best / 1e6
+        );
+    }
+    let _ = SimDuration::ZERO;
+}

@@ -1,0 +1,528 @@
+//! `repro` — regenerates every table and figure of INRIA RR-6200
+//! ("Comparison and tuning of MPI implementations in a grid context")
+//! from the simulator. One subcommand per exhibit; `all` runs everything.
+
+mod ablation;
+mod analysis;
+mod g2;
+mod heterogeneity;
+mod methodology;
+mod nas;
+mod pingpong;
+mod rays;
+mod slowstart;
+mod util;
+
+use gridapps::Ray2MeshConfig;
+use mpisim::MpiImpl;
+use npb::NasClass;
+
+use nas::{impl_matrix, layout_matrix, table2, Layout};
+use pingpong::{bandwidth_sweep, pingpong, Stack};
+use rays::master_location_matrix;
+use slowstart::{slowstart_series, time_to};
+use util::{fig_sizes, size_label, Scope, TuningLevel};
+
+use std::io::Write as _;
+use std::sync::OnceLock;
+
+/// Directory for gnuplot-ready `.dat` files (`--dat DIR`).
+static DAT_DIR: OnceLock<Option<std::path::PathBuf>> = OnceLock::new();
+
+/// Open `<dat-dir>/<name>.dat` if `--dat` was given.
+pub(crate) fn dat_file(name: &str) -> Option<std::fs::File> {
+    out_file(name, "dat")
+}
+
+/// Open `<dat-dir>/<name>.json` if `--dat` was given.
+pub(crate) fn json_file(name: &str) -> Option<std::fs::File> {
+    out_file(name, "json")
+}
+
+fn out_file(name: &str, ext: &str) -> Option<std::fs::File> {
+    let dir = DAT_DIR.get()?.as_ref()?;
+    std::fs::create_dir_all(dir).ok()?;
+    std::fs::File::create(dir.join(format!("{name}.{ext}"))).ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let class = if args.iter().any(|a| a == "--class-a") {
+        NasClass::A
+    } else {
+        NasClass::B
+    };
+    let dat = args
+        .iter()
+        .position(|a| a == "--dat")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let _ = DAT_DIR.set(dat);
+    match cmd {
+        "table1" => cmd_table1(),
+        "table2" => cmd_table2(class),
+        "table4" => cmd_table4(),
+        "table5" => cmd_table5(),
+        "table6" | "table7" => cmd_ray2mesh(),
+        "fig3" => cmd_bandwidth(Scope::Grid, TuningLevel::Default, "Figure 3"),
+        "fig5" => cmd_bandwidth(Scope::Cluster, TuningLevel::Default, "Figure 5"),
+        "fig6" => cmd_bandwidth(Scope::Grid, TuningLevel::TcpTuned, "Figure 6"),
+        "fig7" => cmd_bandwidth(Scope::Grid, TuningLevel::FullyTuned, "Figure 7"),
+        "fig9" => cmd_fig9(),
+        "fig10" => cmd_fig10(class, Layout::Split(8, 8), "Figure 10"),
+        "fig11" => cmd_fig10(class, Layout::Split(2, 2), "Figure 11"),
+        "fig12" => cmd_fig12(class),
+        "fig13" => cmd_fig13(class),
+        "testbed" => cmd_testbed(),
+        "ablation" => ablation::cmd_ablation(),
+        "g2" => g2::cmd_g2(class),
+        "heterogeneity" => heterogeneity::cmd_heterogeneity(),
+        "perturbation" => methodology::cmd_perturbation(),
+        "simri" => methodology::cmd_simri(),
+        "utilization" => analysis::cmd_utilization(),
+        "placement" => analysis::cmd_placement(),
+        "scaling" => analysis::cmd_scaling(),
+        "trace" => {
+            let bench = args
+                .get(1)
+                .and_then(|a| {
+                    npb::NasBenchmark::ALL
+                        .into_iter()
+                        .find(|b| b.name().eq_ignore_ascii_case(a))
+                })
+                .unwrap_or(npb::NasBenchmark::Cg);
+            analysis::cmd_trace(bench);
+        }
+        "all" => {
+            cmd_testbed();
+            cmd_table1();
+            cmd_bandwidth(Scope::Cluster, TuningLevel::Default, "Figure 5");
+            cmd_bandwidth(Scope::Grid, TuningLevel::Default, "Figure 3");
+            cmd_bandwidth(Scope::Grid, TuningLevel::TcpTuned, "Figure 6");
+            cmd_bandwidth(Scope::Grid, TuningLevel::FullyTuned, "Figure 7");
+            cmd_table4();
+            cmd_table5();
+            cmd_fig9();
+            cmd_table2(class);
+            cmd_fig10(class, Layout::Split(8, 8), "Figure 10");
+            cmd_fig10(class, Layout::Split(2, 2), "Figure 11");
+            cmd_fig12(class);
+            cmd_fig13(class);
+            cmd_ray2mesh();
+            ablation::cmd_ablation();
+            g2::cmd_g2(class);
+            heterogeneity::cmd_heterogeneity();
+            methodology::cmd_perturbation();
+            methodology::cmd_simri();
+            analysis::cmd_utilization();
+            analysis::cmd_placement();
+            analysis::cmd_scaling();
+        }
+        _ => {
+            eprintln!(
+                "usage: repro <table1|table2|table4|table5|table6|table7|\
+                 fig3|fig5|fig6|fig7|fig9|fig10|fig11|fig12|fig13|testbed|ablation|g2|heterogeneity|perturbation|simri|\
+                 utilization|placement|scaling|trace [BENCH]|all> \
+                 [--class-a] [--dat DIR]"
+            );
+        }
+    }
+}
+
+pub(crate) fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn cmd_testbed() {
+    header("Testbed (Figures 1, 2 and 8): Grid'5000 model");
+    let (topo, rn, nn) = netsim::grid5000_pair(8);
+    let p = topo.route(rn[0], nn[0]);
+    println!(
+        "Rennes <-> Nancy: RTT {:.1} ms, per-flow bottleneck {:.0} Mbps (1 GbE NIC), WAN 10 GbE",
+        p.rtt.as_secs_f64() * 1e3,
+        p.bottleneck * 8.0 / 1e6
+    );
+    println!("Inter-site RTT matrix (ms), Fig. 8 sites:");
+    print!("{:>10}", "");
+    for s in netsim::Grid5000Site::ALL {
+        print!("{:>10}", s.name());
+    }
+    println!();
+    for (i, s) in netsim::Grid5000Site::ALL.iter().enumerate() {
+        print!("{:>10}", s.name());
+        for j in 0..4 {
+            print!("{:>10.1}", netsim::GRID5000_RTT_MS[i][j]);
+        }
+        println!();
+    }
+    println!("Per-node CPU model (Gflop/s, Table 3 + §4.4 ordering):");
+    for s in netsim::Grid5000Site::ALL {
+        println!("  {:<10} {:.1}", s.name(), s.cpu_gflops());
+    }
+}
+
+fn cmd_table1() {
+    header("Table 1: Comparison of MPI implementation features");
+    println!(
+        "{:<18} {:<34} {:<40}",
+        "", "Long-distance optimizations", "Network heterogeneity management"
+    );
+    for id in MpiImpl::ALL {
+        let p = id.profile();
+        let long = match id {
+            MpiImpl::GridMpi => "TCP pacing; optim. Bcast/Allreduce",
+            MpiImpl::MpichG2 => "Parallel streams; optim. collectives",
+            MpiImpl::MpichVmi => "Optim. of collective operations",
+            _ => "None",
+        };
+        let het = match id {
+            MpiImpl::Mpich2 => "None",
+            MpiImpl::GridMpi => "IMPI above TCP (no low-latency nets)",
+            MpiImpl::MpichMadeleine => "Gateways: TCP/SCI/VIA/Myrinet/Quadrics",
+            MpiImpl::OpenMpi => "BTL components: TCP/Myrinet/Infiniband",
+            MpiImpl::MpichG2 => "TCP above VendorMPI (Globus)",
+            MpiImpl::MpichVmi => "VMI gateways: TCP/Myrinet/Infiniband",
+        };
+        println!("{:<18} {:<34} {:<40}", p.impl_id.name(), long, het);
+        println!(
+            "{:<18}   eager threshold {:>10}, socket policy {:?}, pacing {}",
+            "",
+            if p.eager_threshold == u64::MAX {
+                "inf".to_string()
+            } else {
+                size_label(p.eager_threshold)
+            },
+            p.socket_policy,
+            p.pacing
+        );
+    }
+}
+
+fn cmd_bandwidth(scope: Scope, level: TuningLevel, title: &str) {
+    let dat_name = title.to_lowercase().replace(' ', "");
+    header(&format!(
+        "{title}: MPI bandwidth, {} network, {}",
+        match scope {
+            Scope::Cluster => "local (cluster)",
+            Scope::Grid => "distant (grid)",
+        },
+        level.label()
+    ));
+    let sizes = fig_sizes();
+    let sweep = bandwidth_sweep(scope, level, &sizes, 30);
+    if let Some(mut f) = dat_file(&dat_name) {
+        let _ = writeln!(
+            f,
+            "# bytes {}",
+            sweep
+                .iter()
+                .map(|(s, _)| s.label().replace(' ', "_"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        for i in 0..sizes.len() {
+            let _ = write!(f, "{}", sizes[i]);
+            for (_, points) in &sweep {
+                let _ = write!(f, " {:.2}", points[i].max_mbps);
+            }
+            let _ = writeln!(f);
+        }
+    }
+    print!("{:>8}", "size");
+    for (stack, _) in &sweep {
+        print!("{:>24}", stack.label());
+    }
+    println!("   (Mbps, max over iterations)");
+    for i in 0..sizes.len() {
+        print!("{:>8}", size_label(sweep[0].1[i].bytes));
+        for (_, points) in &sweep {
+            print!("{:>24.1}", points[i].max_mbps);
+        }
+        println!();
+    }
+}
+
+fn cmd_table4() {
+    header("Table 4: 1-byte latency in a cluster and in the grid (µs, min over iterations)");
+    println!(
+        "{:<24} {:>18} {:>18}",
+        "", "Rennes cluster", "Rennes-Nancy grid"
+    );
+    let mut tcp = (0.0, 0.0);
+    for stack in Stack::ALL {
+        let c = pingpong(stack, Scope::Cluster, TuningLevel::Default, 1, 20);
+        let g = pingpong(stack, Scope::Grid, TuningLevel::Default, 1, 20);
+        let (cu, gu) = (c.min_one_way * 1e6, g.min_one_way * 1e6);
+        match stack {
+            Stack::RawTcp => {
+                tcp = (cu, gu);
+                println!("{:<24} {:>18.0} {:>18.0}", stack.label(), cu, gu);
+            }
+            Stack::Mpi(id) => {
+                println!(
+                    "{:<24} {:>12.0} (+{:>2.0}) {:>12.0} (+{:>2.0})",
+                    id.name(),
+                    cu,
+                    cu - tcp.0,
+                    gu,
+                    gu - tcp.1
+                );
+            }
+        }
+    }
+}
+
+fn cmd_table5() {
+    header("Table 5: ideal eager/rendezvous threshold per implementation");
+    println!(
+        "{:<18} {:>12} {:>16} {:>16}",
+        "", "original", "ideal (cluster)", "ideal (grid)"
+    );
+    for id in MpiImpl::ALL {
+        let orig = id.profile().eager_threshold;
+        if id == MpiImpl::GridMpi {
+            println!("{:<18} {:>12} {:>16} {:>16}", id.name(), "inf", "-", "-");
+            continue;
+        }
+        let cap: u64 = if id == MpiImpl::OpenMpi {
+            32 << 20
+        } else {
+            65 << 20
+        };
+        let ideal = |scope: Scope| -> String {
+            // Does rendezvous ever beat eager below 64 MB?
+            for bytes in [1u64 << 18, 1 << 20, 1 << 22, 1 << 24, 1 << 26] {
+                let eager = timed_mode(id, scope, bytes, Some(u64::MAX));
+                let rndv = timed_mode(id, scope, bytes, Some(0));
+                if rndv < eager {
+                    return size_label(bytes);
+                }
+            }
+            size_label(cap)
+        };
+        println!(
+            "{:<18} {:>12} {:>16} {:>16}",
+            id.name(),
+            size_label(orig),
+            ideal(Scope::Cluster),
+            ideal(Scope::Grid)
+        );
+    }
+    println!("(ideal = smallest size where rendezvous wins, else the knob maximum:");
+    println!(" the paper's 65M/32M mean 'rendezvous never wins below 64 MB')");
+}
+
+/// Steady-state one-way time for `bytes` with a forced protocol mode.
+fn timed_mode(id: MpiImpl, scope: Scope, bytes: u64, threshold: Option<u64>) -> f64 {
+    let level = TuningLevel::TcpTuned;
+    let (net, a, b) = util::pair_endpoints(scope, level.kernel(Some(id)));
+    let mut tuning = level.tuning(id);
+    tuning.eager_threshold = threshold;
+    let report = mpisim::MpiJob::new(net, vec![a, b], id)
+        .with_tuning(tuning)
+        .run(move |ctx: &mut mpisim::RankCtx| {
+            const TAG: u64 = 1;
+            for _ in 0..10 {
+                if ctx.rank() == 0 {
+                    let t0 = ctx.now();
+                    ctx.send(1, bytes, TAG);
+                    ctx.recv(1, TAG);
+                    ctx.record("one_way", ctx.now().since(t0).as_secs_f64() / 2.0);
+                } else {
+                    ctx.recv(0, TAG);
+                    ctx.send(0, bytes, TAG);
+                }
+            }
+        })
+        .expect("mode probe completes");
+    report
+        .values("one_way")
+        .into_iter()
+        .map(|(_, v)| v)
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn cmd_fig9() {
+    header("Figure 9: impact of TCP slow start — 200 x 1 MB pingpong Rennes->Nancy");
+    for stack in Stack::ALL {
+        let series = slowstart_series(stack, 1 << 20, 200);
+        if let Some(mut f) = dat_file(&format!(
+            "figure9_{}",
+            stack.label().to_lowercase().replace(' ', "_")
+        )) {
+            let _ = writeln!(f, "# t_secs mbps");
+            for p in &series {
+                let _ = writeln!(f, "{:.4} {:.2}", p.t, p.mbps);
+            }
+        }
+        println!("\n--- {} ---", stack.label());
+        println!("{:>8} {:>10}", "t (s)", "Mbps");
+        for (i, p) in series.iter().enumerate() {
+            if i % 10 == 0 {
+                println!("{:>8.2} {:>10.1}", p.t, p.mbps);
+            }
+        }
+        let t500 = time_to(&series, 500.0);
+        let max = series.iter().map(|p| p.mbps).fold(0.0, f64::max);
+        let t90 = time_to(&series, 0.9 * max);
+        println!(
+            "reaches 500 Mbps at {}; 90% of max ({max:.0} Mbps) at {}",
+            t500.map_or("never".into(), |t| format!("{t:.2}s")),
+            t90.map_or("never".into(), |t| format!("{t:.2}s")),
+        );
+    }
+}
+
+fn cmd_fig10(class: NasClass, layout: Layout, title: &str) {
+    header(&format!(
+        "{title}: NPB class {} on {} — relative to MPICH2",
+        class.name(),
+        layout.label()
+    ));
+    let matrix = impl_matrix(class, layout);
+    if let Some(f) = json_file(&format!(
+        "{}_times",
+        title.to_lowercase().replace(' ', "")
+    )) {
+        // Machine-readable record alongside the table.
+        let json: Vec<serde_json::Value> = matrix
+            .iter()
+            .map(|(bench, row)| {
+                serde_json::json!({
+                    "benchmark": bench.name(),
+                    "class": class.name(),
+                    "layout": layout.label(),
+                    "seconds": row
+                        .iter()
+                        .map(|(id, o)| (id.name(), o.secs()))
+                        .collect::<std::collections::BTreeMap<_, _>>(),
+                })
+            })
+            .collect();
+        let _ = serde_json::to_writer_pretty(f, &json);
+    }
+    println!(
+        "{:<6} {:>14} {:>14} {:>14} {:>14}   (time s | speedup vs MPICH2)",
+        "", "MPICH2", "GridMPI", "MPICH-Mad.", "OpenMPI"
+    );
+    for (bench, row) in matrix {
+        let reference = row
+            .iter()
+            .find(|(id, _)| *id == MpiImpl::Mpich2)
+            .and_then(|(_, o)| o.secs())
+            .unwrap_or(f64::NAN);
+        print!("{:<6}", bench.name());
+        for (_, outcome) in &row {
+            match outcome.secs() {
+                Some(s) => print!("{:>8.1}|{:<5.2}", s, reference / s),
+                None => print!("{:>14}", "timeout"),
+            }
+        }
+        println!();
+    }
+}
+
+fn cmd_fig12(class: NasClass) {
+    header(&format!(
+        "Figure 12: NPB class {} — 8+8 grid relative to 16 nodes on one cluster",
+        class.name()
+    ));
+    let matrix = layout_matrix(class, Layout::Cluster(16), Layout::Split(8, 8));
+    print_layout_matrix(matrix, "t_cluster16/t_grid (1.0 = no grid penalty)");
+}
+
+fn cmd_fig13(class: NasClass) {
+    header(&format!(
+        "Figure 13: NPB class {} — 8+8 grid speed-up over 4 nodes on one cluster",
+        class.name()
+    ));
+    let matrix = layout_matrix(class, Layout::Cluster(4), Layout::Split(8, 8));
+    print_layout_matrix(matrix, "speedup = t_cluster4/t_grid (ideal 4)");
+}
+
+fn print_layout_matrix(matrix: Vec<(npb::NasBenchmark, nas::LayoutRow)>, metric: &str) {
+    println!(
+        "{:<6} {:>14} {:>14} {:>14} {:>14}   ({metric})",
+        "", "MPICH2", "GridMPI", "MPICH-Mad.", "OpenMPI"
+    );
+    for (bench, row) in matrix {
+        print!("{:<6}", bench.name());
+        for (_, reference, grid) in &row {
+            match (reference.secs(), grid.secs()) {
+                (Some(r), Some(g)) => print!("{:>14.2}", r / g),
+                _ => print!("{:>14}", "timeout"),
+            }
+        }
+        println!();
+    }
+}
+
+fn cmd_table2(class: NasClass) {
+    header(&format!(
+        "Table 2: NPB communication features (class {}, 16 ranks, instrumented)",
+        class.name()
+    ));
+    for row in table2(class) {
+        println!("\n{} [{}]", row.bench.name(), row.comm_type);
+        if !row.p2p.is_empty() {
+            print!("  p2p:");
+            for (lo, hi, n) in &row.p2p {
+                if lo == hi {
+                    print!(" {n} x {lo}B;");
+                } else {
+                    print!(" {n} x {lo}..{hi}B;");
+                }
+            }
+            println!();
+        }
+        if !row.collectives.is_empty() {
+            print!("  collectives:");
+            for (op, sz, n) in &row.collectives {
+                print!(" {n} x {op}({sz}B);");
+            }
+            println!();
+        }
+    }
+}
+
+fn cmd_ray2mesh() {
+    header("Tables 6 and 7: ray2mesh on four clusters, master location varied");
+    let cfg = Ray2MeshConfig::default();
+    let runs = master_location_matrix(&cfg);
+    println!("\nTable 6: mean rays computed per node of each cluster");
+    print!("{:<12}", "cluster");
+    for r in &runs {
+        print!("{:>12}", r.master.name());
+    }
+    println!("   (column = master location)");
+    for (i, site) in netsim::Grid5000Site::ALL.iter().enumerate() {
+        print!("{:<12}", site.name());
+        for r in &runs {
+            print!("{:>12.0}", r.rays_per_node[i]);
+        }
+        println!();
+    }
+    println!("\nTable 7: phase times (s)");
+    print!("{:<12}", "");
+    for r in &runs {
+        print!("{:>12}", r.master.name());
+    }
+    println!();
+    for (label, f) in [
+        (
+            "Comp. time",
+            (|r: &rays::RayRun| r.compute_secs) as fn(&rays::RayRun) -> f64,
+        ),
+        ("Merge time", |r| r.merge_secs),
+        ("Total time", |r| r.total_secs),
+    ] {
+        print!("{:<12}", label);
+        for r in &runs {
+            print!("{:>12.2}", f(r));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,59 @@
+//! The ray2mesh experiment of §4.4: Tables 6 and 7 — four clusters of
+//! eight nodes (Fig. 8), the master moved across the four sites.
+
+use gridapps::Ray2MeshConfig;
+use mpisim::{MpiImpl, MpiJob};
+use netsim::{grid5000_four_sites, Grid5000Site, KernelConfig, Network};
+use rayon::prelude::*;
+
+/// Result of one ray2mesh execution.
+#[derive(Clone, Debug)]
+pub struct RayRun {
+    /// Where the master ran.
+    pub master: Grid5000Site,
+    /// Mean rays computed per node of each cluster, in
+    /// [`Grid5000Site::ALL`] order (Table 6 column).
+    pub rays_per_node: [f64; 4],
+    /// Computing phase, seconds (Table 7).
+    pub compute_secs: f64,
+    /// Merging phase, seconds (Table 7).
+    pub merge_secs: f64,
+    /// Total time, seconds (Table 7).
+    pub total_secs: f64,
+}
+
+/// Run ray2mesh with the master on `master`, 8 slaves per site.
+pub fn run_ray2mesh(cfg: &Ray2MeshConfig, master: Grid5000Site) -> RayRun {
+    let (mut topo, _sites, nodes) = grid5000_four_sites(8);
+    topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+    // Master shares the first node of its site; slave ranks are laid out
+    // site by site in Grid5000Site::ALL order.
+    let mut placement = vec![nodes[master.index()][0]];
+    for site_nodes in &nodes {
+        placement.extend(site_nodes.iter().copied());
+    }
+    let report = MpiJob::new(Network::new(topo), placement, MpiImpl::GridMpi)
+        .run(cfg.program())
+        .expect("ray2mesh completes");
+    let rays = report.values("rays");
+    let mut rays_per_node = [0.0f64; 4];
+    for (rank, v) in rays {
+        let site = (rank - 1) / 8; // slaves 1..=8 → site 0, 9..=16 → 1, …
+        rays_per_node[site] += v / 8.0;
+    }
+    RayRun {
+        master,
+        rays_per_node,
+        compute_secs: report.values("compute_secs")[0].1,
+        merge_secs: report.values("merge_secs")[0].1,
+        total_secs: report.values("total_secs")[0].1,
+    }
+}
+
+/// The full Table 6/7 matrix: one run per master location.
+pub fn master_location_matrix(cfg: &Ray2MeshConfig) -> Vec<RayRun> {
+    Grid5000Site::ALL
+        .par_iter()
+        .map(|&site| run_ray2mesh(cfg, site))
+        .collect()
+}

@@ -1,0 +1,97 @@
+//! Fig. 9 — the impact of TCP slow start and congestion avoidance: 200
+//! pingpong messages of 1 MB between Rennes and Nancy, reporting the
+//! per-message bandwidth against elapsed time for each stack.
+
+use mpisim::{MpiImpl, MpiJob, RankCtx};
+
+use crate::pingpong::Stack;
+use crate::util::{mbps, pair_endpoints, Scope, TuningLevel};
+
+/// One point of the Fig. 9 series.
+#[derive(Clone, Copy, Debug)]
+pub struct SlowstartPoint {
+    /// Elapsed time at the end of the round trip, seconds.
+    pub t: f64,
+    /// One-way bandwidth of this message, Mbps.
+    pub mbps: f64,
+}
+
+/// Run the Fig. 9 experiment for one stack (TCP-tuned configuration, as
+/// in §4.2.3): `count` messages of `bytes`.
+pub fn slowstart_series(stack: Stack, bytes: u64, count: u32) -> Vec<SlowstartPoint> {
+    match stack {
+        Stack::RawTcp => raw_series(bytes, count),
+        Stack::Mpi(id) => mpi_series(id, bytes, count),
+    }
+}
+
+fn mpi_series(id: MpiImpl, bytes: u64, count: u32) -> Vec<SlowstartPoint> {
+    let level = TuningLevel::FullyTuned;
+    let (net, a, b) = pair_endpoints(Scope::Grid, level.kernel(Some(id)));
+    let report = MpiJob::new(net, vec![a, b], id)
+        .with_tuning(level.tuning(id))
+        .run(move |ctx: &mut RankCtx| {
+            const TAG: u64 = 1;
+            for _ in 0..count {
+                if ctx.rank() == 0 {
+                    let t0 = ctx.now();
+                    ctx.send(1, bytes, TAG);
+                    ctx.recv(1, TAG);
+                    let one_way = ctx.now().since(t0).as_secs_f64() / 2.0;
+                    ctx.record("t", ctx.now().as_secs_f64());
+                    ctx.record("bw", mbps(bytes, one_way));
+                } else {
+                    ctx.recv(0, TAG);
+                    ctx.send(0, bytes, TAG);
+                }
+            }
+        })
+        .expect("slowstart run completes");
+    let ts = report.values("t");
+    let bws = report.values("bw");
+    ts.iter()
+        .zip(bws.iter())
+        .map(|(&(_, t), &(_, bw))| SlowstartPoint { t, mbps: bw })
+        .collect()
+}
+
+fn raw_series(bytes: u64, count: u32) -> Vec<SlowstartPoint> {
+    // Reuse the MPI machinery with a zero-overhead profile: raw TCP is an
+    // MPI stack with no software overhead, no rendezvous and no pacing.
+    let level = TuningLevel::FullyTuned;
+    let (net, a, b) = pair_endpoints(Scope::Grid, level.kernel(None));
+    let mut profile = mpisim::ImplProfile::mpich2();
+    profile.overhead_lan = desim::SimDuration::ZERO;
+    profile.overhead_wan = desim::SimDuration::ZERO;
+    profile.eager_threshold = u64::MAX;
+    let report = MpiJob::new(net, vec![a, b], MpiImpl::Mpich2)
+        .with_profile(profile)
+        .run(move |ctx: &mut RankCtx| {
+            const TAG: u64 = 1;
+            for _ in 0..count {
+                if ctx.rank() == 0 {
+                    let t0 = ctx.now();
+                    ctx.send(1, bytes, TAG);
+                    ctx.recv(1, TAG);
+                    let one_way = ctx.now().since(t0).as_secs_f64() / 2.0;
+                    ctx.record("t", ctx.now().as_secs_f64());
+                    ctx.record("bw", mbps(bytes, one_way));
+                } else {
+                    ctx.recv(0, TAG);
+                    ctx.send(0, bytes, TAG);
+                }
+            }
+        })
+        .expect("raw slowstart completes");
+    let ts = report.values("t");
+    let bws = report.values("bw");
+    ts.iter()
+        .zip(bws.iter())
+        .map(|(&(_, t), &(_, bw))| SlowstartPoint { t, mbps: bw })
+        .collect()
+}
+
+/// Seconds until the series first reaches `target` Mbps (`None` if never).
+pub fn time_to(series: &[SlowstartPoint], target: f64) -> Option<f64> {
+    series.iter().find(|p| p.mbps >= target).map(|p| p.t)
+}

@@ -1,0 +1,61 @@
+//! Run a NAS kernel on 16 cluster nodes and on 8+8 nodes across the WAN
+//! for every implementation — one row of the paper's Figs. 10/12.
+//!
+//! Run with: `cargo run --release --example nas_grid_vs_cluster [-- CG]`
+
+use grid_mpi_lab::mpisim::{MpiImpl, MpiJob, Tuning};
+use grid_mpi_lab::netsim::{grid5000_pair, KernelConfig, Network};
+use grid_mpi_lab::npb::{NasBenchmark, NasClass, NasRun};
+
+fn run(bench: NasBenchmark, id: MpiImpl, split: bool) -> f64 {
+    let (mut topo, rennes, nancy) = grid5000_pair(16);
+    topo.set_kernel_all(if id == MpiImpl::GridMpi {
+        KernelConfig::tuned_with_default(4 << 20, 4 << 20)
+    } else {
+        KernelConfig::tuned(4 << 20)
+    });
+    let placement = if split {
+        let mut p: Vec<_> = rennes.into_iter().take(8).collect();
+        p.extend(nancy.into_iter().take(8));
+        p
+    } else {
+        rennes
+    };
+    let nas = NasRun::new(bench, NasClass::A);
+    let report = MpiJob::new(Network::new(topo), placement, id)
+        .with_tuning(Tuning::paper_tuned(id))
+        .run(nas.program())
+        .expect("NAS run completes");
+    nas.estimate(&report).as_secs_f64()
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "FT".to_string());
+    let bench = NasBenchmark::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(&arg))
+        .expect("benchmark name: EP CG MG LU SP BT IS FT");
+    println!(
+        "{} class A, 16 ranks: one cluster vs 8+8 across the WAN\n",
+        bench.name()
+    );
+    println!(
+        "{:<18} {:>12} {:>12} {:>10}",
+        "implementation", "cluster (s)", "grid (s)", "relative"
+    );
+    for id in MpiImpl::ALL {
+        if id.profile().grid_timeouts.contains(&bench.name()) {
+            println!("{:<18} {:>12} {:>12} {:>10}", id.name(), "-", "timeout", "-");
+            continue;
+        }
+        let cluster = run(bench, id, false);
+        let grid = run(bench, id, true);
+        println!(
+            "{:<18} {:>12.2} {:>12.2} {:>10.2}",
+            id.name(),
+            cluster,
+            grid,
+            cluster / grid
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! # grid-mpi-lab
+//!
+//! Facade crate: re-exports the full public API of the workspace crates.
+//! See README.md and DESIGN.md for the architecture, and the `repro`
+//! binary for the paper's tables and figures.
+
+pub use desim;
+pub use gridapps;
+pub use mpisim;
+pub use netsim;
+pub use npb;
+pub use placer;

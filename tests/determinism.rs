@@ -1,0 +1,57 @@
+//! The whole stack is a deterministic discrete-event simulation: identical
+//! configurations must produce bit-identical virtual timings across runs
+//! and regardless of host scheduling.
+
+use grid_mpi_lab::gridapps::Ray2MeshConfig;
+use grid_mpi_lab::mpisim::{MpiImpl, MpiJob, Tuning};
+use grid_mpi_lab::netsim::{grid5000_four_sites, grid5000_pair, KernelConfig, Network};
+use grid_mpi_lab::npb::{NasBenchmark, NasClass, NasRun};
+
+fn nas_elapsed(bench: NasBenchmark) -> u64 {
+    let (mut topo, rennes, nancy) = grid5000_pair(8);
+    topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+    let mut placement = rennes;
+    placement.extend(nancy);
+    let run = NasRun::quick(bench, NasClass::S);
+    let report = MpiJob::new(Network::new(topo), placement, MpiImpl::Mpich2)
+        .with_tuning(Tuning::paper_tuned(MpiImpl::Mpich2))
+        .run(run.program())
+        .unwrap();
+    report.elapsed.as_nanos()
+}
+
+#[test]
+fn nas_runs_are_reproducible_to_the_nanosecond() {
+    for bench in [NasBenchmark::Lu, NasBenchmark::Ft, NasBenchmark::Is] {
+        let a = nas_elapsed(bench);
+        let b = nas_elapsed(bench);
+        let c = nas_elapsed(bench);
+        assert_eq!(a, b, "{bench:?} differs between runs");
+        assert_eq!(b, c, "{bench:?} differs between runs");
+    }
+}
+
+#[test]
+fn ray2mesh_is_reproducible() {
+    fn one() -> (u64, f64) {
+        let cfg = Ray2MeshConfig {
+            total_rays: 50_000,
+            ..Ray2MeshConfig::small()
+        };
+        let (mut topo, _sites, nodes) = grid5000_four_sites(8);
+        topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+        let mut placement = vec![nodes[0][0]];
+        for site_nodes in &nodes {
+            placement.extend(site_nodes.iter().copied());
+        }
+        let report = MpiJob::new(Network::new(topo), placement, MpiImpl::GridMpi)
+            .run(cfg.program())
+            .unwrap();
+        let rays0 = report.values("rays")[0].1;
+        (report.elapsed.as_nanos(), rays0)
+    }
+    let (t1, r1) = one();
+    let (t2, r2) = one();
+    assert_eq!(t1, t2);
+    assert_eq!(r1, r2);
+}

@@ -1,0 +1,178 @@
+//! Property-based tests over the whole stack: physical invariants that
+//! must hold for *any* topology, message size, and rank layout.
+
+use grid_mpi_lab::desim::{Sim, SimDuration};
+use grid_mpi_lab::mpisim::{MpiImpl, MpiJob, RankCtx};
+use grid_mpi_lab::netsim::{
+    KernelConfig, Network, NodeParams, SiteParams, SockBufRequest, Topology,
+};
+use proptest::prelude::*;
+
+/// Build a two-site topology with arbitrary RTT/queue parameters.
+fn two_sites(rtt_us: u64, queue_kb: u64, buf: u64) -> (Network, Vec<grid_mpi_lab::netsim::NodeId>) {
+    let mut t = Topology::new();
+    let s1 = t.add_site("a", SiteParams::default());
+    let s2 = t.add_site("b", SiteParams::default());
+    let mut nodes = Vec::new();
+    for _ in 0..2 {
+        nodes.push(t.add_node(s1, NodeParams::default()));
+    }
+    for _ in 0..2 {
+        nodes.push(t.add_node(s2, NodeParams::default()));
+    }
+    t.connect_sites(
+        s1,
+        s2,
+        SimDuration::from_micros(rtt_us),
+        9.4e9 / 8.0,
+        queue_kb * 1024,
+    );
+    t.set_kernel_all(KernelConfig::tuned(buf));
+    (Network::new(t), nodes)
+}
+
+fn transfer_secs(net: &Network, a: grid_mpi_lab::netsim::NodeId, b: grid_mpi_lab::netsim::NodeId, bytes: u64) -> f64 {
+    transfer_secs_n(net, a, b, bytes, 1)
+}
+
+/// Time of the last of `n` back-to-back transfers on one connection.
+fn transfer_secs_n(
+    net: &Network,
+    a: grid_mpi_lab::netsim::NodeId,
+    b: grid_mpi_lab::netsim::NodeId,
+    bytes: u64,
+    n: u32,
+) -> f64 {
+    let sim = Sim::new();
+    let (tx, rx) = grid_mpi_lab::desim::completion::<f64>();
+    let net = net.clone();
+    sim.spawn("x", move |p| {
+        let ch = net.channel(
+            a,
+            b,
+            SockBufRequest::OsDefault,
+            SockBufRequest::OsDefault,
+            false,
+        );
+        let mut last = 0.0;
+        for _ in 0..n {
+            let t0 = p.now();
+            net.transfer_blocking(&p, ch, bytes);
+            last = p.now().since(t0).as_secs_f64();
+        }
+        tx.fire(&p, last);
+    });
+    sim.run().unwrap();
+    rx.try_take().ok().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// More bytes never arrive sooner (same fresh connection).
+    #[test]
+    fn transfer_time_is_monotone_in_size(
+        rtt_us in 200u64..30_000,
+        queue_kb in 64u64..2048,
+        small in 1u64..1_000_000,
+        extra in 1u64..8_000_000,
+    ) {
+        let (net, nodes) = two_sites(rtt_us, queue_kb, 4 << 20);
+        let t_small = transfer_secs(&net, nodes[0], nodes[2], small);
+        let (net2, nodes2) = two_sites(rtt_us, queue_kb, 4 << 20);
+        let t_big = transfer_secs(&net2, nodes2[0], nodes2[2], small + extra);
+        prop_assert!(
+            t_big >= t_small - 1e-9,
+            "bigger transfer finished sooner: {t_small} vs {t_big}"
+        );
+    }
+
+    /// A transfer can never beat propagation + line rate.
+    #[test]
+    fn transfer_respects_physics(
+        rtt_us in 200u64..30_000,
+        bytes in 1u64..16_000_000,
+    ) {
+        let (net, nodes) = two_sites(rtt_us, 512, 4 << 20);
+        let t = transfer_secs(&net, nodes[0], nodes[2], bytes);
+        let floor = rtt_us as f64 / 2.0 * 1e-6 + bytes as f64 / 117.5e6;
+        prop_assert!(
+            t >= floor * 0.999,
+            "transfer of {bytes}B in {t}s beats the physical floor {floor}s"
+        );
+    }
+
+    /// Bigger socket buffers never slow a *steady-state* transfer. (On a
+    /// cold connection they legitimately can: a larger window lets slow
+    /// start overshoot the bottleneck queue and pay an RTO — the very
+    /// pathology GridMPI's pacing addresses. So the property is asserted
+    /// after warming the connection.)
+    #[test]
+    fn buffers_help_or_do_nothing_once_warm(
+        rtt_us in 1_000u64..30_000,
+        bytes in 100_000u64..8_000_000,
+    ) {
+        let warmed = |buf: u64| -> f64 {
+            let (net, n) = two_sites(rtt_us, 512, buf);
+            transfer_secs_n(&net, n[0], n[2], bytes, 4)
+        };
+        let t_small_buf = warmed(256 << 10);
+        let t_big_buf = warmed(8 << 20);
+        prop_assert!(
+            t_big_buf <= t_small_buf * 1.05,
+            "bigger buffers slowed the warm transfer: {t_small_buf} -> {t_big_buf}"
+        );
+    }
+
+    /// Collectives complete and leave no dangling state for arbitrary rank
+    /// counts and sizes, for every implementation.
+    #[test]
+    fn collectives_always_drain(
+        ranks in 2usize..9,
+        bytes in 1u64..300_000,
+        which in 0usize..4,
+        impl_idx in 0usize..4,
+    ) {
+        let (net, nodes) = two_sites(11_600, 512, 4 << 20);
+        let placement: Vec<_> = (0..ranks).map(|i| nodes[i % 4]).collect();
+        let id = MpiImpl::ALL[impl_idx];
+        let report = MpiJob::new(net, placement, id)
+            .run(move |ctx: &mut RankCtx| {
+                match which {
+                    0 => ctx.bcast(0, bytes),
+                    1 => ctx.allreduce(bytes),
+                    2 => ctx.alltoall(bytes.min(65_536)),
+                    _ => ctx.allgather(bytes.min(65_536)),
+                }
+                ctx.barrier();
+            })
+            .unwrap();
+        prop_assert!(report.clean, "{id:?} left unmatched messages");
+    }
+
+    /// Point-to-point FIFO ordering holds for arbitrary message batches.
+    #[test]
+    fn p2p_fifo_for_random_batches(
+        sizes in prop::collection::vec(1u64..500_000, 1..12),
+    ) {
+        let (net, nodes) = two_sites(11_600, 512, 4 << 20);
+        let placement = vec![nodes[0], nodes[2]];
+        let sizes2 = sizes.clone();
+        let report = MpiJob::new(net, placement, MpiImpl::Mpich2)
+            .run(move |ctx: &mut RankCtx| {
+                const TAG: u64 = 9;
+                if ctx.rank() == 0 {
+                    let reqs: Vec<_> =
+                        sizes2.iter().map(|&b| ctx.isend(1, b, TAG)).collect();
+                    ctx.waitall(reqs);
+                } else {
+                    for &expect in &sizes2 {
+                        let m = ctx.recv(0, TAG);
+                        assert_eq!(m.bytes, expect, "message overtook another");
+                    }
+                }
+            })
+            .unwrap();
+        prop_assert!(report.clean);
+    }
+}
