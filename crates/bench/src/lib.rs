@@ -1,4 +1,4 @@
-//! Shared helpers for the criterion benches.
+//! Shared helpers for the std-only benchmark harness (`src/main.rs`).
 
 use mpisim::{MpiImpl, MpiJob, RankCtx, Tuning};
 use netsim::{grid5000_pair, KernelConfig, Network, NodeId};

@@ -1,0 +1,379 @@
+//! Std-only wall-clock benchmark harness.
+//!
+//! Replaces the former criterion benches with a dependency-free runner:
+//! each benchmark is calibrated to ~0.3 s of wall time, then timed, and
+//! one JSON line per benchmark is written to stdout (and to `--json FILE`
+//! when given) with the wall-clock seconds per iteration and — for
+//! benchmarks that drive a [`desim::Sim`] directly — the simulator event
+//! throughput from [`desim::RunStats`].
+//!
+//! ```text
+//! bench [GROUP ...] [--json FILE]
+//! ```
+//!
+//! Groups: `kernel`, `tcp`, `pingpong`, `collectives`, `npb`, `ray2mesh`,
+//! `fastpath`, `smoke` (a quick CI subset). No groups = all of them
+//! except `smoke`.
+
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+use bench::{grid_job, pingpong_once, tuned_pair};
+use desim::{completion, Sim, SimDuration};
+use gridapps::Ray2MeshConfig;
+use mpisim::{MpiImpl, MpiJob, RankCtx};
+use netsim::{grid5000_four_sites, KernelConfig, Network, SockBufRequest};
+use npb::{NasBenchmark, NasClass, NasRun};
+
+/// Wall-clock target per benchmark; keeps the full suite under a minute.
+const TARGET_SECS: f64 = 0.3;
+const MAX_ITERS: u32 = 1_000;
+
+struct Harness {
+    json: Option<std::fs::File>,
+}
+
+impl Harness {
+    /// Time `f` (returning simulated events per iteration, 0 if unknown)
+    /// and emit one JSON line.
+    fn bench(&mut self, name: &str, mut f: impl FnMut() -> u64) {
+        // Warm-up iteration doubles as the calibration probe.
+        let probe = Instant::now();
+        black_box(f());
+        let once = probe.elapsed().as_secs_f64();
+        let iters = if once >= TARGET_SECS {
+            1
+        } else {
+            (((TARGET_SECS / once.max(1e-9)) as u32).max(3)).min(MAX_ITERS)
+        };
+        let t0 = Instant::now();
+        let mut events = 0u64;
+        for _ in 0..iters {
+            events += black_box(f());
+        }
+        let total = t0.elapsed().as_secs_f64();
+        let secs = total / iters as f64;
+        let eps = if events > 0 {
+            format!("{:.0}", events as f64 / total)
+        } else {
+            "null".into()
+        };
+        let line = format!(
+            "{{\"name\": \"{name}\", \"iters\": {iters}, \"secs_per_iter\": {secs:.6e}, \
+             \"events_per_sec\": {eps}}}"
+        );
+        println!("{line}");
+        if let Some(f) = &mut self.json {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+
+    /// Emit a free-form JSON line (for derived metrics like speedups).
+    fn note(&mut self, line: &str) {
+        println!("{line}");
+        if let Some(f) = &mut self.json {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(|p| std::fs::File::create(p).expect("create --json file"));
+    let groups: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            args.iter()
+                .position(|x| x == "--json")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                != Some(*a)
+        })
+        .collect();
+    let all = [
+        "kernel",
+        "tcp",
+        "pingpong",
+        "collectives",
+        "npb",
+        "ray2mesh",
+        "fastpath",
+    ];
+    let groups: Vec<&str> = if groups.is_empty() {
+        all.to_vec()
+    } else {
+        groups
+    };
+    let mut h = Harness { json };
+    for g in groups {
+        match g {
+            "kernel" => group_kernel(&mut h),
+            "tcp" => group_tcp(&mut h),
+            "pingpong" => group_pingpong(&mut h),
+            "collectives" => group_collectives(&mut h),
+            "npb" => group_npb(&mut h),
+            "ray2mesh" => group_ray2mesh(&mut h),
+            "fastpath" => group_fastpath(&mut h),
+            "smoke" => group_smoke(&mut h),
+            other => eprintln!("unknown group: {other}"),
+        }
+    }
+}
+
+/// desim micro-benchmarks: event throughput and process hand-off cost.
+fn group_kernel(h: &mut Harness) {
+    h.bench("kernel/10k_timers_one_process", || {
+        let sim = Sim::new();
+        sim.spawn("timers", |p| {
+            for _ in 0..10_000 {
+                p.advance(SimDuration::from_nanos(black_box(17)));
+            }
+        });
+        sim.run_counted().unwrap().events
+    });
+    h.bench("kernel/1k_completion_handoffs", || {
+        let sim = Sim::new();
+        let n = 1_000;
+        let mut txs = Vec::new();
+        let mut rxs = Vec::new();
+        for _ in 0..n {
+            let (t, r) = completion::<u32>();
+            txs.push(t);
+            rxs.push(r);
+        }
+        sim.spawn("producer", move |p| {
+            for tx in txs {
+                p.advance(SimDuration::from_nanos(5));
+                tx.fire(&p, 1);
+            }
+        });
+        sim.spawn("consumer", move |p| {
+            let mut acc = 0u32;
+            for rx in rxs {
+                acc += rx.wait(&p);
+            }
+            assert_eq!(acc, n as u32);
+        });
+        sim.run_counted().unwrap().events
+    });
+    h.bench("kernel/32_processes_round_robin", || {
+        let sim = Sim::new();
+        for i in 0..32 {
+            sim.spawn(format!("p{i}"), |p| {
+                for _ in 0..100 {
+                    p.yield_now();
+                }
+            });
+        }
+        sim.run_counted().unwrap().events
+    });
+}
+
+/// netsim benchmarks: congestion state machine and fluid transfers.
+fn group_tcp(h: &mut Harness) {
+    for (label, bytes) in [("64k", 64u64 << 10), ("16M", 16 << 20)] {
+        h.bench(&format!("tcp/wan_transfer_{label}"), || {
+            let (net, rn, nn) = tuned_pair(1);
+            let sim = Sim::new();
+            let (a, z) = (rn[0], nn[0]);
+            sim.spawn("xfer", move |p| {
+                let ch = net.channel(
+                    a,
+                    z,
+                    SockBufRequest::OsDefault,
+                    SockBufRequest::OsDefault,
+                    false,
+                );
+                net.transfer_blocking(&p, ch, black_box(bytes));
+            });
+            sim.run_counted().unwrap().events
+        });
+    }
+    h.bench("tcp/32_concurrent_wan_flows", || {
+        let (net, rn, nn) = tuned_pair(8);
+        let sim = Sim::new();
+        for i in 0..8 {
+            for j in 0..4 {
+                let net = net.clone();
+                let (a, z) = (rn[i], nn[(i + j) % 8]);
+                sim.spawn(format!("f{i}-{j}"), move |p| {
+                    let ch = net.channel(
+                        a,
+                        z,
+                        SockBufRequest::OsDefault,
+                        SockBufRequest::OsDefault,
+                        true,
+                    );
+                    net.transfer_blocking(&p, ch, 2 << 20);
+                });
+            }
+        }
+        sim.run_counted().unwrap().events
+    });
+}
+
+/// The paper's pingpong (Figs. 3/5/6/7), one entry per MPI implementation.
+fn group_pingpong(h: &mut Harness) {
+    for id in MpiImpl::ALL {
+        h.bench(&format!("pingpong_grid_1M/{}", id.name()), || {
+            black_box(pingpong_once(id, 1 << 20, 20));
+            0
+        });
+    }
+}
+
+/// Collective algorithms on the 8+8 grid (Fig. 10's FT/IS mechanism).
+fn group_collectives(h: &mut Harness) {
+    fn run_coll(id: MpiImpl, op: &'static str) -> f64 {
+        let report = grid_job(16, id)
+            .run(move |ctx: &mut RankCtx| match op {
+                "bcast" => ctx.bcast(0, 128 << 10),
+                "allreduce" => ctx.allreduce(128 << 10),
+                "alltoall" => ctx.alltoall(64 << 10),
+                _ => unreachable!(),
+            })
+            .expect("collective completes");
+        report.elapsed.as_secs_f64()
+    }
+    for op in ["bcast", "allreduce", "alltoall"] {
+        for id in [MpiImpl::Mpich2, MpiImpl::GridMpi, MpiImpl::MpichMadeleine] {
+            h.bench(&format!("coll_{op}_128k_8+8/{}", id.name()), || {
+                black_box(run_coll(id, op));
+                0
+            });
+        }
+    }
+}
+
+/// One bench per NAS kernel (class S, 8+8 layout) — the full Fig. 10–13
+/// machinery end to end.
+fn group_npb(h: &mut Harness) {
+    for bench_id in NasBenchmark::ALL {
+        h.bench(&format!("npb_classS_8+8/{}", bench_id.name()), || {
+            let run = NasRun::quick(bench_id, NasClass::S);
+            let report = grid_job(16, MpiImpl::GridMpi)
+                .run(run.program())
+                .expect("NAS completes");
+            black_box(run.estimate(&report));
+            0
+        });
+    }
+}
+
+/// The ray2mesh application model (Tables 6/7).
+fn group_ray2mesh(h: &mut Harness) {
+    h.bench("ray2mesh/small_4_sites", || {
+        let cfg = Ray2MeshConfig::small();
+        let (mut topo, _sites, nodes) = grid5000_four_sites(8);
+        topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+        let mut placement = vec![nodes[0][0]];
+        for site_nodes in &nodes {
+            placement.extend(site_nodes.iter().copied());
+        }
+        let report = MpiJob::new(Network::new(topo), placement, MpiImpl::GridMpi)
+            .run(cfg.program())
+            .expect("ray2mesh completes");
+        black_box(report.elapsed);
+        0
+    });
+}
+
+/// The closed-form bulk-transfer fast path against the per-round model:
+/// the Fig. 3-style 64 MB grid ping-pong, both directions timed.
+fn group_fastpath(h: &mut Harness) {
+    fn pingpong_64m(fast: bool) -> u64 {
+        let (net, rn, nn) = tuned_pair(1);
+        net.set_bulk_fast_path(fast);
+        let sim = Sim::new();
+        let (a, z) = (rn[0], nn[0]);
+        sim.spawn("pingpong", move |p| {
+            let fwd = net.channel(
+                a,
+                z,
+                SockBufRequest::OsDefault,
+                SockBufRequest::OsDefault,
+                false,
+            );
+            let back = net.channel(
+                z,
+                a,
+                SockBufRequest::OsDefault,
+                SockBufRequest::OsDefault,
+                false,
+            );
+            // The paper's measurement is 200 round trips per size; 64 is
+            // enough to dominate the fixed cost of standing up the Sim.
+            for _ in 0..64 {
+                net.transfer_blocking(&p, fwd, 64 << 20);
+                net.transfer_blocking(&p, back, 64 << 20);
+            }
+        });
+        sim.run_counted().unwrap().events
+    }
+    let mut timed = [0.0f64; 2];
+    for (slot, fast) in [(0usize, false), (1, true)] {
+        let label = if fast { "fast_path" } else { "per_round" };
+        // Time this variant ourselves as well, so the speedup line does
+        // not depend on the harness's per-bench calibration.
+        let t0 = Instant::now();
+        let mut iters = 0u32;
+        while t0.elapsed().as_secs_f64() < TARGET_SECS || iters < 3 {
+            black_box(pingpong_64m(fast));
+            iters += 1;
+            if iters >= MAX_ITERS {
+                break;
+            }
+        }
+        timed[slot] = t0.elapsed().as_secs_f64() / iters as f64;
+        h.bench(&format!("fastpath/pingpong_64M_{label}"), || {
+            pingpong_64m(fast)
+        });
+    }
+    h.note(&format!(
+        "{{\"name\": \"fastpath/speedup_pingpong_64M\", \"per_round_secs\": {:.6e}, \
+         \"fast_path_secs\": {:.6e}, \"speedup\": {:.2}}}",
+        timed[0],
+        timed[1],
+        timed[0] / timed[1]
+    ));
+}
+
+/// Quick CI subset: one benchmark per layer.
+fn group_smoke(h: &mut Harness) {
+    h.bench("smoke/kernel_10k_timers", || {
+        let sim = Sim::new();
+        sim.spawn("timers", |p| {
+            for _ in 0..10_000 {
+                p.advance(SimDuration::from_nanos(black_box(17)));
+            }
+        });
+        sim.run_counted().unwrap().events
+    });
+    h.bench("smoke/wan_transfer_64k", || {
+        let (net, rn, nn) = tuned_pair(1);
+        let sim = Sim::new();
+        let (a, z) = (rn[0], nn[0]);
+        sim.spawn("xfer", move |p| {
+            let ch = net.channel(
+                a,
+                z,
+                SockBufRequest::OsDefault,
+                SockBufRequest::OsDefault,
+                false,
+            );
+            net.transfer_blocking(&p, ch, black_box(64u64 << 10));
+        });
+        sim.run_counted().unwrap().events
+    });
+    h.bench("smoke/pingpong_grid_1M_mpich2", || {
+        black_box(pingpong_once(MpiImpl::Mpich2, 1 << 20, 5));
+        0
+    });
+}

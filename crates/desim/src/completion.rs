@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::kernel::Sched;
 use crate::process::{Proc, ProcId};

@@ -17,7 +17,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 
 use crate::process::{Proc, ProcId};
 use crate::time::{SimDuration, SimTime};
@@ -163,6 +163,9 @@ pub(crate) struct Shared {
     pub(crate) procs: Vec<Arc<ProcSlot>>,
     pub(crate) failure: Option<SimError>,
     pub(crate) limit: SimTime,
+    /// Events dispatched so far (wakes and callbacks), for throughput
+    /// reporting via [`Sim::run_counted`].
+    pub(crate) events: u64,
 }
 
 impl Shared {
@@ -202,6 +205,7 @@ impl Sim {
                     procs: Vec::new(),
                     failure: None,
                     limit: SimTime::MAX,
+                    events: 0,
                 }),
                 main_gate: Gate::new(),
             }),
@@ -230,10 +234,19 @@ impl Sim {
     /// Run the simulation until every process has finished. Returns the final
     /// virtual time, or the first failure (process panic or deadlock).
     pub fn run(self) -> Result<SimTime, SimError> {
+        self.run_counted().map(|s| s.end)
+    }
+
+    /// Like [`Sim::run`], but also report how many events were dispatched —
+    /// the denominator of the kernel's events-per-second throughput.
+    pub fn run_counted(self) -> Result<RunStats, SimError> {
         {
             let g = self.inner.shared.lock();
             if g.live == 0 && g.heap.is_empty() {
-                return Ok(g.now);
+                return Ok(RunStats {
+                    end: g.now,
+                    events: g.events,
+                });
             }
         }
         dispatch(&self.inner, None, None);
@@ -241,9 +254,21 @@ impl Sim {
         let g = self.inner.shared.lock();
         match &g.failure {
             Some(e) => Err(e.clone()),
-            None => Ok(g.now),
+            None => Ok(RunStats {
+                end: g.now,
+                events: g.events,
+            }),
         }
     }
+}
+
+/// Outcome of a completed run: final virtual time and event count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Final virtual time.
+    pub end: SimTime,
+    /// Total events dispatched (process wakes plus kernel callbacks).
+    pub events: u64,
 }
 
 pub(crate) fn spawn_process<F>(inner: &Arc<Inner>, name: String, body: F) -> ProcId
@@ -310,13 +335,32 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 pub(crate) fn dispatch(
     inner: &Arc<Inner>,
     me: Option<&Arc<ProcSlot>>,
-    pre_locked: Option<parking_lot::MutexGuard<'_, Shared>>,
+    pre_locked: Option<crate::sync::MutexGuard<'_, Shared>>,
 ) {
     let mut guard = match pre_locked {
         Some(g) => g,
         None => inner.shared.lock(),
     };
     if let Some(slot) = me {
+        // Fast path: the next event is this thread's own wake (the common
+        // `advance()` shape). Take the token straight back without the
+        // park/unpark handshake or the blocked-flag round trips.
+        if guard.live > 0 {
+            if let Some(Reverse(ev)) = guard.heap.peek() {
+                if ev.time <= guard.limit {
+                    if let EventKind::Wake(pid) = ev.kind {
+                        if pid == slot.id {
+                            let Some(Reverse(ev)) = guard.heap.pop() else {
+                                unreachable!("peeked event vanished")
+                            };
+                            guard.now = guard.now.max(ev.time);
+                            guard.events += 1;
+                            return;
+                        }
+                    }
+                }
+            }
+        }
         *slot.blocked.lock() = true;
     }
     loop {
@@ -343,6 +387,7 @@ pub(crate) fn dispatch(
             Some(Reverse(ev)) => {
                 debug_assert!(ev.time >= guard.now, "event queue went backwards");
                 guard.now = guard.now.max(ev.time);
+                guard.events += 1;
                 match ev.kind {
                     EventKind::Wake(pid) => {
                         if me.is_some_and(|s| s.id == pid) {
@@ -514,7 +559,7 @@ mod tests {
     #[test]
     fn determinism_same_trace_twice() {
         fn trace() -> Vec<(u64, usize)> {
-            let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let log = Arc::new(crate::sync::Mutex::new(Vec::new()));
             let sim = Sim::new();
             for i in 0..8usize {
                 let log = Arc::clone(&log);

@@ -38,9 +38,11 @@
 mod completion;
 mod kernel;
 mod process;
+pub mod prop;
+pub mod sync;
 mod time;
 
 pub use completion::{completion, Completion, Trigger};
-pub use kernel::{Sched, Sim, SimError};
+pub use kernel::{RunStats, Sched, Sim, SimError};
 pub use process::{Proc, ProcId};
 pub use time::{SimDuration, SimTime};

@@ -1,17 +1,20 @@
-//! Property-based tests of the simulation kernel's core guarantees.
+//! Property-based tests of the simulation kernel's core guarantees,
+//! driven by the std-only [`desim::prop`] helper.
 
 use std::sync::{Arc, Mutex};
 
-use desim::{completion, Sim, SimDuration};
-use proptest::prelude::*;
+use desim::prop::{forall, Rng};
+use desim::{completion, Sim, SimDuration, SimTime};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Observed event times never decrease, whatever the mix of process
-    /// step lengths.
-    #[test]
-    fn time_never_goes_backwards(steps in prop::collection::vec((1u64..1_000_000, 1u32..20), 1..8)) {
+/// Observed event times never decrease, whatever the mix of process
+/// step lengths.
+#[test]
+fn time_never_goes_backwards() {
+    forall(48, 0x5EED_0001, |rng| {
+        let nprocs = rng.range_usize(1, 8);
+        let steps: Vec<(u64, u32)> = (0..nprocs)
+            .map(|_| (rng.range_u64(1, 1_000_000), rng.range_u64(1, 20) as u32))
+            .collect();
         let log = Arc::new(Mutex::new(Vec::new()));
         let sim = Sim::new();
         for (i, (dt, count)) in steps.into_iter().enumerate() {
@@ -26,14 +29,18 @@ proptest! {
         sim.run().unwrap();
         let log = log.lock().unwrap();
         for w in log.windows(2) {
-            prop_assert!(w[0] <= w[1], "time went backwards: {} -> {}", w[0], w[1]);
+            assert!(w[0] <= w[1], "time went backwards: {} -> {}", w[0], w[1]);
         }
-    }
+    });
+}
 
-    /// The final time equals the maximum per-process total, independent of
-    /// spawn order.
-    #[test]
-    fn end_time_is_the_slowest_process(durations in prop::collection::vec(1u64..1_000_000_000, 1..10)) {
+/// The final time equals the maximum per-process total, independent of
+/// spawn order.
+#[test]
+fn end_time_is_the_slowest_process() {
+    forall(48, 0x5EED_0002, |rng| {
+        let n = rng.range_usize(1, 10);
+        let durations: Vec<u64> = (0..n).map(|_| rng.range_u64(1, 1_000_000_000)).collect();
         let expect = *durations.iter().max().unwrap();
         let sim = Sim::new();
         for (i, d) in durations.into_iter().enumerate() {
@@ -42,14 +49,17 @@ proptest! {
             });
         }
         let end = sim.run().unwrap();
-        prop_assert_eq!(end.as_nanos(), expect);
-    }
+        assert_eq!(end.as_nanos(), expect);
+    });
+}
 
-    /// A chain of completions preserves the sum of delays.
-    #[test]
-    fn completion_chains_accumulate_delays(delays in prop::collection::vec(1u64..10_000_000, 1..12)) {
+/// A chain of completions preserves the sum of delays.
+#[test]
+fn completion_chains_accumulate_delays() {
+    forall(48, 0x5EED_0003, |rng| {
+        let n = rng.range_usize(1, 12);
+        let delays: Vec<u64> = (0..n).map(|_| rng.range_u64(1, 10_000_000)).collect();
         let total: u64 = delays.iter().sum();
-        let n = delays.len();
         let mut txs = Vec::new();
         let mut rxs = Vec::new();
         for _ in 0..n {
@@ -75,14 +85,18 @@ proptest! {
             assert_eq!(p.now().as_nanos(), total);
         });
         let end = sim.run().unwrap();
-        prop_assert_eq!(end.as_nanos(), total);
-    }
+        assert_eq!(end.as_nanos(), total);
+    });
+}
 
-    /// Determinism under arbitrary workloads: two runs, one trace.
-    #[test]
-    fn identical_runs_identical_traces(
-        seeds in prop::collection::vec((1u64..5_000, 1u64..97), 2..6)
-    ) {
+/// Determinism under arbitrary workloads: two runs, one trace.
+#[test]
+fn identical_runs_identical_traces() {
+    forall(48, 0x5EED_0004, |rng| {
+        let n = rng.range_usize(2, 6);
+        let seeds: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.range_u64(1, 5_000), rng.range_u64(1, 97)))
+            .collect();
         fn trace(seeds: &[(u64, u64)]) -> Vec<(u64, usize)> {
             let log = Arc::new(Mutex::new(Vec::new()));
             let sim = Sim::new();
@@ -99,6 +113,48 @@ proptest! {
             let v = log.lock().unwrap().clone();
             v
         }
-        prop_assert_eq!(trace(&seeds), trace(&seeds));
+        assert_eq!(trace(&seeds), trace(&seeds));
+    });
+}
+
+/// `Sched::call_at` with a timestamp in the past clamps to the current
+/// virtual time, and callbacks landing at the same instant fire in
+/// insertion order.
+#[test]
+fn call_at_in_the_past_clamps_and_preserves_insertion_order() {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let log2 = Arc::clone(&log);
+    let sim = Sim::new();
+    sim.spawn("driver", move |p| {
+        p.advance(SimDuration::from_millis(5));
+        let s = p.sched();
+        // All four target times are now or earlier; each must clamp to
+        // t = 5 ms and run in the order scheduled.
+        for (label, at) in [
+            ("past-zero", SimTime::ZERO),
+            ("past-mid", SimTime::from_nanos(1_000_000)),
+            ("now", s.now()),
+            ("past-again", SimTime::from_nanos(4_999_999)),
+        ] {
+            let log = Arc::clone(&log2);
+            s.call_at(at, move |s2| {
+                log.lock().unwrap().push((label, s2.now().as_nanos()));
+            });
+        }
+        // Let the callbacks drain before the process exits, so their
+        // firing times are observable.
+        p.advance(SimDuration::from_millis(1));
+    });
+    let end = sim.run().unwrap();
+    assert_eq!(end.as_millis(), 6);
+    let log = log.lock().unwrap();
+    let labels: Vec<&str> = log.iter().map(|(l, _)| *l).collect();
+    assert_eq!(
+        labels,
+        vec!["past-zero", "past-mid", "now", "past-again"],
+        "equal-timestamp callbacks must fire in insertion order"
+    );
+    for (label, t) in log.iter() {
+        assert_eq!(*t, 5_000_000, "callback {label} did not clamp to now");
     }
 }

@@ -10,7 +10,6 @@
 //! phase times (Table 7).
 
 use mpisim::{MpiProgram, RankCtx};
-use serde::{Deserialize, Serialize};
 
 /// Tags of the master/worker protocol.
 const TAG_REQ: u64 = 900;
@@ -22,7 +21,7 @@ const TAG_WRITE: u64 = 904;
 /// ray2mesh configuration. Defaults reproduce the paper's experiment:
 /// 10⁶ rays in sets of 1000, 69 kB per set, ≈ 235 MB of merge traffic per
 /// node, phase times calibrated to Table 7 on the Fig. 8 testbed.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Ray2MeshConfig {
     /// Total rays to trace.
     pub total_rays: u64,

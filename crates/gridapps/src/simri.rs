@@ -8,13 +8,12 @@
 //! example application.
 
 use mpisim::{MpiProgram, RankCtx};
-use serde::{Deserialize, Serialize};
 
 const TAG_WORK: u64 = 950;
 const TAG_RESULT: u64 = 951;
 
 /// Simri configuration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SimriConfig {
     /// Object edge size (e.g. 256 for a 256×256 object).
     pub object_size: u64,

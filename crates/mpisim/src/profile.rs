@@ -18,10 +18,9 @@
 
 use desim::SimDuration;
 use netsim::SockBufRequest;
-use serde::{Deserialize, Serialize};
 
 /// The four implementations the paper compares.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum MpiImpl {
     /// MPICH2 1.0.5 — the reference implementation.
     Mpich2,
@@ -87,7 +86,7 @@ impl MpiImpl {
 }
 
 /// Socket-buffer sizing behaviour of an implementation (§4.2.1).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SocketPolicy {
     /// No `setsockopt`: kernel autotuning applies (MPICH2,
     /// MPICH-Madeleine). Raising `tcp_rmem[2]`/`tcp_wmem[2]` is sufficient.
@@ -112,7 +111,7 @@ impl SocketPolicy {
 }
 
 /// Broadcast algorithm.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum BcastAlgo {
     /// Binomial tree (all message sizes).
     Binomial,
@@ -126,7 +125,7 @@ pub enum BcastAlgo {
 }
 
 /// Allreduce algorithm.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AllreduceAlgo {
     /// Recursive doubling (all sizes).
     RecursiveDoubling,
@@ -139,7 +138,7 @@ pub enum AllreduceAlgo {
 }
 
 /// Collective algorithm choices of one implementation.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct CollectiveSuite {
     /// `MPI_Bcast` algorithm.
     pub bcast: BcastAlgo,

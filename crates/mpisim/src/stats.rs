@@ -4,10 +4,9 @@
 
 use std::collections::BTreeMap;
 
-use serde::Serialize;
 
 /// Aggregated communication statistics of one MPI run.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct CommStats {
     /// Application-level point-to-point sends: payload size → count.
     pub p2p_sizes: BTreeMap<u64, u64>,

@@ -7,10 +7,9 @@
 //! numbers a performance analyst asks first: how much of each rank's time
 //! is computation vs communication, and which rank pairs move the bytes.
 
-use serde::Serialize;
 
 /// What a traced span was doing.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceKind {
     /// Local computation.
     Compute,
@@ -25,7 +24,7 @@ pub enum TraceKind {
 }
 
 /// One traced span of one rank.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct TraceEvent {
     /// Acting rank.
     pub rank: usize,
@@ -49,7 +48,7 @@ impl TraceEvent {
 }
 
 /// Per-rank activity breakdown.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RankBreakdown {
     /// Seconds of local computation.
     pub compute_secs: f64,
@@ -62,7 +61,7 @@ pub struct RankBreakdown {
 }
 
 /// Digest of a traced run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct TraceSummary {
     /// Breakdown per rank.
     pub per_rank: Vec<RankBreakdown>,

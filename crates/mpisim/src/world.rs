@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use desim::{completion, Completion, Sched, SimDuration, Trigger};
 use netsim::{ChannelId, Network, NodeId};
-use parking_lot::Mutex;
+use desim::sync::Mutex;
 
 use crate::profile::{ImplProfile, Tuning};
 use crate::stats::CommStats;

@@ -8,11 +8,9 @@
 //! socket that never calls `setsockopt`). This module reproduces those
 //! semantics.
 
-use serde::{Deserialize, Serialize};
-
 /// Congestion-control algorithm. The paper's nodes ran Linux 2.6.18 with
 /// "BIC + Sack" (Table 3); Reno is provided as a baseline.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CongestionControl {
     /// Binary Increase Congestion control (Linux 2.6.18 default).
     Bic,
@@ -22,7 +20,7 @@ pub enum CongestionControl {
 
 /// How an application sizes a socket buffer — the three behaviours the
 /// paper encounters across MPI implementations (§4.2.1).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SockBufRequest {
     /// No `setsockopt`: the kernel autotunes between `tcp_*mem[0]` and
     /// `tcp_*mem[2]` (MPICH2, MPICH-Madeleine).
@@ -38,7 +36,7 @@ pub enum SockBufRequest {
 }
 
 /// Per-node kernel network configuration (the sysctl analogue).
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct KernelConfig {
     /// `/proc/sys/net/core/rmem_max`: cap on explicit `SO_RCVBUF` requests.
     pub rmem_max: u64,

@@ -10,12 +10,28 @@
 //! Transfers on the same channel (same TCP socket direction) are FIFO: a
 //! new message starts draining when the previous one has left the sender,
 //! which is how a byte-stream socket actually behaves under MPI.
+//!
+//! ## Bulk-transfer fast path
+//!
+//! When exactly one flow is active in the whole network, the per-round
+//! event cadence is pure bookkeeping: nothing can preempt the flow, so its
+//! entire future (window growth, loss episodes, RTO stalls, completion
+//! time) is determined at activation. [`try_enter_fast`] detects this,
+//! *replays* the would-be event sequence in a tight arithmetic loop
+//! ([`replay_flow`]) — performing bit-for-bit the same `settle`/`allocate`
+//! floating-point operations the event loop would — and schedules one
+//! commit event at the computed finish time. If anything else touches the
+//! network first (a second transfer starting, a stalled channel resuming),
+//! [`materialize`] replays only the elapsed prefix, re-arms the pending
+//! round/stall events at their original absolute times, and drops back to
+//! the exact per-round model. Virtual timings are identical either way;
+//! only the host-side event count changes.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
+use desim::sync::Mutex;
 use desim::{Sched, SimDuration, SimTime};
-use parking_lot::Mutex;
 
 use crate::tcp::{RoundOutcome, TcpState};
 use crate::topology::{LinkId, Path, Topology};
@@ -55,6 +71,24 @@ struct FlowState {
     done: Option<ArrivalFn>,
 }
 
+/// A committed plan for an uncontended bulk transfer: the flow's whole
+/// future, computed by [`replay_flow`] from the snapshot taken at `t0`.
+struct FastPlan {
+    ch: usize,
+    fid: usize,
+    /// Plan creation time (a settle point of the flow).
+    t0: SimTime,
+    /// True if the plan was created in the same event that activated the
+    /// flow (so exactly one round event, at `t0 + rtt`, was pending).
+    fresh: bool,
+    /// TCP state snapshot at `t0`.
+    tcp0: TcpState,
+    remaining0: f64,
+    rate0: f64,
+    finish_at: SimTime,
+    gen: u64,
+}
+
 pub(crate) struct NetState {
     pub(crate) topo: Topology,
     pub(crate) stack_overhead: SimDuration,
@@ -65,6 +99,19 @@ pub(crate) struct NetState {
     finish_gen: u64,
     /// Bytes delivered over each directed link (utilization accounting).
     pub(crate) link_delivered: Vec<f64>,
+    /// Closed-form bulk-transfer fast path (on by default; the equivalence
+    /// tests disable it to compare against the per-round model).
+    pub(crate) fast_enabled: bool,
+    fast: Option<FastPlan>,
+    fast_gen: u64,
+}
+
+/// Initial fast-path setting for new networks: on, unless the
+/// `NETSIM_NO_FAST_PATH` environment variable is set (a debug knob for
+/// diffing whole-program output against the per-round model).
+fn default_fast_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var_os("NETSIM_NO_FAST_PATH").is_none())
 }
 
 impl NetState {
@@ -78,6 +125,9 @@ impl NetState {
             active: Vec::new(),
             finish_gen: 0,
             link_delivered: Vec::new(),
+            fast_enabled: default_fast_enabled(),
+            fast: None,
+            fast_gen: 0,
         }
     }
 
@@ -262,6 +312,354 @@ fn self_active_on_link(g: &NetState, link: LinkId) -> usize {
 
 pub(crate) type SharedNet = Arc<Mutex<NetState>>;
 
+/// The rate `allocate` assigns to the only active flow in the network:
+/// its cap unless some path link is tighter. Performs the same
+/// floating-point comparisons as the water-fill with `n = 1`.
+fn single_flow_rate(tcp: &TcpState, bottleneck: f64, min_link: Option<f64>) -> f64 {
+    let cap = tcp.window_rate().min(bottleneck);
+    match min_link {
+        // One user per link: the tightest level is the smallest capacity.
+        Some(lvl) if cap > lvl * (1.0 + 1e-9) => lvl,
+        _ => cap,
+    }
+}
+
+/// Result of [`replay_flow`]: the flow's state at the stop point, plus
+/// whichever of its events were still pending there.
+struct ReplayOutcome {
+    tcp: TcpState,
+    remaining: f64,
+    rate: f64,
+    last_settle: SimTime,
+    /// Completion time, if the flow finished strictly before `upto`.
+    finished_at: Option<SimTime>,
+    /// An RTO stall in force at the stop point (the stall-clear time).
+    stalled_until: Option<SimTime>,
+    /// Absolute time of the pending window-round event, if any.
+    next_round: Option<SimTime>,
+}
+
+/// Replay the per-round event sequence of an uncontended flow, applying
+/// events with time strictly before `upto` (pass [`SimTime::MAX`] to run
+/// to completion). `on_settle` receives the bytes moved by each settle
+/// step, in order — the caller credits them to the path links exactly as
+/// `NetState::settle` would.
+///
+/// This mirrors `round_event`/`stall_clear`/`finish_event`/`reallocate`
+/// for the single-flow case *operation for operation*, including the
+/// two-event priority queue semantics (time, then insertion order), so
+/// the resulting f64 state is bit-identical to the event loop's.
+#[allow(clippy::too_many_arguments)]
+fn replay_flow(
+    tcp0: &TcpState,
+    remaining0: f64,
+    rate0: f64,
+    t0: SimTime,
+    fresh: bool,
+    bottleneck: f64,
+    min_link: Option<f64>,
+    upto: SimTime,
+    mut on_settle: impl FnMut(f64),
+) -> ReplayOutcome {
+    let mut tcp = tcp0.clone();
+    let mut remaining = remaining0;
+    let mut rate = rate0;
+    let mut last = t0;
+    let rtt = tcp.params().rtt;
+    // Pending events, at most one of each kind, ordered by (time, seq)
+    // like the kernel heap. `fresh` activation pushed its round before
+    // the first finish; every later reallocation pushes finish first.
+    let mut seq: u64 = 0;
+    let mut round: Option<(SimTime, u64)> = None;
+    let mut finish: Option<(SimTime, u64)> = None;
+    let mut stall: Option<(SimTime, u64)> = None;
+    let finish_time = |at: SimTime, remaining: f64, rate: f64| {
+        at + SimDuration::from_secs_f64(remaining / rate) + SimDuration::from_nanos(1)
+    };
+    if fresh && !tcp.saturated() {
+        round = Some((t0 + rtt, seq));
+        seq += 1;
+    }
+    if rate > 0.0 {
+        finish = Some((finish_time(t0, remaining, rate), seq));
+        seq += 1;
+    }
+    let mut finished_at = None;
+    // `settle(t)` for this flow alone.
+    macro_rules! settle {
+        ($t:expr) => {{
+            let dt = $t.since(last).as_secs_f64();
+            if dt > 0.0 {
+                let moved = (rate * dt).min(remaining);
+                remaining -= moved;
+                on_settle(moved);
+            }
+            last = $t;
+        }};
+    }
+    // `reallocate` minus the finish-event scheduling the caller does.
+    macro_rules! reallocate {
+        ($t:expr) => {{
+            rate = single_flow_rate(&tcp, bottleneck, min_link);
+            finish = if rate > 0.0 {
+                let f = Some((finish_time($t, remaining, rate), seq));
+                seq += 1;
+                f
+            } else {
+                None
+            };
+        }};
+    }
+    loop {
+        let next = [round, finish, stall]
+            .into_iter()
+            .flatten()
+            .min_by_key(|&(t, q)| (t, q));
+        let Some((t, _)) = next else { break };
+        if t >= upto {
+            break;
+        }
+        if stall.is_some_and(|e| Some(e) == next) {
+            // stall_clear: settle, reallocate, schedule the next round.
+            stall = None;
+            settle!(t);
+            reallocate!(t);
+            if !tcp.saturated() {
+                round = Some((t + rtt, seq));
+                seq += 1;
+            }
+        } else if finish.is_some_and(|e| Some(e) == next) {
+            finish.take();
+            settle!(t);
+            if remaining < 0.5 {
+                finished_at = Some(t);
+                break;
+            }
+            // Not done yet (float slack): finish_event reallocates.
+            reallocate!(t);
+        } else {
+            // Window round: settle, grow/collapse the window, reallocate
+            // only if the window cap was binding.
+            round = None;
+            settle!(t);
+            let cap = tcp.window_rate().min(bottleneck);
+            let was_binding = rate >= cap * 0.999;
+            match tcp.on_round() {
+                RoundOutcome::Progress => {
+                    if was_binding {
+                        reallocate!(t);
+                    }
+                    if !tcp.saturated() {
+                        round = Some((t + rtt, seq));
+                        seq += 1;
+                    }
+                }
+                RoundOutcome::FastRecovery => {
+                    reallocate!(t);
+                    if !tcp.saturated() {
+                        round = Some((t + rtt, seq));
+                        seq += 1;
+                    }
+                }
+                RoundOutcome::RtoStall(d) => {
+                    // The stalled allocation zeroes the rate and cancels
+                    // the finish; the stall-clear event resumes.
+                    rate = 0.0;
+                    finish = None;
+                    stall = Some((t + d, seq));
+                    seq += 1;
+                }
+            }
+        }
+    }
+    ReplayOutcome {
+        tcp,
+        remaining,
+        rate,
+        last_settle: last,
+        finished_at,
+        stalled_until: stall.map(|(t, _)| t),
+        next_round: round.map(|(t, _)| t),
+    }
+}
+
+/// Path constants the replay needs, extracted so the borrow of `g` can be
+/// released before mutating link counters.
+fn replay_inputs(g: &NetState, ch: usize) -> (f64, Option<f64>, Vec<LinkId>) {
+    let path = &g.channels[ch].path;
+    let min_link = path
+        .links
+        .iter()
+        .map(|&l| g.topo.link(l).capacity)
+        .fold(None, |acc: Option<f64>, c| {
+            Some(match acc {
+                Some(a) if a < c => a,
+                _ => c,
+            })
+        });
+    (path.bottleneck, min_link, path.links.clone())
+}
+
+/// If the network has exactly one active flow with nothing that can
+/// preempt it, absorb its whole future into a [`FastPlan`] and schedule a
+/// single commit event at the finish time. Returns true if the plan was
+/// installed (the caller then skips normal finish scheduling).
+fn try_enter_fast(g: &mut NetState, net: &SharedNet, s: &Sched, now: SimTime) -> bool {
+    if !g.fast_enabled || g.fast.is_some() || g.active.len() != 1 {
+        return false;
+    }
+    let fid = g.active[0];
+    let f = g.flows[fid].as_ref().expect("active flow exists");
+    let ch = f.chan;
+    let c = &g.channels[ch];
+    if c.stalled_until > now || f.last_settle != now {
+        return false;
+    }
+    let fresh = f.started == now;
+    // A mid-flight flow may have a pending round event at an arbitrary
+    // phase; only adopt it once saturated (no rounds will ever fire).
+    if !fresh && !c.tcp.saturated() {
+        return false;
+    }
+    let (bottleneck, min_link, _) = replay_inputs(g, ch);
+    let outcome = replay_flow(
+        &c.tcp,
+        f.remaining,
+        f.rate,
+        now,
+        fresh,
+        bottleneck,
+        min_link,
+        SimTime::MAX,
+        |_| {},
+    );
+    let Some(finish_at) = outcome.finished_at else {
+        return false;
+    };
+    // Cancel the activation's round event; the plan replays it instead.
+    g.channels[ch].round_gen += 1;
+    g.fast_gen += 1;
+    let gen = g.fast_gen;
+    g.fast = Some(FastPlan {
+        ch,
+        fid,
+        t0: now,
+        fresh,
+        tcp0: g.channels[ch].tcp.clone(),
+        remaining0: g.flows[fid].as_ref().unwrap().remaining,
+        rate0: g.flows[fid].as_ref().unwrap().rate,
+        finish_at,
+        gen,
+    });
+    let net2 = Arc::clone(net);
+    s.call_at(finish_at, move |s2| fast_commit(&net2, s2, gen));
+    true
+}
+
+/// Re-run a plan's replay up to `upto`, crediting the moved bytes to the
+/// plan's path links in settle order.
+fn apply_replay(g: &mut NetState, plan: &FastPlan, upto: SimTime) -> ReplayOutcome {
+    let (bottleneck, min_link, links) = replay_inputs(g, plan.ch);
+    let mut steps: Vec<f64> = Vec::new();
+    let outcome = replay_flow(
+        &plan.tcp0,
+        plan.remaining0,
+        plan.rate0,
+        plan.t0,
+        plan.fresh,
+        bottleneck,
+        min_link,
+        upto,
+        |moved| steps.push(moved),
+    );
+    if g.link_delivered.len() < g.topo.link_count() {
+        g.link_delivered.resize(g.topo.link_count(), 0.0);
+    }
+    for moved in steps {
+        for &l in &links {
+            g.link_delivered[l.0 as usize] += moved;
+        }
+    }
+    outcome
+}
+
+/// Abandon the active plan because another flow is about to start (or a
+/// stalled channel to resume): replay the elapsed prefix onto the real
+/// state and re-arm the pending per-round events at their original
+/// absolute times. The caller settles and reallocates afterwards, exactly
+/// as the per-round model would have at this interrupt.
+fn materialize(g: &mut NetState, net: &SharedNet, s: &Sched, now: SimTime) {
+    let Some(plan) = g.fast.take() else { return };
+    g.fast_gen += 1; // Cancel the pending commit event.
+    let outcome = apply_replay(g, &plan, now);
+    debug_assert!(
+        outcome.finished_at.is_none(),
+        "a finished plan must commit, not materialize"
+    );
+    let f = g.flows[plan.fid].as_mut().expect("planned flow exists");
+    f.remaining = outcome.remaining;
+    f.rate = outcome.rate;
+    f.last_settle = outcome.last_settle;
+    g.channels[plan.ch].tcp = outcome.tcp;
+    let ch = plan.ch;
+    let gen = g.channels[ch].round_gen;
+    if let Some(until) = outcome.stalled_until {
+        g.channels[ch].stalled_until = until;
+        let net2 = Arc::clone(net);
+        s.call_at(until, move |s2| stall_clear(&net2, s2, ch, gen));
+    } else if let Some(at) = outcome.next_round {
+        let net2 = Arc::clone(net);
+        s.call_at(at, move |s2| round_event(&net2, s2, ch, gen));
+    }
+    // The pending finish event needs no re-arming: the interrupting event
+    // reallocates, which cancels and reschedules finishes in the
+    // per-round model too.
+}
+
+/// The plan's single completion event: replay the transfer in full, then
+/// perform `finish_event`'s bookkeeping for the one finished flow.
+fn fast_commit(net: &SharedNet, s: &Sched, gen: u64) {
+    let now = s.now();
+    let mut g = net.lock();
+    if !g.fast.as_ref().is_some_and(|p| p.gen == gen) {
+        return; // Superseded by a materialize.
+    }
+    let plan = g.fast.take().expect("plan checked above");
+    debug_assert_eq!(plan.finish_at, now, "commit must fire at the finish time");
+    let outcome = apply_replay(&mut g, &plan, SimTime::MAX);
+    debug_assert!(outcome.finished_at == Some(now));
+    let ch = plan.ch;
+    let fid = plan.fid;
+    g.channels[ch].tcp = outcome.tcp;
+    g.active.retain(|&x| x != fid);
+    let mut f = g.flows[fid].take().expect("finished flow exists");
+    g.free.push(fid);
+    g.channels[ch].bytes_done += f.total;
+    if now.since(f.started) < g.channels[ch].tcp.params().rtt {
+        if let Some(stall) = g.channels[ch].tcp.on_short_ack(f.total) {
+            let until = now + stall;
+            g.channels[ch].stalled_until = until;
+            g.channels[ch].round_gen += 1;
+            let net2 = Arc::clone(net);
+            s.call_at(until, move |s2| resume_channel(&net2, s2, ch));
+        }
+    }
+    let one_way = g.channels[ch].path.rtt / 2;
+    let arrival = now + one_way + g.stack_overhead;
+    let done = f.done.take();
+    g.channels[ch].tcp.touch(now);
+    g.channels[ch].active = None;
+    g.channels[ch].round_gen += 1;
+    if g.channels[ch].stalled_until <= now {
+        activate_next(&mut g, net, s, ch, now);
+    }
+    reallocate(&mut g, net, s, now);
+    drop(g);
+    if let Some(done) = done {
+        s.call_at(arrival, done);
+    }
+}
+
 /// Enqueue a transfer on `ch`; the returned trigger fires when the last
 /// byte reaches the receiver.
 pub(crate) fn start_transfer(
@@ -278,6 +676,8 @@ pub(crate) fn start_transfer(
         done,
     });
     if g.channels[ch.0].active.is_none() && g.channels[ch.0].stalled_until <= now {
+        // A new flow is joining: any single-flow plan is no longer alone.
+        materialize(&mut g, net, s, now);
         g.settle(now);
         activate_next(&mut g, net, s, ch.0, now);
         reallocate(&mut g, net, s, now);
@@ -395,6 +795,7 @@ fn resume_channel(net: &SharedNet, s: &Sched, ch: usize) {
     if g.channels[ch].stalled_until > now || g.channels[ch].active.is_some() {
         return;
     }
+    materialize(&mut g, net, s, now);
     g.settle(now);
     activate_next(&mut g, net, s, ch, now);
     reallocate(&mut g, net, s, now);
@@ -416,10 +817,14 @@ fn stall_clear(net: &SharedNet, s: &Sched, ch: usize, gen: u64) {
     }
 }
 
-/// Recompute rates and (re)schedule the earliest-finish event.
+/// Recompute rates and (re)schedule the earliest-finish event — or, when
+/// a lone flow qualifies, absorb its future into a fast plan instead.
 fn reallocate(g: &mut NetState, net: &SharedNet, s: &Sched, now: SimTime) {
     g.allocate(now);
     g.finish_gen += 1;
+    if try_enter_fast(g, net, s, now) {
+        return;
+    }
     let gen = g.finish_gen;
     let mut earliest: Option<SimTime> = None;
     for &fid in &g.active {

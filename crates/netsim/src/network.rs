@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use desim::{completion, Completion, Proc, Sched, SimDuration};
-use parking_lot::Mutex;
+use desim::sync::Mutex;
 
 use crate::config::SockBufRequest;
 use crate::flow::{start_transfer, ChannelId, NetState, SharedNet};
@@ -41,6 +41,14 @@ impl Network {
         Network {
             state: Arc::new(Mutex::new(NetState::new(topo, stack_overhead))),
         }
+    }
+
+    /// Enable or disable the closed-form bulk-transfer fast path (on by
+    /// default). Both settings produce bit-identical virtual timings; the
+    /// per-round model is kept selectable so the equivalence tests can
+    /// prove exactly that. Call before starting transfers.
+    pub fn set_bulk_fast_path(&self, enabled: bool) {
+        self.state.lock().fast_enabled = enabled;
     }
 
     /// Open a unidirectional TCP channel from `src` to `dst`.

@@ -1,12 +1,12 @@
 //! Property-based tests of the fluid bandwidth-sharing engine and the TCP
-//! state machine.
+//! state machine, driven by the std-only [`desim::prop`] helper.
 
+use desim::prop::forall;
 use desim::{Sim, SimDuration};
 use netsim::{
     CongestionControl, KernelConfig, Network, NodeId, NodeParams, SiteParams, SockBufRequest,
     TcpParams, TcpState, Topology,
 };
-use proptest::prelude::*;
 
 fn star_topology(nodes: usize, buf: u64) -> (Network, Vec<NodeId>) {
     let mut t = Topology::new();
@@ -16,14 +16,14 @@ fn star_topology(nodes: usize, buf: u64) -> (Network, Vec<NodeId>) {
     (Network::new(t), ids)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// N concurrent equal flows into one receiver share its downlink: the
-    /// aggregate completion time is ≈ N × the single-flow time, never
-    /// faster (capacity conservation).
-    #[test]
-    fn incast_conserves_capacity(n in 2usize..8, kb in 64u64..4096) {
+/// N concurrent equal flows into one receiver share its downlink: the
+/// aggregate completion time is ≈ N × the single-flow time, never
+/// faster (capacity conservation).
+#[test]
+fn incast_conserves_capacity() {
+    forall(32, 0x5EED_1001, |rng| {
+        let n = rng.range_usize(2, 8);
+        let kb = rng.range_u64(64, 4096);
         let bytes = kb * 1024;
         let single = {
             let (net, ids) = star_topology(2, 8 << 20);
@@ -36,16 +36,20 @@ proptest! {
         // Serialisation on the shared downlink dominates: at least
         // (N-1) extra transfer times beyond latency.
         let drain = bytes as f64 / 117.5e6;
-        prop_assert!(
+        assert!(
             aggregate + 1e-6 >= single + (n as f64 - 1.0) * drain * 0.95,
             "n={n} aggregate={aggregate} single={single} drain={drain}"
         );
-    }
+    });
+}
 
-    /// Disjoint pairs don't interfere: k independent transfers finish in
-    /// single-transfer time.
-    #[test]
-    fn disjoint_pairs_run_in_parallel(k in 1usize..5, kb in 64u64..2048) {
+/// Disjoint pairs don't interfere: k independent transfers finish in
+/// single-transfer time.
+#[test]
+fn disjoint_pairs_run_in_parallel() {
+    forall(32, 0x5EED_1002, |rng| {
+        let k = rng.range_usize(1, 5);
+        let kb = rng.range_u64(64, 2048);
         let bytes = kb * 1024;
         let single = {
             let (net, ids) = star_topology(2, 8 << 20);
@@ -55,16 +59,20 @@ proptest! {
         let flows: Vec<(NodeId, NodeId, u64)> =
             (0..k).map(|i| (ids[2 * i], ids[2 * i + 1], bytes)).collect();
         let parallel = timed_flows(&net, &flows);
-        prop_assert!(
+        assert!(
             (parallel - single).abs() < single * 0.01 + 1e-6,
             "k={k}: parallel={parallel} single={single}"
         );
-    }
+    });
+}
 
-    /// The TCP window never exceeds flow-control bounds and never drops
-    /// below one segment, across arbitrary round sequences.
-    #[test]
-    fn window_stays_in_bounds(rounds in 1u32..4000, max_window_kb in 8u64..8192) {
+/// The TCP window never exceeds flow-control bounds and never drops
+/// below one segment, across arbitrary round sequences.
+#[test]
+fn window_stays_in_bounds() {
+    forall(32, 0x5EED_1003, |rng| {
+        let rounds = rng.range_u64(1, 4000) as u32;
+        let max_window_kb = rng.range_u64(8, 8192);
         let params = TcpParams {
             mss: 1448,
             init_cwnd: 3 * 1448,
@@ -85,17 +93,20 @@ proptest! {
         for _ in 0..rounds {
             t.on_round();
             let w = t.effective_window();
-            prop_assert!(w >= 1448, "window fell below one MSS: {w}");
-            prop_assert!(
+            assert!(w >= 1448, "window fell below one MSS: {w}");
+            assert!(
                 w <= max_window_kb * 1024 || w == 1448,
                 "window exceeded flow control: {w}"
             );
         }
-    }
+    });
+}
 
-    /// Reno never ramps faster than BIC from the same loss state.
-    #[test]
-    fn reno_is_never_faster_than_bic(rounds in 50u32..2000) {
+/// Reno never ramps faster than BIC from the same loss state.
+#[test]
+fn reno_is_never_faster_than_bic() {
+    forall(32, 0x5EED_1004, |rng| {
+        let rounds = rng.range_u64(50, 2000) as u32;
         fn window_after(cc: CongestionControl, rounds: u32) -> u64 {
             let params = TcpParams {
                 mss: 1448,
@@ -122,8 +133,8 @@ proptest! {
         let bic = window_after(CongestionControl::Bic, rounds);
         let reno = window_after(CongestionControl::Reno, rounds);
         // Within a sawtooth both oscillate; compare conservatively.
-        prop_assert!(reno <= bic.saturating_mul(2), "reno={reno} bic={bic}");
-    }
+        assert!(reno <= bic.saturating_mul(2), "reno={reno} bic={bic}");
+    });
 }
 
 /// Run a set of flows to completion, returning the virtual makespan.

@@ -3,10 +3,9 @@
 
 use desim::SimDuration;
 use mpisim::{MpiProgram, RankCtx, RunReport};
-use serde::{Deserialize, Serialize};
 
 /// The eight NAS Parallel Benchmarks (NPB 2.4).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum NasBenchmark {
     /// Embarrassingly parallel: compute-only plus tiny final reductions.
     Ep,
@@ -62,7 +61,7 @@ impl NasBenchmark {
 }
 
 /// Problem classes. The paper runs class B; S and A exist for fast tests.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum NasClass {
     /// Sample (tiny) size.
     S,

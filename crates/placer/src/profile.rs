@@ -1,12 +1,11 @@
 //! Communication profiles extracted from instrumented runs.
 
 use mpisim::CommStats;
-use serde::Serialize;
 
 /// A workload's communication demand: directed per-pair payload bytes and
 /// message counts (the "communication patterns … stored in a database" of
 /// MPICH-VMI, §2.1.6).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct CommProfile {
     /// Rank count.
     pub n: usize,

@@ -8,6 +8,7 @@ mod g2;
 mod heterogeneity;
 mod methodology;
 mod nas;
+mod par;
 mod pingpong;
 mod rays;
 mod slowstart;
@@ -128,6 +129,25 @@ fn main() {
             );
         }
     }
+}
+
+/// Quote and escape a string for JSON output.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 pub(crate) fn header(title: &str) {
@@ -383,26 +403,40 @@ fn cmd_fig10(class: NasClass, layout: Layout, title: &str) {
         layout.label()
     ));
     let matrix = impl_matrix(class, layout);
-    if let Some(f) = json_file(&format!(
+    if let Some(mut f) = json_file(&format!(
         "{}_times",
         title.to_lowercase().replace(' ', "")
     )) {
-        // Machine-readable record alongside the table.
-        let json: Vec<serde_json::Value> = matrix
+        // Machine-readable record alongside the table; keys sorted so the
+        // output is stable run-to-run.
+        let records: Vec<String> = matrix
             .iter()
             .map(|(bench, row)| {
-                serde_json::json!({
-                    "benchmark": bench.name(),
-                    "class": class.name(),
-                    "layout": layout.label(),
-                    "seconds": row
-                        .iter()
-                        .map(|(id, o)| (id.name(), o.secs()))
-                        .collect::<std::collections::BTreeMap<_, _>>(),
-                })
+                let mut seconds: Vec<(&str, Option<f64>)> =
+                    row.iter().map(|(id, o)| (id.name(), o.secs())).collect();
+                seconds.sort_by_key(|(name, _)| *name);
+                let seconds = seconds
+                    .iter()
+                    .map(|(name, s)| {
+                        format!(
+                            "      {}: {}",
+                            json_str(name),
+                            s.map_or("null".into(), |s| format!("{s}"))
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",\n");
+                format!(
+                    "  {{\n    \"benchmark\": {},\n    \"class\": {},\n    \
+                     \"layout\": {},\n    \"seconds\": {{\n{}\n    }}\n  }}",
+                    json_str(bench.name()),
+                    json_str(class.name()),
+                    json_str(&layout.label()),
+                    seconds
+                )
             })
             .collect();
-        let _ = serde_json::to_writer_pretty(f, &json);
+        let _ = write!(f, "[\n{}\n]", records.join(",\n"));
     }
     println!(
         "{:<6} {:>14} {:>14} {:>14} {:>14}   (time s | speedup vs MPICH2)",

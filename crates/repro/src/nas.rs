@@ -3,8 +3,8 @@
 use desim::{SimDuration, SimError, SimTime};
 use mpisim::{MpiImpl, MpiJob};
 use npb::{NasBenchmark, NasClass, NasRun};
-use rayon::prelude::*;
 
+use crate::par::par_map;
 use crate::util::{npb_placement, TuningLevel};
 
 /// Node layouts used by the paper's NPB experiments.
@@ -94,12 +94,19 @@ pub fn run_nas(
 /// All four implementations over the eight kernels for one layout
 /// (Figs. 10/11 matrix).
 pub fn impl_matrix(class: NasClass, layout: Layout) -> Vec<(NasBenchmark, Vec<(MpiImpl, NasOutcome)>)> {
+    let tasks: Vec<(NasBenchmark, MpiImpl)> = NasBenchmark::ALL
+        .iter()
+        .flat_map(|&bench| MpiImpl::ALL.iter().map(move |&id| (bench, id)))
+        .collect();
+    let outcomes = par_map(&tasks, |&(bench, id)| run_nas(bench, class, id, layout));
     NasBenchmark::ALL
-        .par_iter()
+        .iter()
         .map(|&bench| {
-            let row: Vec<(MpiImpl, NasOutcome)> = MpiImpl::ALL
-                .par_iter()
-                .map(|&id| (id, run_nas(bench, class, id, layout)))
+            let row = tasks
+                .iter()
+                .zip(&outcomes)
+                .filter(|((b, _), _)| *b == bench)
+                .map(|(&(_, id), &o)| (id, o))
                 .collect();
             (bench, row)
         })
@@ -117,18 +124,24 @@ pub fn layout_matrix(
     reference: Layout,
     grid: Layout,
 ) -> Vec<(NasBenchmark, LayoutRow)> {
+    let tasks: Vec<(NasBenchmark, MpiImpl)> = NasBenchmark::ALL
+        .iter()
+        .flat_map(|&bench| MpiImpl::ALL.iter().map(move |&id| (bench, id)))
+        .collect();
+    let outcomes = par_map(&tasks, |&(bench, id)| {
+        (
+            run_nas(bench, class, id, reference),
+            run_nas(bench, class, id, grid),
+        )
+    });
     NasBenchmark::ALL
-        .par_iter()
+        .iter()
         .map(|&bench| {
-            let row: Vec<(MpiImpl, NasOutcome, NasOutcome)> = MpiImpl::ALL
-                .par_iter()
-                .map(|&id| {
-                    (
-                        id,
-                        run_nas(bench, class, id, reference),
-                        run_nas(bench, class, id, grid),
-                    )
-                })
+            let row = tasks
+                .iter()
+                .zip(&outcomes)
+                .filter(|((b, _), _)| *b == bench)
+                .map(|(&(_, id), &(r, g))| (id, r, g))
                 .collect();
             (bench, row)
         })
@@ -150,9 +163,7 @@ pub struct Table2Row {
 
 /// Generate Table 2 rows by instrumented runs.
 pub fn table2(class: NasClass) -> Vec<Table2Row> {
-    NasBenchmark::ALL
-        .par_iter()
-        .map(|&bench| {
+    par_map(&NasBenchmark::ALL, |&bench| {
             let run = NasRun::new(bench, class);
             let (net, placement) =
                 npb_placement(16, 16, 0, TuningLevel::FullyTuned.kernel(Some(MpiImpl::Mpich2)));
@@ -186,6 +197,5 @@ pub fn table2(class: NasClass) -> Vec<Table2Row> {
                 p2p,
                 collectives,
             }
-        })
-        .collect()
+    })
 }

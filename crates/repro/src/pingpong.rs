@@ -8,8 +8,8 @@
 use desim::Sim;
 use mpisim::{MpiImpl, MpiJob, RankCtx};
 use netsim::SockBufRequest;
-use rayon::prelude::*;
 
+use crate::par::par_map;
 use crate::util::{pair_endpoints, Scope, TuningLevel};
 
 /// Stacks compared in Figs. 3/5/6/7 and Table 4.
@@ -179,14 +179,23 @@ pub fn bandwidth_sweep(
     sizes: &[u64],
     iters: u32,
 ) -> Vec<(Stack, Vec<PingpongPoint>)> {
+    let tasks: Vec<(Stack, u64)> = Stack::ALL
+        .iter()
+        .flat_map(|&stack| sizes.iter().map(move |&bytes| (stack, bytes)))
+        .collect();
+    let points = par_map(&tasks, |&(stack, bytes)| {
+        pingpong(stack, scope, level, bytes, iters)
+    });
     Stack::ALL
-        .par_iter()
+        .iter()
         .map(|&stack| {
-            let points: Vec<PingpongPoint> = sizes
-                .par_iter()
-                .map(|&bytes| pingpong(stack, scope, level, bytes, iters))
+            let pts = tasks
+                .iter()
+                .zip(&points)
+                .filter(|((s, _), _)| *s == stack)
+                .map(|(_, p)| p.clone())
                 .collect();
-            (stack, points)
+            (stack, pts)
         })
         .collect()
 }

@@ -4,7 +4,8 @@
 use gridapps::Ray2MeshConfig;
 use mpisim::{MpiImpl, MpiJob};
 use netsim::{grid5000_four_sites, Grid5000Site, KernelConfig, Network};
-use rayon::prelude::*;
+
+use crate::par::par_map;
 
 /// Result of one ray2mesh execution.
 #[derive(Clone, Debug)]
@@ -52,8 +53,5 @@ pub fn run_ray2mesh(cfg: &Ray2MeshConfig, master: Grid5000Site) -> RayRun {
 
 /// The full Table 6/7 matrix: one run per master location.
 pub fn master_location_matrix(cfg: &Ray2MeshConfig) -> Vec<RayRun> {
-    Grid5000Site::ALL
-        .par_iter()
-        .map(|&site| run_ray2mesh(cfg, site))
-        .collect()
+    par_map(&Grid5000Site::ALL, |&site| run_ray2mesh(cfg, site))
 }

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Offline CI: the tier-1 gate plus a benchmark smoke run.
+#
+# The workspace has zero external dependencies, so `--offline` must always
+# succeed — any accidental reintroduction of a registry crate fails here
+# before it fails in an air-gapped environment.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace --offline
+cargo test -q --workspace --offline
+
+# One quick benchmark per layer; catches gross performance regressions
+# and keeps the harness itself exercised.
+./target/release/bench smoke

@@ -1,12 +1,13 @@
 //! Property-based tests over the whole stack: physical invariants that
-//! must hold for *any* topology, message size, and rank layout.
+//! must hold for *any* topology, message size, and rank layout. Driven by
+//! the std-only [`desim::prop`] helper.
 
+use grid_mpi_lab::desim::prop::forall;
 use grid_mpi_lab::desim::{Sim, SimDuration};
 use grid_mpi_lab::mpisim::{MpiImpl, MpiJob, RankCtx};
 use grid_mpi_lab::netsim::{
     KernelConfig, Network, NodeParams, SiteParams, SockBufRequest, Topology,
 };
-use proptest::prelude::*;
 
 /// Build a two-site topology with arbitrary RTT/queue parameters.
 fn two_sites(rtt_us: u64, queue_kb: u64, buf: u64) -> (Network, Vec<grid_mpi_lab::netsim::NodeId>) {
@@ -66,73 +67,73 @@ fn transfer_secs_n(
     rx.try_take().ok().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// More bytes never arrive sooner (same fresh connection).
-    #[test]
-    fn transfer_time_is_monotone_in_size(
-        rtt_us in 200u64..30_000,
-        queue_kb in 64u64..2048,
-        small in 1u64..1_000_000,
-        extra in 1u64..8_000_000,
-    ) {
+/// More bytes never arrive sooner (same fresh connection).
+#[test]
+fn transfer_time_is_monotone_in_size() {
+    forall(24, 0x5EED_3001, |rng| {
+        let rtt_us = rng.range_u64(200, 30_000);
+        let queue_kb = rng.range_u64(64, 2048);
+        let small = rng.range_u64(1, 1_000_000);
+        let extra = rng.range_u64(1, 8_000_000);
         let (net, nodes) = two_sites(rtt_us, queue_kb, 4 << 20);
         let t_small = transfer_secs(&net, nodes[0], nodes[2], small);
         let (net2, nodes2) = two_sites(rtt_us, queue_kb, 4 << 20);
         let t_big = transfer_secs(&net2, nodes2[0], nodes2[2], small + extra);
-        prop_assert!(
+        assert!(
             t_big >= t_small - 1e-9,
             "bigger transfer finished sooner: {t_small} vs {t_big}"
         );
-    }
+    });
+}
 
-    /// A transfer can never beat propagation + line rate.
-    #[test]
-    fn transfer_respects_physics(
-        rtt_us in 200u64..30_000,
-        bytes in 1u64..16_000_000,
-    ) {
+/// A transfer can never beat propagation + line rate.
+#[test]
+fn transfer_respects_physics() {
+    forall(24, 0x5EED_3002, |rng| {
+        let rtt_us = rng.range_u64(200, 30_000);
+        let bytes = rng.range_u64(1, 16_000_000);
         let (net, nodes) = two_sites(rtt_us, 512, 4 << 20);
         let t = transfer_secs(&net, nodes[0], nodes[2], bytes);
         let floor = rtt_us as f64 / 2.0 * 1e-6 + bytes as f64 / 117.5e6;
-        prop_assert!(
+        assert!(
             t >= floor * 0.999,
             "transfer of {bytes}B in {t}s beats the physical floor {floor}s"
         );
-    }
+    });
+}
 
-    /// Bigger socket buffers never slow a *steady-state* transfer. (On a
-    /// cold connection they legitimately can: a larger window lets slow
-    /// start overshoot the bottleneck queue and pay an RTO — the very
-    /// pathology GridMPI's pacing addresses. So the property is asserted
-    /// after warming the connection.)
-    #[test]
-    fn buffers_help_or_do_nothing_once_warm(
-        rtt_us in 1_000u64..30_000,
-        bytes in 100_000u64..8_000_000,
-    ) {
+/// Bigger socket buffers never slow a *steady-state* transfer. (On a
+/// cold connection they legitimately can: a larger window lets slow
+/// start overshoot the bottleneck queue and pay an RTO — the very
+/// pathology GridMPI's pacing addresses. So the property is asserted
+/// after warming the connection.)
+#[test]
+fn buffers_help_or_do_nothing_once_warm() {
+    forall(24, 0x5EED_3003, |rng| {
+        let rtt_us = rng.range_u64(1_000, 30_000);
+        let bytes = rng.range_u64(100_000, 8_000_000);
         let warmed = |buf: u64| -> f64 {
             let (net, n) = two_sites(rtt_us, 512, buf);
             transfer_secs_n(&net, n[0], n[2], bytes, 4)
         };
         let t_small_buf = warmed(256 << 10);
         let t_big_buf = warmed(8 << 20);
-        prop_assert!(
+        assert!(
             t_big_buf <= t_small_buf * 1.05,
             "bigger buffers slowed the warm transfer: {t_small_buf} -> {t_big_buf}"
         );
-    }
+    });
+}
 
-    /// Collectives complete and leave no dangling state for arbitrary rank
-    /// counts and sizes, for every implementation.
-    #[test]
-    fn collectives_always_drain(
-        ranks in 2usize..9,
-        bytes in 1u64..300_000,
-        which in 0usize..4,
-        impl_idx in 0usize..4,
-    ) {
+/// Collectives complete and leave no dangling state for arbitrary rank
+/// counts and sizes, for every implementation.
+#[test]
+fn collectives_always_drain() {
+    forall(24, 0x5EED_3004, |rng| {
+        let ranks = rng.range_usize(2, 9);
+        let bytes = rng.range_u64(1, 300_000);
+        let which = rng.range_usize(0, 4);
+        let impl_idx = rng.range_usize(0, 4);
         let (net, nodes) = two_sites(11_600, 512, 4 << 20);
         let placement: Vec<_> = (0..ranks).map(|i| nodes[i % 4]).collect();
         let id = MpiImpl::ALL[impl_idx];
@@ -147,14 +148,16 @@ proptest! {
                 ctx.barrier();
             })
             .unwrap();
-        prop_assert!(report.clean, "{id:?} left unmatched messages");
-    }
+        assert!(report.clean, "{id:?} left unmatched messages");
+    });
+}
 
-    /// Point-to-point FIFO ordering holds for arbitrary message batches.
-    #[test]
-    fn p2p_fifo_for_random_batches(
-        sizes in prop::collection::vec(1u64..500_000, 1..12),
-    ) {
+/// Point-to-point FIFO ordering holds for arbitrary message batches.
+#[test]
+fn p2p_fifo_for_random_batches() {
+    forall(24, 0x5EED_3005, |rng| {
+        let n = rng.range_usize(1, 12);
+        let sizes: Vec<u64> = (0..n).map(|_| rng.range_u64(1, 500_000)).collect();
         let (net, nodes) = two_sites(11_600, 512, 4 << 20);
         let placement = vec![nodes[0], nodes[2]];
         let sizes2 = sizes.clone();
@@ -173,6 +176,6 @@ proptest! {
                 }
             })
             .unwrap();
-        prop_assert!(report.clean);
-    }
+        assert!(report.clean);
+    });
 }
