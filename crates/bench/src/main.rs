@@ -12,15 +12,21 @@
 //! ```
 //!
 //! Groups: `kernel`, `tcp`, `pingpong`, `collectives`, `npb`, `ray2mesh`,
-//! `fastpath`, `smoke` (a quick CI subset). No groups = all of them
-//! except `smoke`.
+//! `fastpath`, `obs` (observability overhead), `smoke` (a quick CI
+//! subset). No groups = all of them except `smoke`.
+//!
+//! Each JSON line carries `events` (simulated events per iteration, 0 if
+//! the benchmark does not count them) and `metrics` (a snapshot of the
+//! harness's metrics registry, cleared between benchmarks — populated by
+//! benchmarks that attach a recorder, `{}` otherwise).
 
 use std::hint::black_box;
 use std::io::Write;
+use std::sync::Arc;
 use std::time::Instant;
 
 use bench::{grid_job, pingpong_once, tuned_pair};
-use desim::{completion, Sim, SimDuration};
+use desim::{completion, Metrics, RingSink, Sim, SimDuration};
 use gridapps::Ray2MeshConfig;
 use mpisim::{MpiImpl, MpiJob, RankCtx};
 use netsim::{grid5000_four_sites, KernelConfig, Network, SockBufRequest};
@@ -32,12 +38,16 @@ const MAX_ITERS: u32 = 1_000;
 
 struct Harness {
     json: Option<std::fs::File>,
+    /// Registry shared with any recorder a benchmark attaches; its
+    /// snapshot lands in that benchmark's JSON line, then it is cleared.
+    metrics: Arc<Metrics>,
 }
 
 impl Harness {
     /// Time `f` (returning simulated events per iteration, 0 if unknown)
     /// and emit one JSON line.
     fn bench(&mut self, name: &str, mut f: impl FnMut() -> u64) {
+        self.metrics.clear();
         // Warm-up iteration doubles as the calibration probe.
         let probe = Instant::now();
         black_box(f());
@@ -47,6 +57,7 @@ impl Harness {
         } else {
             (((TARGET_SECS / once.max(1e-9)) as u32).max(3)).min(MAX_ITERS)
         };
+        self.metrics.clear(); // count only the timed iterations
         let t0 = Instant::now();
         let mut events = 0u64;
         for _ in 0..iters {
@@ -61,12 +72,15 @@ impl Harness {
         };
         let line = format!(
             "{{\"name\": \"{name}\", \"iters\": {iters}, \"secs_per_iter\": {secs:.6e}, \
-             \"events_per_sec\": {eps}}}"
+             \"events_per_sec\": {eps}, \"events\": {}, \"metrics\": {}}}",
+            events / iters as u64,
+            self.metrics.snapshot().to_json()
         );
         println!("{line}");
         if let Some(f) = &mut self.json {
             let _ = writeln!(f, "{line}");
         }
+        self.metrics.clear();
     }
 
     /// Emit a free-form JSON line (for derived metrics like speedups).
@@ -105,13 +119,17 @@ fn main() {
         "npb",
         "ray2mesh",
         "fastpath",
+        "obs",
     ];
     let groups: Vec<&str> = if groups.is_empty() {
         all.to_vec()
     } else {
         groups
     };
-    let mut h = Harness { json };
+    let mut h = Harness {
+        json,
+        metrics: Arc::new(Metrics::new()),
+    };
     for g in groups {
         match g {
             "kernel" => group_kernel(&mut h),
@@ -121,6 +139,7 @@ fn main() {
             "npb" => group_npb(&mut h),
             "ray2mesh" => group_ray2mesh(&mut h),
             "fastpath" => group_fastpath(&mut h),
+            "obs" => group_obs(&mut h),
             "smoke" => group_smoke(&mut h),
             other => eprintln!("unknown group: {other}"),
         }
@@ -342,6 +361,69 @@ fn group_fastpath(h: &mut Harness) {
         timed[0],
         timed[1],
         timed[0] / timed[1]
+    ));
+}
+
+/// Observability overhead: the identical 64 MB grid ping-pong with and
+/// without the recorder pipeline attached. Virtual timestamps are
+/// bit-identical either way (the observer-effect suite proves it); this
+/// measures the *host-side* wall-clock cost of recording.
+fn group_obs(h: &mut Harness) {
+    fn pingpong_64m(rec: Option<Arc<RingSink>>) -> f64 {
+        let mut job = grid_job(2, MpiImpl::Mpich2);
+        if let Some(rec) = rec {
+            job = job.with_recorder(rec);
+        }
+        let report = job
+            .run(move |ctx: &mut RankCtx| {
+                const TAG: u64 = 1;
+                for _ in 0..2 {
+                    if ctx.rank() == 0 {
+                        ctx.send(1, 64 << 20, TAG);
+                        ctx.recv(1, TAG);
+                    } else {
+                        ctx.recv(0, TAG);
+                        ctx.send(0, 64 << 20, TAG);
+                    }
+                }
+            })
+            .expect("pingpong completes");
+        report.elapsed.as_secs_f64()
+    }
+    let mut timed = [0.0f64; 2];
+    for (slot, traced) in [(0usize, false), (1, true)] {
+        // Time the variant ourselves so the overhead ratio does not
+        // depend on the harness's per-bench calibration.
+        let t0 = Instant::now();
+        let mut iters = 0u32;
+        while t0.elapsed().as_secs_f64() < TARGET_SECS || iters < 3 {
+            let rec = traced.then(|| Arc::new(RingSink::new(1 << 18)));
+            black_box(pingpong_64m(rec));
+            iters += 1;
+            if iters >= MAX_ITERS {
+                break;
+            }
+        }
+        timed[slot] = t0.elapsed().as_secs_f64() / iters as f64;
+    }
+    h.bench("obs/pingpong_64M_untraced", || {
+        black_box(pingpong_64m(None));
+        0
+    });
+    let metrics = h.metrics.clone();
+    h.bench("obs/pingpong_64M_traced", move || {
+        // Feed the harness registry so this line's metrics snapshot shows
+        // the recorded event counts.
+        let sink = Arc::new(RingSink::with_metrics(1 << 18, metrics.clone()));
+        black_box(pingpong_64m(Some(sink)));
+        0
+    });
+    h.note(&format!(
+        "{{\"name\": \"obs/tracing_overhead_pingpong_64M\", \"untraced_secs\": {:.6e}, \
+         \"traced_secs\": {:.6e}, \"overhead_ratio\": {:.3}}}",
+        timed[0],
+        timed[1],
+        timed[1] / timed[0]
     ));
 }
 

@@ -166,6 +166,8 @@ pub(crate) struct Shared {
     /// Events dispatched so far (wakes and callbacks), for throughput
     /// reporting via [`Sim::run_counted`].
     pub(crate) events: u64,
+    /// Observability sink; a completed run reports itself here.
+    pub(crate) recorder: Option<Arc<dyn crate::obs::Recorder>>,
 }
 
 impl Shared {
@@ -206,6 +208,7 @@ impl Sim {
                     failure: None,
                     limit: SimTime::MAX,
                     events: 0,
+                    recorder: None,
                 }),
                 main_gate: Gate::new(),
             }),
@@ -237,28 +240,56 @@ impl Sim {
         self.run_counted().map(|s| s.end)
     }
 
+    /// Attach an observability recorder: a completed run emits one
+    /// [`crate::obs::Event::KernelRun`] with its final virtual time and
+    /// dispatch count. Recording happens host-side after the run ends,
+    /// so it cannot perturb the event order or virtual timestamps.
+    pub fn attach_recorder(&self, rec: Arc<dyn crate::obs::Recorder>) {
+        self.inner.shared.lock().recorder = Some(rec);
+    }
+
     /// Like [`Sim::run`], but also report how many events were dispatched —
     /// the denominator of the kernel's events-per-second throughput.
     pub fn run_counted(self) -> Result<RunStats, SimError> {
-        {
+        let done = {
             let g = self.inner.shared.lock();
             if g.live == 0 && g.heap.is_empty() {
-                return Ok(RunStats {
-                    end: g.now,
-                    events: g.events,
-                });
+                Some((
+                    RunStats {
+                        end: g.now,
+                        events: g.events,
+                    },
+                    g.recorder.clone(),
+                ))
+            } else {
+                None
             }
+        };
+        let (stats, recorder) = match done {
+            Some(pair) => pair,
+            None => {
+                dispatch(&self.inner, None, None);
+                self.inner.main_gate.park();
+                let g = self.inner.shared.lock();
+                match &g.failure {
+                    Some(e) => return Err(e.clone()),
+                    None => (
+                        RunStats {
+                            end: g.now,
+                            events: g.events,
+                        },
+                        g.recorder.clone(),
+                    ),
+                }
+            }
+        };
+        if let Some(rec) = recorder {
+            rec.record(&crate::obs::Event::KernelRun {
+                end_ns: stats.end.as_nanos(),
+                events: stats.events,
+            });
         }
-        dispatch(&self.inner, None, None);
-        self.inner.main_gate.park();
-        let g = self.inner.shared.lock();
-        match &g.failure {
-            Some(e) => Err(e.clone()),
-            None => Ok(RunStats {
-                end: g.now,
-                events: g.events,
-            }),
-        }
+        Ok(stats)
     }
 }
 

@@ -37,6 +37,7 @@
 
 mod completion;
 mod kernel;
+pub mod obs;
 mod process;
 pub mod prop;
 pub mod sync;
@@ -44,5 +45,6 @@ mod time;
 
 pub use completion::{completion, Completion, Trigger};
 pub use kernel::{RunStats, Sched, Sim, SimError};
+pub use obs::{Event, Metrics, Recorder, RingSink};
 pub use process::{Proc, ProcId};
 pub use time::{SimDuration, SimTime};

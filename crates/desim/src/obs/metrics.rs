@@ -1,0 +1,281 @@
+//! A small metrics registry: named counters, gauges, and histograms that
+//! producers update during a run and consumers snapshot at any virtual
+//! time. Keys are sorted (BTreeMap) so snapshots serialize
+//! deterministically.
+
+use std::collections::BTreeMap;
+
+use crate::sync::Mutex;
+
+/// Fixed bucket boundaries for histograms: powers of two, in whatever
+/// unit the caller observes (bytes, nanoseconds, ...). A value lands in
+/// the first bucket whose upper bound is >= the value; values above the
+/// last bound land in the overflow bucket.
+const HIST_BOUNDS: [u64; 16] = [
+    1,
+    4,
+    16,
+    64,
+    256,
+    1 << 10,
+    1 << 12,
+    1 << 14,
+    1 << 16,
+    1 << 18,
+    1 << 20,
+    1 << 22,
+    1 << 24,
+    1 << 26,
+    1 << 28,
+    1 << 30,
+];
+
+#[derive(Clone, Debug, PartialEq)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Hist),
+}
+
+/// Power-of-two-bucketed histogram state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Hist {
+    /// Per-bucket counts; `buckets[i]` counts values `<= HIST_BOUNDS[i]`
+    /// (and above the previous bound). The final slot is the overflow
+    /// bucket.
+    pub buckets: [u64; HIST_BOUNDS.len() + 1],
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl Hist {
+    fn new() -> Hist {
+        Hist {
+            buckets: [0; HIST_BOUNDS.len() + 1],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+
+    fn observe(&mut self, v: u64) {
+        let idx = HIST_BOUNDS
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(HIST_BOUNDS.len());
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Mean of the observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Thread-safe registry of named counters, gauges, and histograms.
+///
+/// A name is bound to the first metric type that touches it; updates of a
+/// different type to the same name are ignored rather than panicking, so
+/// instrumentation can never bring a run down.
+pub struct Metrics {
+    map: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Empty registry.
+    pub fn new() -> Metrics {
+        Metrics {
+            map: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Add `delta` to the counter `name`, creating it at zero first.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut g = self.map.lock();
+        match g.get_mut(name) {
+            Some(Metric::Counter(c)) => *c += delta,
+            Some(_) => {}
+            None => {
+                g.insert(name.to_string(), Metric::Counter(delta));
+            }
+        }
+    }
+
+    /// Set the gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut g = self.map.lock();
+        match g.get_mut(name) {
+            Some(Metric::Gauge(v)) => *v = value,
+            Some(_) => {}
+            None => {
+                g.insert(name.to_string(), Metric::Gauge(value));
+            }
+        }
+    }
+
+    /// Record one observation into the histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut g = self.map.lock();
+        match g.get_mut(name) {
+            Some(Metric::Histogram(h)) => h.observe(value),
+            Some(_) => {}
+            None => {
+                let mut h = Hist::new();
+                h.observe(value);
+                g.insert(name.to_string(), Metric::Histogram(h));
+            }
+        }
+    }
+
+    /// Remove every metric (used between benchmark cases).
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+
+    /// Point-in-time copy of the whole registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            map: self.map.lock().clone(),
+        }
+    }
+}
+
+/// An immutable copy of a [`Metrics`] registry, taken at one instant.
+pub struct MetricsSnapshot {
+    map: BTreeMap<String, Metric>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the counter `name`, if it exists as a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.map.get(name) {
+            Some(Metric::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Value of the gauge `name`, if it exists as a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.map.get(name) {
+            Some(Metric::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram state for `name`, if it exists as a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Hist> {
+        match self.map.get(name) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// True if no metric was registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Serialize as a single JSON object, keys sorted. Counters become
+    /// integers, gauges become numbers (non-finite → null), histograms
+    /// become `{"count":..,"sum":..,"min":..,"max":..,"mean":..}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, metric)) in self.map.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&super::export::json_string(name));
+            out.push(':');
+            match metric {
+                Metric::Counter(c) => out.push_str(&c.to_string()),
+                Metric::Gauge(v) => out.push_str(&super::export::json_f64(*v)),
+                Metric::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+                        h.count,
+                        h.sum,
+                        h.min,
+                        h.max,
+                        super::export::json_f64(h.mean())
+                    ));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms() {
+        let m = Metrics::new();
+        m.counter_add("c", 2);
+        m.counter_add("c", 3);
+        m.gauge_set("g", 1.5);
+        m.gauge_set("g", 2.5);
+        m.observe("h", 10);
+        m.observe("h", 1000);
+        let s = m.snapshot();
+        assert_eq!(s.counter("c"), Some(5));
+        assert_eq!(s.gauge("g"), Some(2.5));
+        let h = s.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 1010);
+        assert_eq!(h.min, 10);
+        assert_eq!(h.max, 1000);
+    }
+
+    #[test]
+    fn type_conflicts_are_ignored() {
+        let m = Metrics::new();
+        m.counter_add("x", 1);
+        m.gauge_set("x", 9.0);
+        m.observe("x", 7);
+        let s = m.snapshot();
+        assert_eq!(s.counter("x"), Some(1));
+        assert_eq!(s.gauge("x"), None);
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_valid() {
+        let m = Metrics::new();
+        m.gauge_set("zz", f64::INFINITY);
+        m.counter_add("aa", 1);
+        m.observe("mm", 3);
+        let json = m.snapshot().to_json();
+        assert!(json.find("\"aa\"").unwrap() < json.find("\"mm\"").unwrap());
+        assert!(json.find("\"mm\"").unwrap() < json.find("\"zz\"").unwrap());
+        assert!(json.contains("\"zz\":null"));
+        super::super::json::validate(&json).expect("snapshot must be valid JSON");
+    }
+}

@@ -20,7 +20,11 @@ impl Rng {
     /// has an all-zero fixed point).
     pub fn new(seed: u64) -> Rng {
         Rng {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 

@@ -94,11 +94,7 @@ impl Condvar {
 
     /// Like [`Condvar::wait`] but gives up after `timeout`; returns `true`
     /// if the wait timed out.
-    pub fn wait_timeout<T>(
-        &self,
-        guard: &mut MutexGuard<'_, T>,
-        timeout: Duration,
-    ) -> bool {
+    pub fn wait_timeout<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
         let inner = guard.inner.take().expect("guard present");
         let (inner, res) = self
             .inner

@@ -88,6 +88,7 @@ impl Ray2MeshConfig {
 }
 
 fn master(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
+    ctx.phase("trace");
     let t0 = ctx.now();
     let slaves = ctx.size() - 1;
     let sets = cfg.total_rays / cfg.rays_per_set;
@@ -104,10 +105,12 @@ fn master(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
     // The master does not hold a submesh; it waits for the merge to finish
     // and gathers the final pieces (write phase).
     ctx.barrier();
+    ctx.phase("merge");
     let t_merge_start = ctx.now();
     ctx.barrier();
     let t_merge = ctx.now();
     ctx.record("merge_secs", t_merge.since(t_merge_start).as_secs_f64());
+    ctx.phase("write");
     for _ in 0..slaves {
         ctx.recv_any(TAG_WRITE);
     }
@@ -117,6 +120,7 @@ fn master(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
 }
 
 fn slave(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
+    ctx.phase("trace");
     let mut rays = 0u64;
     loop {
         ctx.send(0, cfg.request_bytes, TAG_REQ);
@@ -132,6 +136,7 @@ fn slave(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
     }
     ctx.record("rays", rays as f64);
     ctx.barrier();
+    ctx.phase("merge");
     // Merge: exchange submesh contributions with every other slave.
     let slaves = ctx.size() - 1;
     let mut reqs = Vec::with_capacity(2 * (slaves - 1));
@@ -149,6 +154,7 @@ fn slave(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
     // Fold received contributions into the local submesh.
     ctx.compute_gflop(cfg.merge_gflop);
     ctx.barrier();
+    ctx.phase("write");
     // Write phase: upload the submesh to the master.
     ctx.send(0, cfg.write_bytes, TAG_WRITE);
 }

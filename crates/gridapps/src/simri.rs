@@ -68,8 +68,7 @@ impl SimriConfig {
             }
             // The MRI sequence: per step an RF-pulse broadcast, the
             // magnetisation computation, and the signal reduction.
-            let step_gflop =
-                vectors_each as f64 * cfg.gflop_per_vector / cfg.sequence_steps as f64;
+            let step_gflop = vectors_each as f64 * cfg.gflop_per_vector / cfg.sequence_steps as f64;
             let t_comp = ctx.now();
             for _ in 0..cfg.sequence_steps {
                 ctx.bcast(0, 1024);

@@ -133,12 +133,24 @@ fn subgroup_ring_allgather(ctx: &mut RankCtx, group: &[usize], chunk: u64, tag: 
 }
 
 /// Binomial bcast over an explicit subgroup (sub-communicator surface).
-pub(crate) fn subgroup_bcast(ctx: &mut RankCtx, group: &[usize], root: usize, bytes: u64, tag: u64) {
+pub(crate) fn subgroup_bcast(
+    ctx: &mut RankCtx,
+    group: &[usize],
+    root: usize,
+    bytes: u64,
+    tag: u64,
+) {
     subgroup_binomial_bcast(ctx, group, root, bytes, tag);
 }
 
 /// Binomial reduce over an explicit subgroup (sub-communicator surface).
-pub(crate) fn subgroup_reduce(ctx: &mut RankCtx, group: &[usize], root: usize, bytes: u64, tag: u64) {
+pub(crate) fn subgroup_reduce(
+    ctx: &mut RankCtx,
+    group: &[usize],
+    root: usize,
+    bytes: u64,
+    tag: u64,
+) {
     subgroup_binomial_reduce(ctx, group, root, bytes, tag);
 }
 

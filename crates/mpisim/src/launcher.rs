@@ -39,6 +39,9 @@ pub struct MpiJob {
     pub tuning: Tuning,
     /// Record per-operation trace spans into the run report.
     pub tracing: bool,
+    /// Observability recorder, attached to the network, the kernel, and
+    /// every rank for the duration of the run.
+    pub recorder: Option<Arc<dyn desim::obs::Recorder>>,
     /// Abort the run (with [`SimError::TimeLimitExceeded`]) if virtual time
     /// passes this limit — the `mpirun` timeout the paper hit with
     /// MPICH-Madeleine on BT/SP ("the application timeout", §4.3).
@@ -54,6 +57,7 @@ impl MpiJob {
             profile: impl_id.profile(),
             tuning: Tuning::none(),
             tracing: false,
+            recorder: None,
             deadline: None,
         }
     }
@@ -73,6 +77,16 @@ impl MpiJob {
     /// Enable per-operation tracing (see [`crate::trace`]).
     pub fn with_tracing(mut self) -> MpiJob {
         self.tracing = true;
+        self
+    }
+
+    /// Attach an observability recorder for the whole run: MPI spans and
+    /// phase markers from every rank, flow/TCP/link probes from the
+    /// network, and the kernel's run statistics all land in `rec`.
+    /// Probes are read-only; virtual timestamps are unaffected (the
+    /// observer-effect test suite enforces this).
+    pub fn with_recorder(mut self, rec: Arc<dyn desim::obs::Recorder>) -> MpiJob {
+        self.recorder = Some(rec);
         self
     }
 
@@ -97,16 +111,23 @@ impl MpiJob {
     ) -> Result<RunReport, SimError> {
         let n = self.placement.len();
         assert!(n > 0, "MPI job needs at least one rank");
+        if let Some(rec) = &self.recorder {
+            self.net.attach_recorder(Arc::clone(rec));
+        }
         let world = WorldInner::new(
             self.net,
             self.placement,
             self.profile,
             self.tuning,
             self.tracing,
+            self.recorder.clone(),
         );
         let program = Arc::new(program);
         let deadline = self.deadline;
         let sim = Sim::new();
+        if let Some(rec) = &self.recorder {
+            sim.attach_recorder(Arc::clone(rec));
+        }
         setup(&sim);
         let mut finish_times = Vec::new();
         for rank in 0..n {

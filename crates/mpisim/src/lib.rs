@@ -48,11 +48,11 @@ mod stats;
 pub mod trace;
 mod world;
 
+pub use comm::SubComm;
 pub use launcher::{MpiJob, MpiProgram, RunReport};
 pub use profile::{
     AllreduceAlgo, BcastAlgo, CollectiveSuite, ImplProfile, MpiImpl, SocketPolicy, Tuning,
 };
-pub use comm::SubComm;
 pub use rank::{RankCtx, Request};
 pub use stats::CommStats;
 pub use world::{MsgInfo, CTRL_BYTES, HEADER_BYTES};

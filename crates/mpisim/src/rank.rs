@@ -102,8 +102,19 @@ impl RankCtx {
         self.trace(TraceKind::Compute, None, 0, t0);
     }
 
-    /// Append a trace span ending now (no-op unless tracing is enabled).
+    /// Append a trace span ending now (no-op unless tracing or an
+    /// observability recorder is enabled).
     fn trace(&self, kind: TraceKind, peer: Option<usize>, bytes: u64, start: SimTime) {
+        if let Some(rec) = &self.world.obs {
+            rec.record(&desim::obs::Event::MpiSpan {
+                rank: self.rank as u64,
+                op: kind.name(),
+                peer: peer.map(|p| p as i64).unwrap_or(-1),
+                bytes,
+                start_ns: start.as_nanos(),
+                end_ns: self.proc.now().as_nanos(),
+            });
+        }
         if let Some(t) = &self.world.trace {
             t.lock().push(TraceEvent {
                 rank: self.rank,
@@ -112,6 +123,19 @@ impl RankCtx {
                 bytes,
                 start_ns: start.as_nanos(),
                 end_ns: self.proc.now().as_nanos(),
+            });
+        }
+    }
+
+    /// Emit an application-phase marker (e.g. `"warmup"`, `"timed"`) into
+    /// the observability stream. No-op without a recorder; never affects
+    /// timing either way.
+    pub fn phase(&self, name: &'static str) {
+        if let Some(rec) = &self.world.obs {
+            rec.record(&desim::obs::Event::Phase {
+                rank: self.rank as u64,
+                name,
+                t_ns: self.proc.now().as_nanos(),
             });
         }
     }
@@ -240,13 +264,7 @@ impl RankCtx {
     }
 
     /// Simultaneous send and receive (`MPI_Sendrecv`).
-    pub fn sendrecv(
-        &mut self,
-        dst: usize,
-        send_bytes: u64,
-        src: usize,
-        tag: u64,
-    ) -> MsgInfo {
+    pub fn sendrecv(&mut self, dst: usize, send_bytes: u64, src: usize, tag: u64) -> MsgInfo {
         let rr = self.irecv(src, tag);
         let sr = self.isend(dst, send_bytes, tag);
         let info = self.wait(rr).expect("sendrecv receives");
@@ -261,12 +279,7 @@ impl RankCtx {
         self.coll(op, bytes, f)
     }
 
-    fn coll<R>(
-        &mut self,
-        op: &str,
-        bytes: u64,
-        f: impl FnOnce(&mut RankCtx, u64) -> R,
-    ) -> R {
+    fn coll<R>(&mut self, op: &str, bytes: u64, f: impl FnOnce(&mut RankCtx, u64) -> R) -> R {
         self.world.stats.lock().record_collective(op, bytes);
         self.coll_seq += 1;
         let tag = collectives::coll_tag(self.coll_seq);

@@ -4,7 +4,6 @@
 
 use std::collections::BTreeMap;
 
-
 /// Aggregated communication statistics of one MPI run.
 #[derive(Clone, Debug, Default)]
 pub struct CommStats {
@@ -85,10 +84,7 @@ impl CommStats {
             *self.p2p_sizes.entry(sz).or_insert(0) += n;
         }
         for ((op, sz), &n) in &other.collective_calls {
-            *self
-                .collective_calls
-                .entry((op.clone(), *sz))
-                .or_insert(0) += n;
+            *self.collective_calls.entry((op.clone(), *sz)).or_insert(0) += n;
         }
         self.wire_messages += other.wire_messages;
         self.wire_bytes += other.wire_bytes;

@@ -7,7 +7,6 @@
 //! numbers a performance analyst asks first: how much of each rank's time
 //! is computation vs communication, and which rank pairs move the bytes.
 
-
 /// What a traced span was doing.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceKind {
@@ -21,6 +20,20 @@ pub enum TraceKind {
     WaitSend,
     /// Inside a collective operation (name attached).
     Collective(&'static str),
+}
+
+impl TraceKind {
+    /// Stable operation name for exports (collectives report their own
+    /// name, e.g. `"bcast"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::Compute => "compute",
+            TraceKind::Send => "send",
+            TraceKind::Recv => "recv",
+            TraceKind::WaitSend => "wait_send",
+            TraceKind::Collective(op) => op,
+        }
+    }
 }
 
 /// One traced span of one rank.
@@ -41,9 +54,10 @@ pub struct TraceEvent {
 }
 
 impl TraceEvent {
-    /// Span length in seconds.
+    /// Span length in seconds. A malformed span (`end_ns < start_ns`)
+    /// clamps to zero rather than wrapping to ~584 years.
     pub fn secs(&self) -> f64 {
-        (self.end_ns - self.start_ns) as f64 / 1e9
+        self.end_ns.saturating_sub(self.start_ns) as f64 / 1e9
     }
 }
 
@@ -118,6 +132,11 @@ pub fn ascii_timeline(
     t1_ns: u64,
     width: usize,
 ) -> Vec<String> {
+    if width == 0 || t1_ns <= t0_ns {
+        // A zero-width canvas or an empty/inverted window has nothing to
+        // paint (and `width - 1` below would underflow).
+        return vec![String::new(); ranks];
+    }
     let span = (t1_ns.saturating_sub(t0_ns)).max(1) as f64;
     let mut rows = vec![vec!['.'; width]; ranks];
     // Paint in priority order: collectives under p2p under compute, so the
@@ -151,7 +170,14 @@ pub fn ascii_timeline(
 mod tests {
     use super::*;
 
-    fn ev(rank: usize, kind: TraceKind, peer: Option<usize>, bytes: u64, a: u64, b: u64) -> TraceEvent {
+    fn ev(
+        rank: usize,
+        kind: TraceKind,
+        peer: Option<usize>,
+        bytes: u64,
+        a: u64,
+        b: u64,
+    ) -> TraceEvent {
         TraceEvent {
             rank,
             kind,
@@ -166,9 +192,23 @@ mod tests {
     fn summary_accumulates_by_kind() {
         let events = vec![
             ev(0, TraceKind::Compute, None, 0, 0, 1_000_000_000),
-            ev(0, TraceKind::Send, Some(1), 500, 1_000_000_000, 1_100_000_000),
+            ev(
+                0,
+                TraceKind::Send,
+                Some(1),
+                500,
+                1_000_000_000,
+                1_100_000_000,
+            ),
             ev(1, TraceKind::Recv, Some(0), 0, 0, 1_100_000_000),
-            ev(1, TraceKind::Collective("bcast"), None, 64, 2_000_000_000, 2_500_000_000),
+            ev(
+                1,
+                TraceKind::Collective("bcast"),
+                None,
+                64,
+                2_000_000_000,
+                2_500_000_000,
+            ),
         ];
         let s = TraceSummary::from_events(&events, 2);
         assert!((s.per_rank[0].compute_secs - 1.0).abs() < 1e-9);
@@ -198,5 +238,36 @@ mod tests {
         let events = vec![ev(0, TraceKind::Compute, None, 0, 200, 300)];
         let rows = ascii_timeline(&events, 1, 0, 100, 10);
         assert!(rows[0].chars().all(|c| c == '.'));
+    }
+
+    #[test]
+    fn timeline_degenerate_inputs_yield_empty_rows() {
+        let events = vec![ev(0, TraceKind::Compute, None, 0, 0, 50)];
+        // width == 0 used to underflow `width - 1` in the slice bound.
+        let rows = ascii_timeline(&events, 2, 0, 100, 0);
+        assert_eq!(rows, vec![String::new(), String::new()]);
+        // Empty window (t1 == t0) and inverted window (t1 < t0).
+        let rows = ascii_timeline(&events, 1, 100, 100, 10);
+        assert_eq!(rows, vec![String::new()]);
+        let rows = ascii_timeline(&events, 1, 100, 50, 10);
+        assert_eq!(rows, vec![String::new()]);
+        // No ranks: no rows, still no panic.
+        assert!(ascii_timeline(&events, 0, 0, 100, 0).is_empty());
+    }
+
+    #[test]
+    fn secs_clamps_inverted_spans() {
+        let e = ev(0, TraceKind::Compute, None, 0, 100, 40);
+        assert_eq!(e.secs(), 0.0);
+        // A summary over malformed spans stays finite and non-negative.
+        let s = TraceSummary::from_events(&[e], 1);
+        assert_eq!(s.per_rank[0].compute_secs, 0.0);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(TraceKind::Compute.name(), "compute");
+        assert_eq!(TraceKind::WaitSend.name(), "wait_send");
+        assert_eq!(TraceKind::Collective("allreduce").name(), "allreduce");
     }
 }

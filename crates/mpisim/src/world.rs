@@ -22,9 +22,9 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
+use desim::sync::Mutex;
 use desim::{completion, Completion, Sched, SimDuration, Trigger};
 use netsim::{ChannelId, Network, NodeId};
-use desim::sync::Mutex;
 
 use crate::profile::{ImplProfile, Tuning};
 use crate::stats::CommStats;
@@ -105,6 +105,10 @@ pub(crate) struct WorldInner {
     pub records: Mutex<Vec<(usize, String, f64)>>,
     /// Traced spans (populated only when tracing is enabled).
     pub trace: Option<Mutex<Vec<TraceEvent>>>,
+    /// Observability sink: every traced-or-not MPI span and app-phase
+    /// marker is forwarded here when set. Read-only taps; recording never
+    /// touches the simulation.
+    pub obs: Option<Arc<dyn desim::obs::Recorder>>,
 }
 
 impl WorldInner {
@@ -114,10 +118,9 @@ impl WorldInner {
         profile: ImplProfile,
         tuning: Tuning,
         tracing: bool,
+        obs: Option<Arc<dyn desim::obs::Recorder>>,
     ) -> Arc<WorldInner> {
-        let eager_threshold = tuning
-            .eager_threshold
-            .unwrap_or(profile.eager_threshold);
+        let eager_threshold = tuning.eager_threshold.unwrap_or(profile.eager_threshold);
         let mut profile = profile;
         if let Some(buf) = tuning.socket_buffer {
             profile.socket_policy = crate::profile::SocketPolicy::Fixed(buf);
@@ -151,6 +154,7 @@ impl WorldInner {
             stats: Mutex::new(CommStats::default()),
             records: Mutex::new(Vec::new()),
             trace: tracing.then(|| Mutex::new(Vec::new())),
+            obs,
         })
     }
 
@@ -173,12 +177,10 @@ impl WorldInner {
         } else {
             let mut o = self.profile.overhead_lan;
             if let Some(gateway) = self.profile.fast_lan {
-                if self
-                    .net
-                    .with_topology(|t| {
-                        t.route_fast(self.placement[src], self.placement[dst]).is_some()
-                    })
-                {
+                if self.net.with_topology(|t| {
+                    t.route_fast(self.placement[src], self.placement[dst])
+                        .is_some()
+                }) {
                     o += gateway;
                 }
             }
@@ -262,14 +264,7 @@ impl WorldInner {
     }
 
     /// Start an eager transmission (sender does not block).
-    pub fn eager_send(
-        self: &Arc<Self>,
-        s: &Sched,
-        src: usize,
-        dst: usize,
-        tag: u64,
-        bytes: u64,
-    ) {
+    pub fn eager_send(self: &Arc<Self>, s: &Sched, src: usize, dst: usize, tag: u64, bytes: u64) {
         let w = Arc::clone(self);
         self.data_transfer(s, src, dst, bytes, move |s2| {
             w.deliver_eager(s2, src, dst, tag, bytes)
@@ -293,7 +288,8 @@ impl WorldInner {
                 },
             );
         } else {
-            m.unexpected.push_back(Unexpected::Eager { src, tag, bytes });
+            m.unexpected
+                .push_back(Unexpected::Eager { src, tag, bytes });
         }
     }
 
@@ -385,14 +381,17 @@ impl WorldInner {
         sel_tag: Option<u64>,
     ) -> Result<RecvDone, Completion<RecvDone>> {
         let mut m = self.matchers[me].lock();
-        if let Some(pos) = m.unexpected.iter().position(|u| u.matches(sel_src, sel_tag)) {
+        if let Some(pos) = m
+            .unexpected
+            .iter()
+            .position(|u| u.matches(sel_src, sel_tag))
+        {
             let u = m.unexpected.remove(pos).expect("position valid");
             drop(m);
             match u {
                 Unexpected::Eager { src, tag, bytes } => {
                     // Extra copy out of the temporary MPI buffer (Fig. 4).
-                    let copy =
-                        SimDuration::from_secs_f64(bytes as f64 / self.profile.copy_rate);
+                    let copy = SimDuration::from_secs_f64(bytes as f64 / self.profile.copy_rate);
                     Ok(RecvDone {
                         info: MsgInfo { src, tag, bytes },
                         copy,
@@ -423,11 +422,9 @@ impl WorldInner {
     /// True if nothing is pending anywhere (used by tests to assert
     /// quiescence at the end of a run).
     pub fn quiescent(&self) -> bool {
-        self.matchers
-            .iter()
-            .all(|m| {
-                let g = m.lock();
-                g.unexpected.is_empty() && g.posted.is_empty()
-            })
+        self.matchers.iter().all(|m| {
+            let g = m.lock();
+            g.unexpected.is_empty() && g.posted.is_empty()
+        })
     }
 }

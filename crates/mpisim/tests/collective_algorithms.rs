@@ -3,9 +3,7 @@
 //! where, and by how much).
 
 use desim::SimDuration;
-use mpisim::{
-    AllreduceAlgo, BcastAlgo, ImplProfile, MpiImpl, MpiJob, RankCtx, Tuning,
-};
+use mpisim::{AllreduceAlgo, BcastAlgo, ImplProfile, MpiImpl, MpiJob, RankCtx, Tuning};
 use netsim::{grid5000_pair, KernelConfig, Network, NodeId};
 
 fn testbed(split: bool) -> (Network, Vec<NodeId>) {

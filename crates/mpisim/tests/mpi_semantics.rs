@@ -10,7 +10,9 @@ const TAG: u64 = 7;
 fn cluster(n: usize) -> (Network, Vec<netsim::NodeId>) {
     let mut t = Topology::new();
     let s = t.add_site("rennes", SiteParams::default());
-    let nodes: Vec<_> = (0..n).map(|_| t.add_node(s, NodeParams::default())).collect();
+    let nodes: Vec<_> = (0..n)
+        .map(|_| t.add_node(s, NodeParams::default()))
+        .collect();
     (Network::new(t), nodes)
 }
 

@@ -171,10 +171,7 @@ mod tests {
         let t = KernelConfig::tuned(4 << 20);
         assert_eq!(t.send_buffer_bound(SockBufRequest::KernelDefault), 16_384);
         let t2 = KernelConfig::tuned_with_default(4 << 20, 4 << 20);
-        assert_eq!(
-            t2.send_buffer_bound(SockBufRequest::KernelDefault),
-            4 << 20
-        );
+        assert_eq!(t2.send_buffer_bound(SockBufRequest::KernelDefault), 4 << 20);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
+use desim::obs::{Event as ObsEvent, Recorder};
 use desim::sync::Mutex;
 use desim::{Sched, SimDuration, SimTime};
 
@@ -104,6 +105,10 @@ pub(crate) struct NetState {
     pub(crate) fast_enabled: bool,
     fast: Option<FastPlan>,
     fast_gen: u64,
+    /// Observability sink. Probes only *read* model state and append to
+    /// this host-side recorder — they never schedule events or touch the
+    /// f64 arithmetic, so attaching one cannot change virtual timestamps.
+    pub(crate) obs: Option<Arc<dyn Recorder>>,
 }
 
 /// Initial fast-path setting for new networks: on, unless the
@@ -128,6 +133,7 @@ impl NetState {
             fast_enabled: default_fast_enabled(),
             fast: None,
             fast_gen: 0,
+            obs: None,
         }
     }
 
@@ -273,9 +279,7 @@ impl NetState {
             } else {
                 // Freeze every unfrozen flow crossing the bottleneck link.
                 for i in 0..n {
-                    if !frozen[i]
-                        && flow_links[i][..flow_nlinks[i] as usize].contains(&link_at)
-                    {
+                    if !frozen[i] && flow_links[i][..flow_nlinks[i] as usize].contains(&link_at) {
                         freeze!(i, link_level);
                     }
                 }
@@ -312,6 +316,28 @@ fn self_active_on_link(g: &NetState, link: LinkId) -> usize {
 
 pub(crate) type SharedNet = Arc<Mutex<NetState>>;
 
+/// Observability name of a round outcome.
+fn outcome_name(out: RoundOutcome) -> &'static str {
+    match out {
+        RoundOutcome::Progress => "progress",
+        RoundOutcome::FastRecovery => "fast_recovery",
+        RoundOutcome::RtoStall(_) => "rto_stall",
+    }
+}
+
+/// A TCP congestion sample of `tcp` as it stands after a round (or a
+/// short-transfer ack) has been applied.
+fn tcp_sample(ch: usize, t: SimTime, tcp: &TcpState, outcome: &'static str) -> ObsEvent {
+    ObsEvent::TcpSample {
+        channel: ch as u64,
+        t_ns: t.as_nanos(),
+        cwnd: tcp.cwnd(),
+        ssthresh: tcp.ssthresh(),
+        phase: tcp.phase().name(),
+        outcome,
+    }
+}
+
 /// The rate `allocate` assigns to the only active flow in the network:
 /// its cap unless some path link is tighter. Performs the same
 /// floating-point comparisons as the water-fill with `n = 1`.
@@ -343,7 +369,9 @@ struct ReplayOutcome {
 /// events with time strictly before `upto` (pass [`SimTime::MAX`] to run
 /// to completion). `on_settle` receives the bytes moved by each settle
 /// step, in order — the caller credits them to the path links exactly as
-/// `NetState::settle` would.
+/// `NetState::settle` would. `on_round` observes the TCP state right
+/// after each window round is applied (the cwnd probe stream); it is a
+/// read-only tap and takes no part in the arithmetic.
 ///
 /// This mirrors `round_event`/`stall_clear`/`finish_event`/`reallocate`
 /// for the single-flow case *operation for operation*, including the
@@ -360,6 +388,7 @@ fn replay_flow(
     min_link: Option<f64>,
     upto: SimTime,
     mut on_settle: impl FnMut(f64),
+    mut on_round: impl FnMut(SimTime, &TcpState, RoundOutcome),
 ) -> ReplayOutcome {
     let mut tcp = tcp0.clone();
     let mut remaining = remaining0;
@@ -444,7 +473,9 @@ fn replay_flow(
             settle!(t);
             let cap = tcp.window_rate().min(bottleneck);
             let was_binding = rate >= cap * 0.999;
-            match tcp.on_round() {
+            let out = tcp.on_round();
+            on_round(t, &tcp, out);
+            match out {
                 RoundOutcome::Progress => {
                     if was_binding {
                         reallocate!(t);
@@ -487,16 +518,16 @@ fn replay_flow(
 /// released before mutating link counters.
 fn replay_inputs(g: &NetState, ch: usize) -> (f64, Option<f64>, Vec<LinkId>) {
     let path = &g.channels[ch].path;
-    let min_link = path
-        .links
-        .iter()
-        .map(|&l| g.topo.link(l).capacity)
-        .fold(None, |acc: Option<f64>, c| {
-            Some(match acc {
-                Some(a) if a < c => a,
-                _ => c,
-            })
-        });
+    let min_link =
+        path.links
+            .iter()
+            .map(|&l| g.topo.link(l).capacity)
+            .fold(None, |acc: Option<f64>, c| {
+                Some(match acc {
+                    Some(a) if a < c => a,
+                    _ => c,
+                })
+            });
     (path.bottleneck, min_link, path.links.clone())
 }
 
@@ -522,6 +553,8 @@ fn try_enter_fast(g: &mut NetState, net: &SharedNet, s: &Sched, now: SimTime) ->
         return false;
     }
     let (bottleneck, min_link, _) = replay_inputs(g, ch);
+    // Speculative probe run: no link crediting, no observability samples —
+    // apply_replay performs both when the plan actually lands.
     let outcome = replay_flow(
         &c.tcp,
         f.remaining,
@@ -532,6 +565,7 @@ fn try_enter_fast(g: &mut NetState, net: &SharedNet, s: &Sched, now: SimTime) ->
         min_link,
         SimTime::MAX,
         |_| {},
+        |_, _, _| {},
     );
     let Some(finish_at) = outcome.finished_at else {
         return false;
@@ -557,10 +591,16 @@ fn try_enter_fast(g: &mut NetState, net: &SharedNet, s: &Sched, now: SimTime) ->
 }
 
 /// Re-run a plan's replay up to `upto`, crediting the moved bytes to the
-/// plan's path links in settle order.
+/// plan's path links in settle order and materializing the per-round TCP
+/// samples the event loop would have emitted (same channel, same virtual
+/// timestamps, same post-round state — the probe stream is identical to
+/// the per-round model's).
 fn apply_replay(g: &mut NetState, plan: &FastPlan, upto: SimTime) -> ReplayOutcome {
     let (bottleneck, min_link, links) = replay_inputs(g, plan.ch);
     let mut steps: Vec<f64> = Vec::new();
+    let mut samples: Vec<ObsEvent> = Vec::new();
+    let want_samples = g.obs.is_some();
+    let ch = plan.ch;
     let outcome = replay_flow(
         &plan.tcp0,
         plan.remaining0,
@@ -571,6 +611,11 @@ fn apply_replay(g: &mut NetState, plan: &FastPlan, upto: SimTime) -> ReplayOutco
         min_link,
         upto,
         |moved| steps.push(moved),
+        |t, tcp, out| {
+            if want_samples {
+                samples.push(tcp_sample(ch, t, tcp, outcome_name(out)));
+            }
+        },
     );
     if g.link_delivered.len() < g.topo.link_count() {
         g.link_delivered.resize(g.topo.link_count(), 0.0);
@@ -578,6 +623,11 @@ fn apply_replay(g: &mut NetState, plan: &FastPlan, upto: SimTime) -> ReplayOutco
     for moved in steps {
         for &l in &links {
             g.link_delivered[l.0 as usize] += moved;
+        }
+    }
+    if let Some(rec) = &g.obs {
+        for s in &samples {
+            rec.record(s);
         }
     }
     outcome
@@ -635,8 +685,13 @@ fn fast_commit(net: &SharedNet, s: &Sched, gen: u64) {
     let mut f = g.flows[fid].take().expect("finished flow exists");
     g.free.push(fid);
     g.channels[ch].bytes_done += f.total;
+    emit_flow_finish(&g, ch, now, f.total);
     if now.since(f.started) < g.channels[ch].tcp.params().rtt {
-        if let Some(stall) = g.channels[ch].tcp.on_short_ack(f.total) {
+        let stall = g.channels[ch].tcp.on_short_ack(f.total);
+        if let Some(rec) = &g.obs {
+            rec.record(&tcp_sample(ch, now, &g.channels[ch].tcp, "short_ack"));
+        }
+        if let Some(stall) = stall {
             let until = now + stall;
             g.channels[ch].stalled_until = until;
             g.channels[ch].round_gen += 1;
@@ -704,9 +759,7 @@ fn activate_next(g: &mut NetState, net: &SharedNet, s: &Sched, ch: usize, now: S
             .path
             .links
             .first()
-            .map(|&l0| {
-                1 + self_active_on_link(g, l0)
-            })
+            .map(|&l0| 1 + self_active_on_link(g, l0))
             .unwrap_or(1) as f64;
         let c = &g.channels[ch];
         let w = c.tcp.effective_window() as f64;
@@ -737,7 +790,34 @@ fn activate_next(g: &mut NetState, net: &SharedNet, s: &Sched, ch: usize, now: S
     g.channels[ch].active = Some(fid);
     g.channels[ch].transfers += 1;
     g.channels[ch].round_gen += 1;
+    if let Some(rec) = &g.obs {
+        rec.record(&ObsEvent::FlowStart {
+            channel: ch as u64,
+            t_ns: now.as_nanos(),
+            bytes: g.flows[fid].as_ref().unwrap().total,
+            queued: g.channels[ch].queue.len() as u64,
+        });
+    }
     schedule_round(g, net, s, ch, now);
+}
+
+/// Record a flow completion and the cumulative delivery of every link on
+/// its path (shared by `finish_event` and `fast_commit`, which both call
+/// it at the same virtual time with the same link totals).
+fn emit_flow_finish(g: &NetState, ch: usize, now: SimTime, bytes: u64) {
+    let Some(rec) = &g.obs else { return };
+    rec.record(&ObsEvent::FlowFinish {
+        channel: ch as u64,
+        t_ns: now.as_nanos(),
+        bytes,
+    });
+    for &l in &g.channels[ch].path.links {
+        rec.record(&ObsEvent::LinkSample {
+            link: l.index() as u64,
+            t_ns: now.as_nanos(),
+            delivered_bytes: g.link_delivered.get(l.index()).copied().unwrap_or(0.0),
+        });
+    }
 }
 
 fn schedule_round(g: &mut NetState, net: &SharedNet, s: &Sched, ch: usize, now: SimTime) {
@@ -765,7 +845,11 @@ fn round_event(net: &SharedNet, s: &Sched, ch: usize, gen: u64) {
         .active
         .map(|fid| g.cap_is_binding(fid, now))
         .unwrap_or(false);
-    match g.channels[ch].tcp.on_round() {
+    let out = g.channels[ch].tcp.on_round();
+    if let Some(rec) = &g.obs {
+        rec.record(&tcp_sample(ch, now, &g.channels[ch].tcp, outcome_name(out)));
+    }
+    match out {
         RoundOutcome::Progress => {
             // Window growth only changes the allocation if the window cap
             // was actually the binding constraint.
@@ -830,9 +914,8 @@ fn reallocate(g: &mut NetState, net: &SharedNet, s: &Sched, now: SimTime) {
     for &fid in &g.active {
         let f = g.flows[fid].as_ref().unwrap();
         if f.rate > 0.0 {
-            let t = now
-                + SimDuration::from_secs_f64(f.remaining / f.rate)
-                + SimDuration::from_nanos(1);
+            let t =
+                now + SimDuration::from_secs_f64(f.remaining / f.rate) + SimDuration::from_nanos(1);
             earliest = Some(match earliest {
                 Some(e) => e.min(t),
                 None => t,
@@ -866,11 +949,16 @@ fn finish_event(net: &SharedNet, s: &Sched, gen: u64) {
         g.free.push(fid);
         let ch = f.chan;
         g.channels[ch].bytes_done += f.total;
+        emit_flow_finish(&g, ch, now, f.total);
         if now.since(f.started) < g.channels[ch].tcp.params().rtt {
             // The flow never lived through a window round: apply the
             // ack-clocked growth it earned. A first-burst overshoot on an
             // unpaced WAN path stalls the channel for one RTO.
-            if let Some(stall) = g.channels[ch].tcp.on_short_ack(f.total) {
+            let stall = g.channels[ch].tcp.on_short_ack(f.total);
+            if let Some(rec) = &g.obs {
+                rec.record(&tcp_sample(ch, now, &g.channels[ch].tcp, "short_ack"));
+            }
+            if let Some(stall) = stall {
                 let until = now + stall;
                 g.channels[ch].stalled_until = until;
                 g.channels[ch].round_gen += 1;

@@ -131,9 +131,7 @@ pub fn grid5000_pair_with_queue(
 /// per site, all site pairs connected with the measured RTTs. Returns the
 /// topology, the per-site `SiteId`s in [`Grid5000Site::ALL`] order, and
 /// per-site node lists.
-pub fn grid5000_four_sites(
-    nodes_per_site: usize,
-) -> (Topology, Vec<SiteId>, Vec<Vec<NodeId>>) {
+pub fn grid5000_four_sites(nodes_per_site: usize) -> (Topology, Vec<SiteId>, Vec<Vec<NodeId>>) {
     let mut t = Topology::new();
     let mut site_ids = Vec::new();
     let mut nodes = Vec::new();
@@ -188,7 +186,10 @@ mod tests {
                     let p = t.route(nodes[i][0], nodes[j][0]);
                     let expect_us = (GRID5000_RTT_MS[i][j] * 1e3) as i64;
                     let got = p.rtt.as_micros() as i64;
-                    assert!((got - expect_us).abs() <= 1, "sites {i}->{j}: {got} vs {expect_us}");
+                    assert!(
+                        (got - expect_us).abs() <= 1,
+                        "sites {i}->{j}: {got} vs {expect_us}"
+                    );
                 }
             }
         }

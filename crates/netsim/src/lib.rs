@@ -53,6 +53,5 @@ pub use grid5000::{
 pub use network::Network;
 pub use tcp::{TcpParams, TcpPhase, TcpState};
 pub use topology::{
-    FastLanParams, LinkId, NodeId, NodeParams, Path, SiteId, SiteParams, Topology,
-    GIGABIT_GOODPUT,
+    FastLanParams, LinkId, NodeId, NodeParams, Path, SiteId, SiteParams, Topology, GIGABIT_GOODPUT,
 };

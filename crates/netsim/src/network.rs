@@ -2,8 +2,8 @@
 
 use std::sync::Arc;
 
-use desim::{completion, Completion, Proc, Sched, SimDuration};
 use desim::sync::Mutex;
+use desim::{completion, Completion, Proc, Sched, SimDuration};
 
 use crate::config::SockBufRequest;
 use crate::flow::{start_transfer, ChannelId, NetState, SharedNet};
@@ -49,6 +49,15 @@ impl Network {
     /// prove exactly that. Call before starting transfers.
     pub fn set_bulk_fast_path(&self, enabled: bool) {
         self.state.lock().fast_enabled = enabled;
+    }
+
+    /// Attach an observability recorder: the flow engine will emit
+    /// [`desim::obs::Event`]s for flow starts/finishes, per-round TCP
+    /// congestion samples (materialized from the closed-form replay when
+    /// the fast path is active), and per-link delivery totals. Probes are
+    /// read-only taps; attaching one never changes virtual timestamps.
+    pub fn attach_recorder(&self, rec: Arc<dyn desim::obs::Recorder>) {
+        self.state.lock().obs = Some(rec);
     }
 
     /// Open a unidirectional TCP channel from `src` to `dst`.
@@ -232,10 +241,7 @@ impl Network {
     /// Bytes delivered so far over a directed link (0 if nothing flowed).
     pub fn link_delivered(&self, l: crate::LinkId) -> f64 {
         let g = self.state.lock();
-        g.link_delivered
-            .get(l.index())
-            .copied()
-            .unwrap_or(0.0)
+        g.link_delivered.get(l.index()).copied().unwrap_or(0.0)
     }
 
     /// Spawn a deterministic background-traffic generator: `count` flows of

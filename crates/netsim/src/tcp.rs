@@ -96,6 +96,16 @@ pub enum TcpPhase {
     CongestionAvoidance,
 }
 
+impl TcpPhase {
+    /// Stable lower-snake-case name (used by observability exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            TcpPhase::SlowStart => "slow_start",
+            TcpPhase::CongestionAvoidance => "congestion_avoidance",
+        }
+    }
+}
+
 /// What happened during one RTT round of active sending.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RoundOutcome {
@@ -161,6 +171,12 @@ impl TcpState {
         self.phase
     }
 
+    /// Current slow-start threshold in bytes (`f64::INFINITY` until the
+    /// first loss episode).
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
     /// Number of loss episodes so far.
     pub fn losses(&self) -> u64 {
         self.losses
@@ -190,8 +206,8 @@ impl TcpState {
             let rto = self.params.rto.as_nanos().max(1);
             let halvings = (idle.as_nanos() / rto) as i32;
             if halvings > 0 {
-                self.cwnd = (self.cwnd / 2f64.powi(halvings.min(60)))
-                    .max(self.params.init_cwnd as f64);
+                self.cwnd =
+                    (self.cwnd / 2f64.powi(halvings.min(60))).max(self.params.init_cwnd as f64);
                 if self.cwnd < self.ssthresh {
                     self.phase = TcpPhase::SlowStart;
                 }

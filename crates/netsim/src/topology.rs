@@ -328,10 +328,7 @@ impl Topology {
         let (si, di) = (&self.nodes[src.index()], &self.nodes[dst.index()]);
         if si.site == di.site {
             let lan = &self.sites[si.site.index()];
-            let cap = si
-                .params
-                .nic_bytes_per_sec
-                .min(di.params.nic_bytes_per_sec);
+            let cap = si.params.nic_bytes_per_sec.min(di.params.nic_bytes_per_sec);
             return Path {
                 links: vec![si.uplink, di.downlink],
                 rtt: lan.lan_one_way * 2,

@@ -147,7 +147,9 @@ fn interrupted_flows_are_bit_identical() {
             net.set_bulk_fast_path(fast);
             let log = Arc::new(Mutex::new(Vec::new()));
             let sim = Sim::new();
-            for (i, (bytes, delay)) in [(bytes_a, 0u64), (bytes_b, stagger)].into_iter().enumerate()
+            for (i, (bytes, delay)) in [(bytes_a, 0u64), (bytes_b, stagger)]
+                .into_iter()
+                .enumerate()
             {
                 let net = net.clone();
                 let log = Arc::clone(&log);

@@ -11,7 +11,9 @@ use netsim::{
 fn star_topology(nodes: usize, buf: u64) -> (Network, Vec<NodeId>) {
     let mut t = Topology::new();
     let s = t.add_site("hub", SiteParams::default());
-    let ids: Vec<NodeId> = (0..nodes).map(|_| t.add_node(s, NodeParams::default())).collect();
+    let ids: Vec<NodeId> = (0..nodes)
+        .map(|_| t.add_node(s, NodeParams::default()))
+        .collect();
     t.set_kernel_all(KernelConfig::tuned(buf));
     (Network::new(t), ids)
 }
@@ -30,8 +32,7 @@ fn incast_conserves_capacity() {
             timed_flows(&net, &[(ids[1], ids[0], bytes)])
         };
         let (net, ids) = star_topology(n + 1, 8 << 20);
-        let flows: Vec<(NodeId, NodeId, u64)> =
-            (1..=n).map(|i| (ids[i], ids[0], bytes)).collect();
+        let flows: Vec<(NodeId, NodeId, u64)> = (1..=n).map(|i| (ids[i], ids[0], bytes)).collect();
         let aggregate = timed_flows(&net, &flows);
         // Serialisation on the shared downlink dominates: at least
         // (N-1) extra transfer times beyond latency.
@@ -56,8 +57,9 @@ fn disjoint_pairs_run_in_parallel() {
             timed_flows(&net, &[(ids[0], ids[1], bytes)])
         };
         let (net, ids) = star_topology(2 * k, 8 << 20);
-        let flows: Vec<(NodeId, NodeId, u64)> =
-            (0..k).map(|i| (ids[2 * i], ids[2 * i + 1], bytes)).collect();
+        let flows: Vec<(NodeId, NodeId, u64)> = (0..k)
+            .map(|i| (ids[2 * i], ids[2 * i + 1], bytes))
+            .collect();
         let parallel = timed_flows(&net, &flows);
         assert!(
             (parallel - single).abs() < single * 0.01 + 1e-6,

@@ -157,13 +157,11 @@ fn run_adi(ctx: &mut RankCtx, prm: Params, full_iters: u32, warmup: u32, timed: 
 }
 
 pub(crate) fn run_bt(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
-    let full =
-        crate::run::NasRun::new(crate::run::NasBenchmark::Bt, class).full_iterations();
+    let full = crate::run::NasRun::new(crate::run::NasBenchmark::Bt, class).full_iterations();
     run_adi(ctx, bt_params(class), full, warmup, timed);
 }
 
 pub(crate) fn run_sp(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
-    let full =
-        crate::run::NasRun::new(crate::run::NasBenchmark::Sp, class).full_iterations();
+    let full = crate::run::NasRun::new(crate::run::NasBenchmark::Sp, class).full_iterations();
     run_adi(ctx, sp_params(class), full, warmup, timed);
 }

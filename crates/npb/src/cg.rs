@@ -65,10 +65,8 @@ pub(crate) fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
     } else {
         (me + p / 2) % p
     };
-    let full_iters = crate::run::NasRun::new(crate::run::NasBenchmark::Cg, class)
-        .full_iterations();
-    let gflop_per_inner =
-        prm.total_gflop / (full_iters as f64 * prm.inner as f64 * p as f64);
+    let full_iters = crate::run::NasRun::new(crate::run::NasBenchmark::Cg, class).full_iterations();
+    let gflop_per_inner = prm.total_gflop / (full_iters as f64 * prm.inner as f64 * p as f64);
 
     timed_loop(ctx, warmup, timed, |ctx, _| {
         for _ in 0..prm.inner {

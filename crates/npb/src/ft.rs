@@ -52,8 +52,7 @@ fn params(class: NasClass) -> Params {
 pub(crate) fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
     let prm = params(class);
     let p = ctx.size() as f64;
-    let full =
-        crate::run::NasRun::new(crate::run::NasBenchmark::Ft, class).full_iterations();
+    let full = crate::run::NasRun::new(crate::run::NasBenchmark::Ft, class).full_iterations();
     let gflop_iter = prm.total_gflop / (full as f64 * p);
 
     // Setup: initial condition broadcast.

@@ -44,8 +44,7 @@ fn params(class: NasClass) -> Params {
 pub(crate) fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
     let prm = params(class);
     let p = ctx.size() as u64;
-    let full =
-        crate::run::NasRun::new(crate::run::NasBenchmark::Is, class).full_iterations();
+    let full = crate::run::NasRun::new(crate::run::NasBenchmark::Is, class).full_iterations();
     let gflop_iter = prm.total_gflop / (full as f64 * p as f64);
     let per_pair = (prm.total_keys * 4 / (p * p)).max(1);
 

@@ -56,8 +56,7 @@ pub(crate) fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
     let west = (col > 0).then(|| rank2d(row, col - 1, cols));
     let east = (col + 1 < cols).then(|| rank2d(row, col + 1, cols));
     let msg = (prm.n / cols as u64).max(1) * 40; // 5 unknowns × 8 B per cell
-    let full_iters =
-        crate::run::NasRun::new(crate::run::NasBenchmark::Lu, class).full_iterations();
+    let full_iters = crate::run::NasRun::new(crate::run::NasBenchmark::Lu, class).full_iterations();
     let gflop_iter = prm.total_gflop / (full_iters as f64 * p as f64);
     let plane_gflop = gflop_iter * 0.8 / (2.0 * prm.n as f64);
 

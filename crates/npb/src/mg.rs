@@ -49,8 +49,7 @@ pub(crate) fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
     let (x, y, z) = coords3d(me, px, py);
     // Levels down to a 4³ coarse grid.
     let levels: u32 = prm.n.ilog2() - 1;
-    let full_iters =
-        crate::run::NasRun::new(crate::run::NasBenchmark::Mg, class).full_iterations();
+    let full_iters = crate::run::NasRun::new(crate::run::NasBenchmark::Mg, class).full_iterations();
     // Volume-weighted compute: level k has (n >> k)³ points.
     let total_vol: f64 = (0..levels).map(|k| ((prm.n >> k) as f64).powi(3)).sum();
     let gflop_iter = prm.total_gflop / (full_iters as f64 * p as f64);

@@ -191,9 +191,7 @@ impl NasRun {
             .into_iter()
             .map(|(_, v)| v)
             .fold(0.0f64, f64::max);
-        SimDuration::from_secs_f64(
-            timed_secs / self.timed as f64 * self.full_iterations() as f64,
-        )
+        SimDuration::from_secs_f64(timed_secs / self.timed as f64 * self.full_iterations() as f64)
     }
 }
 
@@ -206,14 +204,17 @@ pub(crate) fn timed_loop(
     mut body: impl FnMut(&mut RankCtx, u32),
 ) {
     ctx.barrier();
+    ctx.phase("warmup");
     for i in 0..warmup {
         body(ctx, i);
     }
     ctx.barrier();
+    ctx.phase("timed");
     let t0 = ctx.now();
     for i in 0..timed {
         body(ctx, warmup + i);
     }
     ctx.barrier();
+    ctx.phase("end");
     ctx.record("timed_secs", ctx.now().since(t0).as_secs_f64());
 }

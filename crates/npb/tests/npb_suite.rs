@@ -25,9 +25,7 @@ fn every_kernel_completes_on_a_cluster_class_s() {
     for bench in NasBenchmark::ALL {
         for np in [4usize, 16] {
             let run = NasRun::quick(bench, NasClass::S);
-            let report = cluster_job(np, MpiImpl::Mpich2)
-                .run(run.program())
-                .unwrap();
+            let report = cluster_job(np, MpiImpl::Mpich2).run(run.program()).unwrap();
             assert!(report.clean, "{} np={np} left messages", bench.name());
             let t = run.estimate(&report);
             assert!(t.as_nanos() > 0, "{} np={np}", bench.name());
@@ -195,7 +193,13 @@ fn classes_w_and_c_have_consistent_scaling() {
 
 #[test]
 fn all_five_classes_run_every_kernel() {
-    for class in [NasClass::S, NasClass::W, NasClass::A, NasClass::B, NasClass::C] {
+    for class in [
+        NasClass::S,
+        NasClass::W,
+        NasClass::A,
+        NasClass::B,
+        NasClass::C,
+    ] {
         for bench in [NasBenchmark::Ep, NasBenchmark::Ft, NasBenchmark::Is] {
             let run = NasRun::quick(bench, class);
             let report = cluster_job(4, MpiImpl::GridMpi).run(run.program()).unwrap();
@@ -211,7 +215,11 @@ fn scaled_estimate_matches_a_full_run() {
     for bench in [NasBenchmark::Mg, NasBenchmark::Ft] {
         let full = NasRun::full(bench, NasClass::S);
         let full_t = full
-            .estimate(&cluster_job(16, MpiImpl::Mpich2).run(full.program()).unwrap())
+            .estimate(
+                &cluster_job(16, MpiImpl::Mpich2)
+                    .run(full.program())
+                    .unwrap(),
+            )
             .as_secs_f64();
         let scaled = NasRun::new(bench, NasClass::S);
         let scaled_t = scaled

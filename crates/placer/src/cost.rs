@@ -27,8 +27,7 @@ pub fn predict_cost(topo: &Topology, placement: &[NodeId], profile: &CommProfile
                 continue;
             }
             let path = topo.route(placement[src], placement[dst]);
-            cost += msgs as f64 * path.rtt.as_secs_f64() / 2.0
-                + bytes as f64 / path.bottleneck;
+            cost += msgs as f64 * path.rtt.as_secs_f64() / 2.0 + bytes as f64 / path.bottleneck;
         }
     }
     cost
@@ -51,7 +50,13 @@ mod tests {
             t.add_node(b, NodeParams::default()),
             t.add_node(b, NodeParams::default()),
         ];
-        t.connect_sites(a, b, SimDuration::from_micros(11_600), 9.4e9 / 8.0, 512 << 10);
+        t.connect_sites(
+            a,
+            b,
+            SimDuration::from_micros(11_600),
+            9.4e9 / 8.0,
+            512 << 10,
+        );
         (t, nodes)
     }
 

@@ -52,8 +52,16 @@ fn optimize_two_sites_exact(
     if sites.len() != 2 {
         return None;
     }
-    let a_nodes: Vec<NodeId> = pool.iter().copied().filter(|&c| topo.site_of(c) == sites[0]).collect();
-    let b_nodes: Vec<NodeId> = pool.iter().copied().filter(|&c| topo.site_of(c) == sites[1]).collect();
+    let a_nodes: Vec<NodeId> = pool
+        .iter()
+        .copied()
+        .filter(|&c| topo.site_of(c) == sites[0])
+        .collect();
+    let b_nodes: Vec<NodeId> = pool
+        .iter()
+        .copied()
+        .filter(|&c| topo.site_of(c) == sites[1])
+        .collect();
     // Representative same-site and cross-site routes (sites are uniform).
     let same_path = topo.route(a_nodes[0], *a_nodes.get(1).unwrap_or(&b_nodes[0]));
     let cross_path = topo.route(a_nodes[0], b_nodes[0]);
@@ -82,7 +90,11 @@ fn optimize_two_sites_exact(
             let si = mask >> i & 1;
             for j in 0..n {
                 if i != j {
-                    let w = if si == (mask >> j & 1) { &w_same } else { &w_cross };
+                    let w = if si == (mask >> j & 1) {
+                        &w_same
+                    } else {
+                        &w_cross
+                    };
                     cost += w[i * n + j];
                 }
             }
@@ -128,11 +140,7 @@ pub fn optimize_detailed(
     // Two sites: solve the bipartition exactly.
     if let Some((exact, exact_cost)) = optimize_two_sites_exact(topo, candidates, profile) {
         if exact_cost + 1e-12 < cost {
-            steps = exact
-                .iter()
-                .zip(&placement)
-                .filter(|(a, b)| a != b)
-                .count();
+            steps = exact.iter().zip(&placement).filter(|(a, b)| a != b).count();
             placement = exact;
             cost = exact_cost;
         }
@@ -266,7 +274,13 @@ mod tests {
         let n1 = t.add_node(b, NodeParams::default());
         let n2 = t.add_node(a, NodeParams::default());
         let n3 = t.add_node(b, NodeParams::default());
-        t.connect_sites(a, b, SimDuration::from_micros(11_600), 9.4e9 / 8.0, 512 << 10);
+        t.connect_sites(
+            a,
+            b,
+            SimDuration::from_micros(11_600),
+            9.4e9 / 8.0,
+            512 << 10,
+        );
 
         let mut stats = CommStats::default();
         for _ in 0..100 {

@@ -132,7 +132,10 @@ pub fn cmd_ablation() {
     }
 
     crate::header("Ablation 5: OpenMPI BTL pipeline window cap, 64 MB transfer");
-    for (label, cap) in [("cap 1 MB (model)", Some(1u64 << 20)), ("cap removed", None)] {
+    for (label, cap) in [
+        ("cap 1 MB (model)", Some(1u64 << 20)),
+        ("cap removed", None),
+    ] {
         let mut profile = ImplProfile::openmpi();
         profile.data_window_cap = cap;
         let (mut topo, rn, nn) = grid5000_pair_with_queue(1, 512 << 10);

@@ -22,11 +22,17 @@ pub fn cmd_trace(bench: NasBenchmark) {
     let (net, placement) = npb_placement(8, 8, 8, level.kernel(Some(MpiImpl::GridMpi)));
     let ranks = placement.len();
     let run = NasRun::quick(bench, NasClass::A);
-    let report = MpiJob::new(net, placement, MpiImpl::GridMpi)
+    let obs = crate::obs_sink();
+    let mut job = MpiJob::new(net, placement, MpiImpl::GridMpi)
         .with_tuning(level.tuning(MpiImpl::GridMpi))
-        .with_tracing()
-        .run(run.program())
-        .expect("traced run completes");
+        .with_tracing();
+    if let Some((sink, _)) = &obs {
+        job = job.with_recorder(sink.clone());
+    }
+    let report = job.run(run.program()).expect("traced run completes");
+    if let Some((sink, metrics)) = &obs {
+        crate::write_obs(sink, metrics);
+    }
     let summary = TraceSummary::from_events(&report.trace, ranks);
     println!(
         "{:>5} {:>12} {:>12} {:>12} {:>14}",
@@ -74,7 +80,8 @@ pub fn cmd_utilization() {
                 .with_tuning(level.tuning(id))
                 .run(run.program())
                 .expect("utilization run completes");
-            let wan_bytes: f64 = net2.with_topology(|t| t.wan_links()) // (from, to, link)
+            let wan_bytes: f64 = net2
+                .with_topology(|t| t.wan_links()) // (from, to, link)
                 .iter()
                 .map(|&(_, _, l)| net2.link_delivered(l))
                 .sum();
@@ -94,7 +101,8 @@ pub fn cmd_placement() {
     let level = TuningLevel::FullyTuned;
     for bench in [NasBenchmark::Cg, NasBenchmark::Mg] {
         // 1. Profile on a single cluster (placement-neutral).
-        let (net, cluster_placement) = npb_placement(16, 16, 0, level.kernel(Some(MpiImpl::GridMpi)));
+        let (net, cluster_placement) =
+            npb_placement(16, 16, 0, level.kernel(Some(MpiImpl::GridMpi)));
         let run = NasRun::quick(bench, NasClass::A);
         let report = MpiJob::new(net, cluster_placement, MpiImpl::GridMpi)
             .with_tuning(level.tuning(MpiImpl::GridMpi))

@@ -53,7 +53,10 @@ pub fn cmd_g2(class: NasClass) {
     println!("large messages ~4x faster than MPICH2 on *untuned* kernels, the");
     println!("GridFTP argument of §2.1.5 — at a latency premium from Globus.");
 
-    println!("\nNPB class {} on 8+8 nodes (estimated seconds):", class.name());
+    println!(
+        "\nNPB class {} on 8+8 nodes (estimated seconds):",
+        class.name()
+    );
     print!("{:<6}", "");
     for id in MpiImpl::EXTENDED {
         print!("{:>16}", id.name());

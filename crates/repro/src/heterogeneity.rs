@@ -101,10 +101,7 @@ pub fn cmd_heterogeneity() {
     let tcp = lan_pingpong_us(madeleine_with_fabric(None), 1);
     println!("  over TCP/Ethernet:                 {tcp:6.0}");
     for us in [2u64, 5, 10, 20, 40] {
-        let t = lan_pingpong_us(
-            madeleine_with_fabric(Some(SimDuration::from_micros(us))),
-            1,
-        );
+        let t = lan_pingpong_us(madeleine_with_fabric(Some(SimDuration::from_micros(us))), 1);
         let verdict = if t < tcp { "wins" } else { "LOSES to TCP" };
         println!("  over Myrinet, {us:>2} µs gateway cost:  {t:6.0}  ({verdict})");
     }

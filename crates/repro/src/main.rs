@@ -30,6 +30,52 @@ use std::sync::OnceLock;
 /// Directory for gnuplot-ready `.dat` files (`--dat DIR`).
 static DAT_DIR: OnceLock<Option<std::path::PathBuf>> = OnceLock::new();
 
+/// Chrome trace-event output path (`--trace-out FILE`).
+static TRACE_OUT: OnceLock<Option<std::path::PathBuf>> = OnceLock::new();
+
+/// Metrics snapshot output path (`--metrics FILE`).
+static METRICS_OUT: OnceLock<Option<std::path::PathBuf>> = OnceLock::new();
+
+/// When `--trace-out` or `--metrics` was given, a ring sink (with an
+/// attached metrics registry) to hang on a job via
+/// [`mpisim::MpiJob::with_recorder`]. Commands that support observability
+/// call this, run, then hand the pair to [`write_obs`].
+pub(crate) fn obs_sink() -> Option<(
+    std::sync::Arc<desim::RingSink>,
+    std::sync::Arc<desim::Metrics>,
+)> {
+    let want =
+        |cell: &OnceLock<Option<std::path::PathBuf>>| cell.get().is_some_and(|p| p.is_some());
+    if !want(&TRACE_OUT) && !want(&METRICS_OUT) {
+        return None;
+    }
+    let metrics = std::sync::Arc::new(desim::Metrics::new());
+    let sink = std::sync::Arc::new(desim::RingSink::with_metrics(1 << 21, metrics.clone()));
+    Some((sink, metrics))
+}
+
+/// Export whatever `--trace-out` / `--metrics` asked for.
+pub(crate) fn write_obs(sink: &desim::RingSink, metrics: &desim::Metrics) {
+    if let Some(Some(path)) = TRACE_OUT.get() {
+        let events = sink.events();
+        match std::fs::write(path, desim::obs::export::chrome_trace(&events)) {
+            Ok(()) => println!(
+                "wrote {} events to {} ({} dropped); load in Perfetto / chrome://tracing",
+                events.len(),
+                path.display(),
+                sink.dropped()
+            ),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+    if let Some(Some(path)) = METRICS_OUT.get() {
+        match std::fs::write(path, metrics.snapshot().to_json()) {
+            Ok(()) => println!("wrote metrics snapshot to {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
 /// Open `<dat-dir>/<name>.dat` if `--dat` was given.
 pub(crate) fn dat_file(name: &str) -> Option<std::fs::File> {
     out_file(name, "dat")
@@ -48,7 +94,13 @@ fn out_file(name: &str, ext: &str) -> Option<std::fs::File> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    // A leading flag means "trace with observability outputs", so that
+    // `repro --trace-out run.trace.json` does the obvious thing.
+    let cmd = match args.first().map(String::as_str) {
+        Some(flag) if flag.starts_with('-') => "trace",
+        Some(cmd) => cmd,
+        None => "help",
+    };
     let class = if args.iter().any(|a| a == "--class-a") {
         NasClass::A
     } else {
@@ -60,6 +112,14 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
     let _ = DAT_DIR.set(dat);
+    let flag_path = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from)
+    };
+    let _ = TRACE_OUT.set(flag_path("--trace-out"));
+    let _ = METRICS_OUT.set(flag_path("--metrics"));
     match cmd {
         "table1" => cmd_table1(),
         "table2" => cmd_table2(class),
@@ -95,6 +155,8 @@ fn main() {
                 .unwrap_or(npb::NasBenchmark::Cg);
             analysis::cmd_trace(bench);
         }
+        "cwnd" => slowstart::cmd_cwnd(),
+        "validate" => cmd_validate(args.get(1).map(String::as_str)),
         "all" => {
             cmd_testbed();
             cmd_table1();
@@ -119,14 +181,38 @@ fn main() {
             analysis::cmd_utilization();
             analysis::cmd_placement();
             analysis::cmd_scaling();
+            slowstart::cmd_cwnd();
         }
         _ => {
             eprintln!(
                 "usage: repro <table1|table2|table4|table5|table6|table7|\
                  fig3|fig5|fig6|fig7|fig9|fig10|fig11|fig12|fig13|testbed|ablation|g2|heterogeneity|perturbation|simri|\
-                 utilization|placement|scaling|trace [BENCH]|all> \
-                 [--class-a] [--dat DIR]"
+                 utilization|placement|scaling|trace [BENCH]|cwnd|validate FILE|all> \
+                 [--class-a] [--dat DIR] [--trace-out FILE] [--metrics FILE]"
             );
+        }
+    }
+}
+
+/// `repro validate FILE`: check that an exported trace or metrics file is
+/// well-formed JSON (std-only RFC 8259 validator, no external tools).
+fn cmd_validate(path: Option<&str>) {
+    let Some(path) = path else {
+        eprintln!("usage: repro validate FILE");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match desim::obs::json::validate(&text) {
+        Ok(()) => println!("{path}: valid JSON ({} bytes)", text.len()),
+        Err((pos, msg)) => {
+            eprintln!("{path}: invalid JSON at byte {pos}: {msg}");
+            std::process::exit(1);
         }
     }
 }
@@ -403,10 +489,7 @@ fn cmd_fig10(class: NasClass, layout: Layout, title: &str) {
         layout.label()
     ));
     let matrix = impl_matrix(class, layout);
-    if let Some(mut f) = json_file(&format!(
-        "{}_times",
-        title.to_lowercase().replace(' ', "")
-    )) {
+    if let Some(mut f) = json_file(&format!("{}_times", title.to_lowercase().replace(' ', ""))) {
         // Machine-readable record alongside the table; keys sorted so the
         // output is stable run-to-run.
         let records: Vec<String> = matrix

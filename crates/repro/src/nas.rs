@@ -57,18 +57,12 @@ impl NasOutcome {
 /// Run one benchmark in one configuration (paper methodology: tuned TCP
 /// and MPI; best of repeated runs — the simulator is deterministic, so a
 /// single run suffices).
-pub fn run_nas(
-    bench: NasBenchmark,
-    class: NasClass,
-    id: MpiImpl,
-    layout: Layout,
-) -> NasOutcome {
+pub fn run_nas(bench: NasBenchmark, class: NasClass, id: MpiImpl, layout: Layout) -> NasOutcome {
     let level = TuningLevel::FullyTuned;
     // The paper observed the MPICH-Madeleine timeouts in the 8+8 runs
     // (§4.3); the 2+2 configuration of Fig. 11 completed.
     let crosses_wan = matches!(layout, Layout::Split(..));
-    if crosses_wan && layout.ranks() >= 16 && id.profile().grid_timeouts.contains(&bench.name())
-    {
+    if crosses_wan && layout.ranks() >= 16 && id.profile().grid_timeouts.contains(&bench.name()) {
         return NasOutcome::Timeout;
     }
     let (net, placement) = match layout {
@@ -93,7 +87,10 @@ pub fn run_nas(
 
 /// All four implementations over the eight kernels for one layout
 /// (Figs. 10/11 matrix).
-pub fn impl_matrix(class: NasClass, layout: Layout) -> Vec<(NasBenchmark, Vec<(MpiImpl, NasOutcome)>)> {
+pub fn impl_matrix(
+    class: NasClass,
+    layout: Layout,
+) -> Vec<(NasBenchmark, Vec<(MpiImpl, NasOutcome)>)> {
     let tasks: Vec<(NasBenchmark, MpiImpl)> = NasBenchmark::ALL
         .iter()
         .flat_map(|&bench| MpiImpl::ALL.iter().map(move |&id| (bench, id)))
@@ -164,38 +161,41 @@ pub struct Table2Row {
 /// Generate Table 2 rows by instrumented runs.
 pub fn table2(class: NasClass) -> Vec<Table2Row> {
     par_map(&NasBenchmark::ALL, |&bench| {
-            let run = NasRun::new(bench, class);
-            let (net, placement) =
-                npb_placement(16, 16, 0, TuningLevel::FullyTuned.kernel(Some(MpiImpl::Mpich2)));
-            let report = MpiJob::new(net, placement, MpiImpl::Mpich2)
-                .with_tuning(TuningLevel::FullyTuned.tuning(MpiImpl::Mpich2))
-                .run(run.program())
-                .expect("table2 run completes");
-            // Extrapolate observed counts (warmup + timed window) to the
-            // full iteration count.
-            let scale =
-                run.full_iterations() as f64 / (run.warmup + run.timed).max(1) as f64;
-            let p2p = report
-                .stats
-                .p2p_buckets()
-                .into_iter()
-                .map(|(lo, hi, n)| (lo, hi, (n as f64 * scale) as u64))
-                .collect();
-            let collectives = report
-                .stats
-                .collective_calls
-                .iter()
-                .map(|((op, sz), &n)| (op.clone(), *sz, (n as f64 * scale) as u64))
-                .collect();
-            Table2Row {
-                bench,
-                comm_type: if bench.is_collective() {
-                    "Collective"
-                } else {
-                    "P. to P."
-                },
-                p2p,
-                collectives,
-            }
+        let run = NasRun::new(bench, class);
+        let (net, placement) = npb_placement(
+            16,
+            16,
+            0,
+            TuningLevel::FullyTuned.kernel(Some(MpiImpl::Mpich2)),
+        );
+        let report = MpiJob::new(net, placement, MpiImpl::Mpich2)
+            .with_tuning(TuningLevel::FullyTuned.tuning(MpiImpl::Mpich2))
+            .run(run.program())
+            .expect("table2 run completes");
+        // Extrapolate observed counts (warmup + timed window) to the
+        // full iteration count.
+        let scale = run.full_iterations() as f64 / (run.warmup + run.timed).max(1) as f64;
+        let p2p = report
+            .stats
+            .p2p_buckets()
+            .into_iter()
+            .map(|(lo, hi, n)| (lo, hi, (n as f64 * scale) as u64))
+            .collect();
+        let collectives = report
+            .stats
+            .collective_calls
+            .iter()
+            .map(|((op, sz), &n)| (op.clone(), *sz, (n as f64 * scale) as u64))
+            .collect();
+        Table2Row {
+            bench,
+            comm_type: if bench.is_collective() {
+                "Collective"
+            } else {
+                "P. to P."
+            },
+            p2p,
+            collectives,
+        }
     })
 }

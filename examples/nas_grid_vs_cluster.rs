@@ -45,7 +45,13 @@ fn main() {
     );
     for id in MpiImpl::ALL {
         if id.profile().grid_timeouts.contains(&bench.name()) {
-            println!("{:<18} {:>12} {:>12} {:>10}", id.name(), "-", "timeout", "-");
+            println!(
+                "{:<18} {:>12} {:>12} {:>10}",
+                id.name(),
+                "-",
+                "timeout",
+                "-"
+            );
             continue;
         }
         let cluster = run(bench, id, false);

@@ -48,4 +48,36 @@ fn main() {
     }
     println!("\nThe ~5.8 ms latency is the WAN; the low bandwidth is the");
     println!("untuned socket-buffer cap (Fig. 3). See the tuning example.");
+
+    // With QUICKSTART_TRACE=FILE set, re-run one pingpong with the
+    // observability recorder attached and export a Chrome trace (load it
+    // in Perfetto or chrome://tracing). CI validates the JSON.
+    if let Ok(path) = std::env::var("QUICKSTART_TRACE") {
+        use grid_mpi_lab::desim::obs::export::chrome_trace;
+        use grid_mpi_lab::desim::RingSink;
+        use std::sync::Arc;
+
+        let sink = Arc::new(RingSink::new(1 << 18));
+        let (topo, rennes, nancy) = grid5000_pair(1);
+        MpiJob::new(
+            Network::new(topo),
+            vec![rennes[0], nancy[0]],
+            MpiImpl::Mpich2,
+        )
+        .with_recorder(sink.clone())
+        .run(|ctx: &mut RankCtx| {
+            const TAG: u64 = 1;
+            if ctx.rank() == 0 {
+                ctx.send(1, 1 << 20, TAG);
+                ctx.recv(1, TAG);
+            } else {
+                ctx.recv(0, TAG);
+                ctx.send(0, 1 << 20, TAG);
+            }
+        })
+        .expect("traced pingpong completes");
+        let events = sink.events();
+        std::fs::write(&path, chrome_trace(&events)).expect("write trace file");
+        println!("\nwrote {} trace events to {path}", events.len());
+    }
 }

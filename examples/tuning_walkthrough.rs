@@ -11,8 +11,7 @@ use grid_mpi_lab::netsim::{grid5000_pair, KernelConfig, Network};
 fn measure(id: MpiImpl, kernel: KernelConfig, tuning: Tuning, bytes: u64) -> f64 {
     let (mut topo, rennes, nancy) = grid5000_pair(1);
     topo.set_kernel_all(kernel);
-    let job = MpiJob::new(Network::new(topo), vec![rennes[0], nancy[0]], id)
-        .with_tuning(tuning);
+    let job = MpiJob::new(Network::new(topo), vec![rennes[0], nancy[0]], id).with_tuning(tuning);
     let report = job
         .run(move |ctx: &mut RankCtx| {
             const TAG: u64 = 1;

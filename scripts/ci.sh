@@ -1,5 +1,6 @@
 #!/bin/sh
-# Offline CI: the tier-1 gate plus a benchmark smoke run.
+# Offline CI: formatting, the tier-1 gate, a benchmark smoke run, and an
+# observability smoke test.
 #
 # The workspace has zero external dependencies, so `--offline` must always
 # succeed — any accidental reintroduction of a registry crate fails here
@@ -7,9 +8,17 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+cargo fmt --all --check
+
 cargo build --release --workspace --offline
 cargo test -q --workspace --offline
 
 # One quick benchmark per layer; catches gross performance regressions
 # and keeps the harness itself exercised.
 ./target/release/bench smoke
+
+# Observability smoke: the quickstart example exports a Chrome trace and
+# the std-only JSON validator checks it is well-formed.
+QUICKSTART_TRACE=target/quickstart.trace.json \
+    cargo run --release --offline --example quickstart >/dev/null
+./target/release/repro validate target/quickstart.trace.json

@@ -1,0 +1,156 @@
+//! Observer-effect determinism across the whole stack.
+//!
+//! Attaching the full observability pipeline — network probes (flow,
+//! TCP, link), MPI spans, app-phase markers, kernel run stats, and the
+//! metrics registry — must not move a single virtual timestamp. Each
+//! scenario here runs once bare and once fully probed, with the TCP bulk
+//! fast path both enabled and disabled
+//! (`Network::set_bulk_fast_path(false)` is the in-process form of the
+//! `NETSIM_NO_FAST_PATH=1` environment knob, which is latched once per
+//! process and so cannot be toggled between runs of one test binary),
+//! and demands byte-identical elapsed and per-rank nanosecond times.
+
+use std::sync::Arc;
+
+use grid_mpi_lab::desim::obs::{Event, Metrics, RingSink};
+use grid_mpi_lab::gridapps::Ray2MeshConfig;
+use grid_mpi_lab::mpisim::{MpiImpl, MpiJob, MpiProgram, RankCtx, Tuning};
+use grid_mpi_lab::netsim::{grid5000_four_sites, grid5000_pair, KernelConfig, Network};
+use grid_mpi_lab::npb::{NasBenchmark, NasClass, NasRun};
+
+/// Elapsed + per-rank times in integer nanoseconds, and the probe's
+/// event stream (empty when unprobed).
+struct Timing {
+    elapsed_ns: u64,
+    per_rank_ns: Vec<u64>,
+    events: Vec<Event>,
+}
+
+fn run_job(job: MpiJob, probed: bool, program: impl MpiProgram) -> Timing {
+    let sink = Arc::new(RingSink::with_metrics(1 << 18, Arc::new(Metrics::new())));
+    let job = if probed {
+        job.with_recorder(sink.clone()).with_tracing()
+    } else {
+        job
+    };
+    let report = job.run(program).unwrap();
+    Timing {
+        elapsed_ns: report.elapsed.as_nanos(),
+        per_rank_ns: report.per_rank.iter().map(|d| d.as_nanos()).collect(),
+        events: sink.events(),
+    }
+}
+
+fn check(label: &str, run_once: impl Fn(bool, bool) -> Timing, want_phases: &[&str]) {
+    for fast in [false, true] {
+        let bare = run_once(fast, false);
+        let probed = run_once(fast, true);
+        assert_eq!(
+            bare.elapsed_ns, probed.elapsed_ns,
+            "{label}: probes changed the elapsed time (fast={fast})"
+        );
+        assert_eq!(
+            bare.per_rank_ns, probed.per_rank_ns,
+            "{label}: probes changed per-rank times (fast={fast})"
+        );
+        assert!(bare.events.is_empty());
+        assert!(
+            probed
+                .events
+                .iter()
+                .any(|e| matches!(e, Event::MpiSpan { .. })),
+            "{label}: probed run recorded no MPI spans (fast={fast})"
+        );
+        assert!(
+            probed
+                .events
+                .iter()
+                .any(|e| matches!(e, Event::KernelRun { .. })),
+            "{label}: probed run recorded no kernel stats (fast={fast})"
+        );
+        let phases: Vec<&str> = probed
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Phase { name, .. } => Some(*name),
+                _ => None,
+            })
+            .collect();
+        for want in want_phases {
+            assert!(
+                phases.contains(want),
+                "{label}: missing phase marker {want:?} (fast={fast})"
+            );
+        }
+    }
+}
+
+/// Cross-site ping-pong with bulk messages: the scenario where the fast
+/// path actually engages and the cwnd probe stream is dense.
+#[test]
+fn pingpong_has_no_observer_effect() {
+    let run_once = |fast: bool, probed: bool| {
+        let (mut topo, rennes, sophia) = grid5000_pair(1);
+        topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+        let mut placement = rennes;
+        placement.extend(sophia);
+        let net = Network::new(topo);
+        net.set_bulk_fast_path(fast);
+        let job = MpiJob::new(net, placement, MpiImpl::Mpich2)
+            .with_tuning(Tuning::paper_tuned(MpiImpl::Mpich2));
+        run_job(job, probed, |ctx: &mut RankCtx| {
+            let peer = 1 - ctx.rank();
+            for _ in 0..5 {
+                if ctx.rank() == 0 {
+                    ctx.send(peer, 4 << 20, 7);
+                    ctx.recv(peer, 7);
+                } else {
+                    ctx.recv(peer, 7);
+                    ctx.send(peer, 4 << 20, 7);
+                }
+            }
+        })
+    };
+    check("pingpong", run_once, &[]);
+}
+
+/// One NAS kernel (CG: transpose exchanges + dot products) across two
+/// sites, with all probes and phase markers attached.
+#[test]
+fn nas_cg_has_no_observer_effect() {
+    let run_once = |fast: bool, probed: bool| {
+        let (mut topo, rennes, nancy) = grid5000_pair(8);
+        topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+        let mut placement = rennes;
+        placement.extend(nancy);
+        let net = Network::new(topo);
+        net.set_bulk_fast_path(fast);
+        let job = MpiJob::new(net, placement, MpiImpl::Mpich2)
+            .with_tuning(Tuning::paper_tuned(MpiImpl::Mpich2));
+        let run = NasRun::quick(NasBenchmark::Cg, NasClass::S);
+        run_job(job, probed, run.program())
+    };
+    check("nas-cg", run_once, &["warmup", "timed", "end"]);
+}
+
+/// Ray2mesh (master/worker over four sites), all probes attached.
+#[test]
+fn ray2mesh_has_no_observer_effect() {
+    let run_once = |fast: bool, probed: bool| {
+        let (mut topo, _sites, nodes) = grid5000_four_sites(4);
+        topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+        let mut placement = vec![nodes[0][0]];
+        for site_nodes in &nodes {
+            placement.extend(site_nodes.iter().copied());
+        }
+        let net = Network::new(topo);
+        net.set_bulk_fast_path(fast);
+        let job = MpiJob::new(net, placement, MpiImpl::GridMpi);
+        let cfg = Ray2MeshConfig {
+            total_rays: 20_000,
+            ..Ray2MeshConfig::small()
+        };
+        run_job(job, probed, cfg.program())
+    };
+    check("ray2mesh", run_once, &["trace", "merge", "write"]);
+}

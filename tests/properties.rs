@@ -32,7 +32,12 @@ fn two_sites(rtt_us: u64, queue_kb: u64, buf: u64) -> (Network, Vec<grid_mpi_lab
     (Network::new(t), nodes)
 }
 
-fn transfer_secs(net: &Network, a: grid_mpi_lab::netsim::NodeId, b: grid_mpi_lab::netsim::NodeId, bytes: u64) -> f64 {
+fn transfer_secs(
+    net: &Network,
+    a: grid_mpi_lab::netsim::NodeId,
+    b: grid_mpi_lab::netsim::NodeId,
+    bytes: u64,
+) -> f64 {
     transfer_secs_n(net, a, b, bytes, 1)
 }
 
@@ -165,8 +170,7 @@ fn p2p_fifo_for_random_batches() {
             .run(move |ctx: &mut RankCtx| {
                 const TAG: u64 = 9;
                 if ctx.rank() == 0 {
-                    let reqs: Vec<_> =
-                        sizes2.iter().map(|&b| ctx.isend(1, b, TAG)).collect();
+                    let reqs: Vec<_> = sizes2.iter().map(|&b| ctx.isend(1, b, TAG)).collect();
                     ctx.waitall(reqs);
                 } else {
                     for &expect in &sizes2 {
