@@ -12,8 +12,9 @@
 //! ```
 //!
 //! Groups: `kernel`, `tcp`, `pingpong`, `collectives`, `npb`, `ray2mesh`,
-//! `fastpath`, `obs` (observability overhead), `smoke` (a quick CI
-//! subset). No groups = all of them except `smoke`.
+//! `fastpath`, `obs` (observability overhead), `faults` (lossy-path and
+//! fault-tolerance overhead), `smoke` (a quick CI subset). No groups =
+//! all of them except `smoke`.
 //!
 //! Each JSON line carries `events` (simulated events per iteration, 0 if
 //! the benchmark does not count them) and `metrics` (a snapshot of the
@@ -26,9 +27,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bench::{grid_job, pingpong_once, tuned_pair};
-use desim::{completion, Metrics, RingSink, Sim, SimDuration};
+use desim::{completion, Metrics, RingSink, Sim, SimDuration, SimTime};
 use gridapps::Ray2MeshConfig;
-use mpisim::{MpiImpl, MpiJob, RankCtx};
+use mpisim::{FaultPlan, FaultPolicy, MpiImpl, MpiJob, RankCtx};
 use netsim::{grid5000_four_sites, KernelConfig, Network, SockBufRequest};
 use npb::{NasBenchmark, NasClass, NasRun};
 
@@ -120,6 +121,7 @@ fn main() {
         "ray2mesh",
         "fastpath",
         "obs",
+        "faults",
     ];
     let groups: Vec<&str> = if groups.is_empty() {
         all.to_vec()
@@ -140,6 +142,7 @@ fn main() {
             "ray2mesh" => group_ray2mesh(&mut h),
             "fastpath" => group_fastpath(&mut h),
             "obs" => group_obs(&mut h),
+            "faults" => group_faults(&mut h),
             "smoke" => group_smoke(&mut h),
             other => eprintln!("unknown group: {other}"),
         }
@@ -425,6 +428,64 @@ fn group_obs(h: &mut Harness) {
         timed[1],
         timed[1] / timed[0]
     ));
+}
+
+/// Fault-injection cost: the same WAN bulk transfer clean (fast path
+/// engaged) and with injected segment loss (per-round model + loss RNG +
+/// recovery machinery), plus the fault-tolerant ray2mesh surviving two
+/// mid-trace kills — the whole detection/reissue/degradation pipeline.
+fn group_faults(h: &mut Harness) {
+    fn bulk(plan: Option<FaultPlan>) -> f64 {
+        let mut job = grid_job(2, MpiImpl::Mpich2);
+        if let Some(plan) = plan {
+            job = job.with_faults(plan);
+        }
+        let report = job
+            .run(move |ctx: &mut RankCtx| {
+                const TAG: u64 = 1;
+                if ctx.rank() == 0 {
+                    ctx.send(1, 16 << 20, TAG);
+                } else {
+                    ctx.recv(0, TAG);
+                }
+            })
+            .expect("bulk transfer completes");
+        report.elapsed.as_secs_f64()
+    }
+    h.bench("faults/wan_16M_clean", || {
+        black_box(bulk(None));
+        0
+    });
+    for (label, loss) in [("1e-3", 1e-3), ("1e-2", 1e-2)] {
+        h.bench(&format!("faults/wan_16M_loss_{label}"), move || {
+            black_box(bulk(Some(
+                FaultPlan::new().with_seed(42).with_wan_loss(loss),
+            )));
+            0
+        });
+    }
+    h.bench("faults/ray2mesh_ft_2kills", || {
+        let cfg = Ray2MeshConfig {
+            total_rays: 20_000,
+            ..Ray2MeshConfig::small()
+        };
+        let (mut topo, _sites, nodes) = grid5000_four_sites(2);
+        topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+        let mut placement = vec![nodes[0][0]];
+        for site_nodes in &nodes {
+            placement.extend(site_nodes.iter().copied());
+        }
+        let plan = FaultPlan::new()
+            .with_seed(7)
+            .kill_rank(3, SimTime::from_nanos(1_000_000_000))
+            .kill_rank(6, SimTime::from_nanos(2_000_000_000));
+        let report = MpiJob::new(Network::new(topo), placement, MpiImpl::GridMpi)
+            .with_faults(plan)
+            .run(cfg.program_ft(FaultPolicy::grid_default()))
+            .expect("FT ray2mesh completes");
+        black_box(report.elapsed);
+        0
+    });
 }
 
 /// Quick CI subset: one benchmark per layer.

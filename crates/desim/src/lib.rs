@@ -36,6 +36,7 @@
 //! ```
 
 mod completion;
+pub mod fault;
 mod kernel;
 pub mod obs;
 mod process;
@@ -44,6 +45,7 @@ pub mod sync;
 mod time;
 
 pub use completion::{completion, Completion, Trigger};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use kernel::{RunStats, Sched, Sim, SimError};
 pub use obs::{Event, Metrics, Recorder, RingSink};
 pub use process::{Proc, ProcId};

@@ -112,6 +112,18 @@ pub fn json_line(ev: &Event) -> String {
             json_string(name),
             t_ns
         ),
+        Event::Fault {
+            kind,
+            subject,
+            t_ns,
+            info,
+        } => format!(
+            "{{\"kind\":\"fault\",\"fault\":{},\"subject\":{},\"t_ns\":{},\"info\":{}}}",
+            json_string(kind),
+            subject,
+            t_ns,
+            json_f64(*info)
+        ),
     }
 }
 
@@ -135,6 +147,7 @@ fn us(ns: u64) -> String {
 const PID_RANKS: u32 = 1;
 const PID_CHANNELS: u32 = 2;
 const PID_LINKS: u32 = 3;
+const PID_FAULTS: u32 = 4;
 
 fn meta_process(pid: u32, name: &str) -> String {
     format!(
@@ -186,6 +199,10 @@ pub fn chrome_trace(events: &[Event]) -> String {
     rows.push(meta_process(PID_RANKS, "ranks"));
     rows.push(meta_process(PID_CHANNELS, "channels"));
     rows.push(meta_process(PID_LINKS, "links"));
+    if events.iter().any(|e| matches!(e, Event::Fault { .. })) {
+        rows.push(meta_process(PID_FAULTS, "faults"));
+        rows.push(meta_thread(PID_FAULTS, 0, "fault injector"));
+    }
 
     for ev in events {
         match ev {
@@ -296,6 +313,22 @@ pub fn chrome_trace(events: &[Event]) -> String {
                     us(*end_ns)
                 ));
             }
+            Event::Fault {
+                kind,
+                subject,
+                t_ns,
+                info,
+            } => {
+                rows.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":{},\"tid\":0,\"name\":\"{} #{}\",\"ts\":{},\
+                     \"s\":\"p\",\"args\":{{\"info\":{}}}}}",
+                    PID_FAULTS,
+                    kind,
+                    subject,
+                    us(*t_ns),
+                    json_f64(*info)
+                ));
+            }
         }
     }
 
@@ -358,6 +391,12 @@ mod tests {
                 end_ns: 200_000,
                 events: 42,
             },
+            Event::Fault {
+                kind: "link_down",
+                subject: 3,
+                t_ns: 150_000,
+                info: 0.25,
+            },
         ]
     }
 
@@ -380,6 +419,9 @@ mod tests {
         assert!(doc.contains("\"rank 1\""));
         // Flow span matched start→finish: dur = 200 µs.
         assert!(doc.contains("\"dur\":200.0"));
+        // Fault instants land on their own process row.
+        assert!(doc.contains("\"fault injector\""));
+        assert!(doc.contains("link_down #3"));
     }
 
     #[test]

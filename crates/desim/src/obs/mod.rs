@@ -115,6 +115,23 @@ pub enum Event {
         /// Virtual time, ns.
         t_ns: u64,
     },
+    /// A fault-injection event fired (or cleared): scheduled outages from
+    /// a `FaultPlan` and the stochastic losses they cause downstream.
+    Fault {
+        /// Fault kind (`"link_down"`, `"link_up"`, `"nic_stall"`,
+        /// `"nic_resume"`, `"rank_fail"`, `"rank_restart"`,
+        /// `"segment_loss"`, `"induced_rto"`, `"msg_dropped"`,
+        /// `"chunk_reissued"`).
+        kind: &'static str,
+        /// The affected entity: link, node, channel, or rank index,
+        /// depending on `kind`.
+        subject: u64,
+        /// Virtual time, ns.
+        t_ns: u64,
+        /// Kind-specific scalar (outage duration in seconds, congestion
+        /// window at loss, …); 0 when unused.
+        info: f64,
+    },
 }
 
 impl Event {
@@ -128,6 +145,7 @@ impl Event {
             Event::LinkSample { .. } => "link_sample",
             Event::MpiSpan { .. } => "mpi_span",
             Event::Phase { .. } => "phase",
+            Event::Fault { .. } => "fault",
         }
     }
 
@@ -142,6 +160,7 @@ impl Event {
             Event::LinkSample { .. } => "events.link_sample",
             Event::MpiSpan { .. } => "events.mpi_span",
             Event::Phase { .. } => "events.phase",
+            Event::Fault { .. } => "events.fault",
         }
     }
 }

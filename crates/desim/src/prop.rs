@@ -70,13 +70,20 @@ impl Rng {
     }
 }
 
-/// Mix a case index into the master seed (splitmix64 finaliser), so each
-/// case sees an independent, reproducible stream.
-fn case_seed(master: u64, case: u64) -> u64 {
-    let mut z = master ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+/// Mix a stream index into a master seed (splitmix64 finaliser), so each
+/// stream sees an independent, reproducible sequence. Used for property
+/// cases here and for per-channel fault streams in [`crate::fault`].
+pub fn mix_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Mix a case index into the master seed, so each case sees an
+/// independent, reproducible stream.
+fn case_seed(master: u64, case: u64) -> u64 {
+    mix_seed(master, case)
 }
 
 /// Run `body` for `cases` independent random cases derived from `seed`.

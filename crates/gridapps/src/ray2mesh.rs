@@ -9,7 +9,9 @@
 //! Grid'5000 sites (Fig. 8) and reports rays per cluster (Table 6) and
 //! phase times (Table 7).
 
-use mpisim::{MpiProgram, RankCtx};
+use std::collections::BTreeSet;
+
+use mpisim::{FaultPolicy, MpiError, MpiProgram, RankCtx};
 
 /// Tags of the master/worker protocol.
 const TAG_REQ: u64 = 900;
@@ -85,6 +87,35 @@ impl Ray2MeshConfig {
             }
         }
     }
+
+    /// Fault-tolerant variant of the program, for runs with injected rank
+    /// kills: the master treats every work request as the acknowledgement
+    /// of the requester's previous set, reclaims and reissues the
+    /// outstanding sets of workers that die mid-trace (each reclaim emits
+    /// a `"chunk_reissued"` fault event), and degrades gracefully — the
+    /// all-pairs merge is skipped and surviving workers upload their
+    /// submeshes directly.
+    ///
+    /// `policy` must set a `recv_timeout`; it is what lets the master
+    /// notice deaths while blocked on a wildcard receive.
+    ///
+    /// Records on rank 0: `compute_secs`, `total_secs`, `survivors`,
+    /// `reissued_sets`, `lost_sets`. Each surviving slave records `rays`.
+    pub fn program_ft(&self, policy: FaultPolicy) -> impl MpiProgram + use<> {
+        assert!(
+            policy.recv_timeout.is_some(),
+            "fault-tolerant ray2mesh needs a receive timeout to detect deaths"
+        );
+        let cfg = self.clone();
+        move |ctx: &mut RankCtx| {
+            ctx.set_fault_policy(policy);
+            if ctx.rank() == 0 {
+                master_ft(ctx, &cfg);
+            } else {
+                slave_ft(ctx, &cfg);
+            }
+        }
+    }
 }
 
 fn master(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
@@ -117,6 +148,101 @@ fn master(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
     // Mesh write-out.
     ctx.compute_gflop(4.0);
     ctx.record("total_secs", ctx.now().since(t0).as_secs_f64());
+}
+
+fn master_ft(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
+    ctx.phase("trace");
+    let t0 = ctx.now();
+    let sets = cfg.total_rays / cfg.rays_per_set;
+    // Workers still tracing (not dead, not yet told to stop).
+    let mut active: BTreeSet<usize> = (1..ctx.size()).collect();
+    // Workers with an unacknowledged set in flight. A worker's next
+    // request acknowledges it; a worker's death reclaims it.
+    let mut outstanding: BTreeSet<usize> = BTreeSet::new();
+    let mut survivors: BTreeSet<usize> = BTreeSet::new();
+    let mut issued = 0u64;
+    let mut completed = 0u64;
+    let mut reissued = 0u64;
+    while !active.is_empty() {
+        // Reap dead workers and put their lost sets back on the pool.
+        let dead: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&w| ctx.peer_failed(w))
+            .collect();
+        for w in dead {
+            active.remove(&w);
+            if outstanding.remove(&w) {
+                issued -= 1;
+                reissued += 1;
+                ctx.emit_fault("chunk_reissued", w as u64, 1.0);
+            }
+        }
+        if active.is_empty() {
+            break;
+        }
+        let req = match ctx.try_recv_any(TAG_REQ) {
+            Ok(req) => req,
+            Err(MpiError::Timeout { .. }) => continue, // re-scan for deaths
+            Err(_) => break,                           // master itself was killed
+        };
+        let w = req.src;
+        if outstanding.remove(&w) {
+            completed += 1;
+        }
+        if issued < sets {
+            if ctx.try_send(w, cfg.set_bytes, TAG_SET).is_ok() {
+                outstanding.insert(w);
+                issued += 1;
+            }
+        } else {
+            let _ = ctx.try_send(w, 1, TAG_STOP);
+            active.remove(&w);
+            survivors.insert(w);
+        }
+    }
+    let t_compute = ctx.now();
+    ctx.record("compute_secs", t_compute.since(t0).as_secs_f64());
+    ctx.record("survivors", survivors.len() as f64);
+    ctx.record("reissued_sets", reissued as f64);
+    ctx.record("lost_sets", (sets - completed) as f64);
+    // Degraded mode: no all-pairs merge. Collect the survivors' submeshes.
+    ctx.phase("write");
+    let mut awaiting = survivors;
+    while !awaiting.is_empty() {
+        match ctx.try_recv_any(TAG_WRITE) {
+            Ok(info) => {
+                awaiting.remove(&info.src);
+            }
+            Err(MpiError::Timeout { .. }) => {
+                awaiting.retain(|&w| !ctx.peer_failed(w));
+            }
+            Err(_) => break,
+        }
+    }
+    ctx.compute_gflop(4.0);
+    ctx.record("total_secs", ctx.now().since(t0).as_secs_f64());
+}
+
+fn slave_ft(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
+    ctx.phase("trace");
+    let mut rays = 0u64;
+    loop {
+        if ctx.try_send(0, cfg.request_bytes, TAG_REQ).is_err() {
+            return; // this worker (or the master) is gone
+        }
+        match ctx.try_recv_sel(Some(0), None) {
+            Ok(reply) if reply.tag == TAG_SET => {
+                ctx.compute_gflop(cfg.rays_per_set as f64 * cfg.gflop_per_ray);
+                rays += cfg.rays_per_set;
+            }
+            Ok(_) => break, // TAG_STOP
+            Err(_) => return,
+        }
+    }
+    ctx.record("rays", rays as f64);
+    ctx.phase("write");
+    let _ = ctx.try_send(0, cfg.write_bytes, TAG_WRITE);
 }
 
 fn slave(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {

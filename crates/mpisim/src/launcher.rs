@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use desim::fault::{FaultKind, FaultPlan};
 use desim::{Sim, SimDuration, SimError, SimTime};
 
 use netsim::{Network, NodeId};
@@ -46,6 +47,10 @@ pub struct MpiJob {
     /// passes this limit — the `mpirun` timeout the paper hit with
     /// MPICH-Madeleine on BT/SP ("the application timeout", §4.3).
     pub deadline: Option<SimTime>,
+    /// Deterministic fault plan: stochastic segment loss/duplication plus
+    /// timed link flaps, NIC stalls, and rank kills. `None` (and the empty
+    /// plan) leave every run bit-identical to a fault-free one.
+    pub faults: Option<FaultPlan>,
 }
 
 impl MpiJob {
@@ -59,6 +64,7 @@ impl MpiJob {
             tracing: false,
             recorder: None,
             deadline: None,
+            faults: None,
         }
     }
 
@@ -96,6 +102,16 @@ impl MpiJob {
         self
     }
 
+    /// Inject faults from `plan`: per-channel segment loss/duplication is
+    /// installed on the network, and a bootstrap process schedules the
+    /// plan's timed events (link flaps and NIC stalls on the network, rank
+    /// kills/restarts on the MPI world). An empty plan is ignored
+    /// entirely, keeping the run on the fault-free fast path.
+    pub fn with_faults(mut self, plan: FaultPlan) -> MpiJob {
+        self.faults = (!plan.is_empty()).then_some(plan);
+        self
+    }
+
     /// Run `program` on every rank to completion.
     pub fn run(self, program: impl MpiProgram) -> Result<RunReport, SimError> {
         self.run_with_setup(|_| {}, program)
@@ -114,6 +130,9 @@ impl MpiJob {
         if let Some(rec) = &self.recorder {
             self.net.attach_recorder(Arc::clone(rec));
         }
+        if let Some(plan) = &self.faults {
+            self.net.install_faults(plan);
+        }
         let world = WorldInner::new(
             self.net,
             self.placement,
@@ -129,6 +148,29 @@ impl MpiJob {
             sim.attach_recorder(Arc::clone(rec));
         }
         setup(&sim);
+        if let Some(plan) = self.faults {
+            let world = Arc::clone(&world);
+            sim.spawn("faultd", move |p| {
+                let s = p.sched();
+                world.net.schedule_fault_events(&s, &plan);
+                for ev in plan.sorted_events() {
+                    if let FaultKind::RankFail {
+                        rank,
+                        restart_after,
+                    } = ev.kind
+                    {
+                        let w = Arc::clone(&world);
+                        s.call_at(ev.at, move |s2| {
+                            let until = restart_after.map(|d| s2.now() + d);
+                            w.fail_rank(s2, rank as usize, until);
+                        });
+                    }
+                }
+                // The bootstrap exits immediately; its scheduled callbacks
+                // do not keep the simulation alive, so faults trailing the
+                // workload are inert.
+            });
+        }
         let mut finish_times = Vec::new();
         for rank in 0..n {
             let world = Arc::clone(&world);

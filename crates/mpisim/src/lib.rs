@@ -41,6 +41,7 @@
 
 mod collectives;
 mod comm;
+mod error;
 mod launcher;
 mod profile;
 mod rank;
@@ -49,6 +50,8 @@ pub mod trace;
 mod world;
 
 pub use comm::SubComm;
+pub use desim::fault::{FaultEvent, FaultKind, FaultPlan};
+pub use error::{FaultPolicy, MpiError};
 pub use launcher::{MpiJob, MpiProgram, RunReport};
 pub use profile::{
     AllreduceAlgo, BcastAlgo, CollectiveSuite, ImplProfile, MpiImpl, SocketPolicy, Tuning,

@@ -12,8 +12,9 @@ use std::sync::Arc;
 use desim::{Completion, Proc, SimDuration, SimTime};
 
 use crate::collectives;
+use crate::error::{FaultPolicy, MpiError};
 use crate::trace::{TraceEvent, TraceKind};
-use crate::world::{MsgInfo, RecvDone, WorldInner, CTRL_BYTES, HEADER_BYTES};
+use crate::world::{MsgInfo, Posted, RecvDone, WorldInner, CTRL_BYTES, HEADER_BYTES};
 
 /// A nonblocking operation handle (the `MPI_Request` analogue).
 pub struct Request(ReqInner);
@@ -22,9 +23,10 @@ enum ReqInner {
     /// Already complete (eager sends).
     Done(Option<MsgInfo>),
     /// A rendezvous send in flight.
-    Send(Completion<()>),
-    /// A receive in flight.
-    Recv(Completion<RecvDone>),
+    Send(Completion<Result<(), MpiError>>),
+    /// A receive in flight; the id (when present) lets a fault policy's
+    /// timeout cancel the still-posted receive.
+    Recv(Option<u64>, Completion<Result<RecvDone, MpiError>>),
     /// A receive satisfied from the unexpected queue; the copy cost is paid
     /// at wait time.
     RecvImmediate(MsgInfo, SimDuration),
@@ -39,6 +41,7 @@ pub struct RankCtx {
     gflops: f64,
     pub(crate) coll_seq: u64,
     in_collective: bool,
+    policy: FaultPolicy,
 }
 
 impl RankCtx {
@@ -52,6 +55,7 @@ impl RankCtx {
             gflops,
             coll_seq: 0,
             in_collective: false,
+            policy: FaultPolicy::none(),
         }
     }
 
@@ -125,6 +129,15 @@ impl RankCtx {
                 end_ns: self.proc.now().as_nanos(),
             });
         }
+    }
+
+    /// Emit an application-level fault event (e.g. `"chunk_reissued"`)
+    /// into the observability stream, so recovery actions show up on the
+    /// trace's fault track. No-op without a recorder; never affects
+    /// timing either way.
+    pub fn emit_fault(&self, kind: &'static str, subject: u64, info: f64) {
+        let s = self.proc.sched();
+        self.world.emit_fault(&s, kind, subject, info);
     }
 
     /// Emit an application-phase marker (e.g. `"warmup"`, `"timed"`) into
@@ -217,33 +230,109 @@ impl RankCtx {
     pub fn irecv_sel(&mut self, src: Option<usize>, tag: Option<u64>) -> Request {
         let s = self.proc.sched();
         match self.world.post_recv(&s, self.rank, src, tag) {
-            Ok(done) => Request(ReqInner::RecvImmediate(done.info, done.copy)),
-            Err(c) => Request(ReqInner::Recv(c)),
+            Posted::Immediate(done) => Request(ReqInner::RecvImmediate(done.info, done.copy)),
+            Posted::Pending { id, rx } => Request(ReqInner::Recv(id, rx)),
         }
     }
 
-    /// Complete a request (`MPI_Wait`). Returns the envelope for receives.
-    pub fn wait(&mut self, r: Request) -> Option<MsgInfo> {
+    // ----- fallible API (fault-tolerant programs) -----
+
+    /// Set this rank's retry/timeout policy for the `try_*` operations.
+    /// The default, [`FaultPolicy::none`], arms no timers at all.
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active retry/timeout policy.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.policy
+    }
+
+    /// True if `rank` is currently inside a failure window (perfect
+    /// failure detector).
+    pub fn peer_failed(&self, rank: usize) -> bool {
+        self.world.rank_failed(rank, self.proc.now())
+    }
+
+    /// Fallible blocking send: retries per the fault policy while the
+    /// peer is down, then reports [`MpiError::PeerFailed`]. Detects the
+    /// caller's own death between attempts.
+    pub fn try_send(&mut self, dst: usize, bytes: u64, tag: u64) -> Result<(), MpiError> {
+        let mut attempt = 0u32;
+        loop {
+            if self.peer_failed(self.rank) {
+                return Err(MpiError::SelfFailed);
+            }
+            if !self.peer_failed(dst) {
+                let r = self.isend(dst, bytes, tag);
+                return self.try_wait(r).map(|_| ());
+            }
+            if attempt >= self.policy.retries {
+                return Err(MpiError::PeerFailed { rank: dst });
+            }
+            self.proc.advance(self.policy.backoff(attempt));
+            attempt += 1;
+        }
+    }
+
+    /// Fallible blocking receive from a specific source and tag.
+    pub fn try_recv(&mut self, src: usize, tag: u64) -> Result<MsgInfo, MpiError> {
+        self.try_recv_sel(Some(src), Some(tag))
+    }
+
+    /// Fallible blocking receive from any source.
+    pub fn try_recv_any(&mut self, tag: u64) -> Result<MsgInfo, MpiError> {
+        self.try_recv_sel(None, Some(tag))
+    }
+
+    /// Fallible blocking receive with wildcards. Honors the policy's
+    /// `recv_timeout`.
+    pub fn try_recv_sel(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<u64>,
+    ) -> Result<MsgInfo, MpiError> {
+        let r = self.irecv_sel(src, tag);
+        match self.try_wait(r)? {
+            Some(info) => Ok(info),
+            None => unreachable!("receive requests always carry an envelope"),
+        }
+    }
+
+    /// Fallible `MPI_Wait`: completes the request or reports why it
+    /// cannot. For pending receives, a `recv_timeout` in the fault policy
+    /// arms a one-shot cancellation timer; the timer finds nothing to do
+    /// when the message wins the race, so it never disturbs a successful
+    /// receive's timing.
+    pub fn try_wait(&mut self, r: Request) -> Result<Option<MsgInfo>, MpiError> {
         match r.0 {
-            ReqInner::Done(info) => info,
+            ReqInner::Done(info) => Ok(info),
             ReqInner::Send(c) => {
                 let t0 = self.proc.now();
-                c.wait(&self.proc);
+                let res = c.wait(&self.proc);
                 if !self.in_collective {
                     self.trace(TraceKind::WaitSend, None, 0, t0);
                 }
-                None
+                res.map(|()| None)
             }
-            ReqInner::Recv(c) => {
+            ReqInner::Recv(id, c) => {
                 let t0 = self.proc.now();
-                let done = c.wait(&self.proc);
+                if let (Some(timeout), Some(id)) = (self.policy.recv_timeout, id) {
+                    let w = Arc::clone(&self.world);
+                    let me = self.rank;
+                    let s = self.proc.sched();
+                    s.call_at(self.proc.now() + timeout, move |s2| {
+                        w.cancel_posted(s2, me, id, timeout);
+                    });
+                }
+                let done = c.wait(&self.proc)?;
                 if !done.copy.is_zero() {
                     self.proc.advance(done.copy);
                 }
                 if !self.in_collective {
                     self.trace(TraceKind::Recv, Some(done.info.src), done.info.bytes, t0);
                 }
-                Some(done.info)
+                Ok(Some(done.info))
             }
             ReqInner::RecvImmediate(info, copy) => {
                 let t0 = self.proc.now();
@@ -253,9 +342,34 @@ impl RankCtx {
                 if !self.in_collective {
                     self.trace(TraceKind::Recv, Some(info.src), info.bytes, t0);
                 }
-                Some(info)
+                Ok(Some(info))
             }
         }
+    }
+
+    /// Fallible `MPI_Waitall`: first failure wins; remaining requests are
+    /// still waited on (so no completion is leaked mid-collective).
+    pub fn try_waitall(&mut self, rs: Vec<Request>) -> Result<Vec<Option<MsgInfo>>, MpiError> {
+        let mut out = Vec::with_capacity(rs.len());
+        let mut first_err = None;
+        for r in rs {
+            match self.try_wait(r) {
+                Ok(info) => out.push(info),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            None => Ok(out),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Complete a request (`MPI_Wait`). Returns the envelope for receives.
+    /// Panics on injected faults — use [`RankCtx::try_wait`] in
+    /// fault-tolerant programs.
+    pub fn wait(&mut self, r: Request) -> Option<MsgInfo> {
+        self.try_wait(r)
+            .unwrap_or_else(|e| panic!("MPI operation failed: {e}"))
     }
 
     /// Complete a set of requests (`MPI_Waitall`).

@@ -20,12 +20,14 @@
 //! head-of-line blocking across messages is modelled faithfully.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use desim::sync::Mutex;
-use desim::{completion, Completion, Sched, SimDuration, Trigger};
+use desim::{completion, Completion, Sched, SimDuration, SimTime, Trigger};
 use netsim::{ChannelId, Network, NodeId};
 
+use crate::error::MpiError;
 use crate::profile::{ImplProfile, Tuning};
 use crate::stats::CommStats;
 use crate::trace::TraceEvent;
@@ -54,9 +56,26 @@ pub(crate) struct RecvDone {
 }
 
 struct PostedRecv {
+    /// Unique id, so a timeout can cancel exactly this entry (and only if
+    /// it is still posted — a completed receive leaves the queue first,
+    /// making the late timeout callback a no-op).
+    id: u64,
     sel_src: Option<usize>,
     sel_tag: Option<u64>,
-    tx: Trigger<RecvDone>,
+    tx: Trigger<Result<RecvDone, MpiError>>,
+}
+
+/// What posting a receive produced: either an unexpected eager message
+/// satisfied it on the spot, or it is pending under `id`.
+pub(crate) enum Posted {
+    Immediate(RecvDone),
+    Pending {
+        /// Cancellation handle; `None` when the receive already matched a
+        /// rendezvous request (the data is in flight — a timeout can no
+        /// longer abort it).
+        id: Option<u64>,
+        rx: Completion<Result<RecvDone, MpiError>>,
+    },
 }
 
 enum Unexpected {
@@ -69,7 +88,7 @@ enum Unexpected {
         src: usize,
         tag: u64,
         bytes: u64,
-        sender_done: Trigger<()>,
+        sender_done: Trigger<Result<(), MpiError>>,
     },
 }
 
@@ -100,6 +119,10 @@ pub(crate) struct WorldInner {
     /// Rank → index into `site_groups`.
     pub rank_site: Vec<usize>,
     matchers: Vec<Mutex<RankMatch>>,
+    /// Per-rank failure window: `Some(until)` means the rank is dead for
+    /// virtual times `< until` (`SimTime::MAX` = no restart).
+    failed: Vec<Mutex<Option<SimTime>>>,
+    next_posted_id: AtomicU64,
     channels: Mutex<HashMap<(usize, usize, u32), ChannelId>>,
     pub stats: Mutex<CommStats>,
     pub records: Mutex<Vec<(usize, String, f64)>>,
@@ -150,6 +173,8 @@ impl WorldInner {
             site_groups,
             rank_site,
             matchers: (0..n).map(|_| Mutex::new(RankMatch::default())).collect(),
+            failed: (0..n).map(|_| Mutex::new(None)).collect(),
+            next_posted_id: AtomicU64::new(1),
             channels: Mutex::new(HashMap::new()),
             stats: Mutex::new(CommStats::default()),
             records: Mutex::new(Vec::new()),
@@ -272,6 +297,12 @@ impl WorldInner {
     }
 
     fn deliver_eager(&self, s: &Sched, src: usize, dst: usize, tag: u64, bytes: u64) {
+        if self.rank_failed(dst, s.now()) {
+            // The destination is dead: the message vanishes on its NIC
+            // (buffered-send semantics — the sender completed long ago).
+            self.emit_fault(s, "msg_dropped", dst as u64, bytes as f64);
+            return;
+        }
         let mut m = self.matchers[dst].lock();
         if let Some(pos) = m
             .posted
@@ -282,10 +313,10 @@ impl WorldInner {
             drop(m);
             pr.tx.fire_from(
                 s,
-                RecvDone {
+                Ok(RecvDone {
                     info: MsgInfo { src, tag, bytes },
                     copy: SimDuration::ZERO,
-                },
+                }),
             );
         } else {
             m.unexpected
@@ -302,7 +333,7 @@ impl WorldInner {
         dst: usize,
         tag: u64,
         bytes: u64,
-    ) -> Completion<()> {
+    ) -> Completion<Result<(), MpiError>> {
         let (stx, srx) = completion();
         let ch = self.channel(src, dst);
         let w = Arc::clone(self);
@@ -319,8 +350,15 @@ impl WorldInner {
         dst: usize,
         tag: u64,
         bytes: u64,
-        sender_done: Trigger<()>,
+        sender_done: Trigger<Result<(), MpiError>>,
     ) {
+        if self.rank_failed(dst, s.now()) {
+            // The handshake request reached a dead receiver: the sender's
+            // blocking send aborts with a typed error instead of hanging.
+            self.emit_fault(s, "msg_dropped", dst as u64, bytes as f64);
+            sender_done.fire_from(s, Err(MpiError::PeerFailed { rank: dst }));
+            return;
+        }
         let mut m = self.matchers[dst].lock();
         if let Some(pos) = m
             .posted
@@ -350,8 +388,8 @@ impl WorldInner {
         dst: usize,
         tag: u64,
         bytes: u64,
-        sender_done: Trigger<()>,
-        recv_tx: Trigger<RecvDone>,
+        sender_done: Trigger<Result<(), MpiError>>,
+        recv_tx: Trigger<Result<RecvDone, MpiError>>,
     ) {
         let ack_ch = self.channel(dst, src);
         let w = Arc::clone(self);
@@ -360,26 +398,26 @@ impl WorldInner {
             w2.data_transfer(s2, src, dst, bytes, move |s3| {
                 recv_tx.fire_from(
                     s3,
-                    RecvDone {
+                    Ok(RecvDone {
                         info: MsgInfo { src, tag, bytes },
                         copy: SimDuration::ZERO,
-                    },
+                    }),
                 );
-                sender_done.fire_from(s3, ());
+                sender_done.fire_from(s3, Ok(()));
             });
         });
     }
 
-    /// Post a receive for rank `me`. Returns `Ok` if an unexpected eager
-    /// message satisfies it immediately, otherwise the completion to wait
-    /// on.
+    /// Post a receive for rank `me`. Returns [`Posted::Immediate`] if an
+    /// unexpected eager message satisfies it on the spot, otherwise the
+    /// pending completion (plus its id, for timeout cancellation).
     pub fn post_recv(
         self: &Arc<Self>,
         s: &Sched,
         me: usize,
         sel_src: Option<usize>,
         sel_tag: Option<u64>,
-    ) -> Result<RecvDone, Completion<RecvDone>> {
+    ) -> Posted {
         let mut m = self.matchers[me].lock();
         if let Some(pos) = m
             .unexpected
@@ -392,7 +430,7 @@ impl WorldInner {
                 Unexpected::Eager { src, tag, bytes } => {
                     // Extra copy out of the temporary MPI buffer (Fig. 4).
                     let copy = SimDuration::from_secs_f64(bytes as f64 / self.profile.copy_rate);
-                    Ok(RecvDone {
+                    Posted::Immediate(RecvDone {
                         info: MsgInfo { src, tag, bytes },
                         copy,
                     })
@@ -405,17 +443,129 @@ impl WorldInner {
                 } => {
                     let (rtx, rrx) = completion();
                     self.rndv_matched(s, src, me, tag, bytes, sender_done, rtx);
-                    Err(rrx)
+                    Posted::Pending { id: None, rx: rrx }
                 }
             }
         } else {
+            let id = self.next_posted_id.fetch_add(1, Ordering::Relaxed);
             let (rtx, rrx) = completion();
             m.posted.push_back(PostedRecv {
+                id,
                 sel_src,
                 sel_tag,
                 tx: rtx,
             });
-            Err(rrx)
+            Posted::Pending {
+                id: Some(id),
+                rx: rrx,
+            }
+        }
+    }
+
+    /// Abort posted receive `id` on rank `me` with a timeout error, if it
+    /// is still pending. A receive that completed (and left the posted
+    /// queue) in the meantime makes this a no-op — there is no race with a
+    /// concurrent match because both paths remove the entry under the
+    /// matcher lock.
+    pub fn cancel_posted(&self, s: &Sched, me: usize, id: u64, waited: SimDuration) {
+        let mut m = self.matchers[me].lock();
+        let Some(pos) = m.posted.iter().position(|p| p.id == id) else {
+            return;
+        };
+        let pr = m.posted.remove(pos).expect("position valid");
+        drop(m);
+        pr.tx
+            .fire_from(s, Err(MpiError::Timeout { op: "recv", waited }));
+    }
+
+    /// True if `rank` is inside a failure window at `now`.
+    pub fn rank_failed(&self, rank: usize, now: SimTime) -> bool {
+        self.failed[rank].lock().is_some_and(|until| now < until)
+    }
+
+    /// Kill `rank` at the current instant, optionally restarting it at
+    /// `until`. Models a fail-stop crash with a perfect failure detector:
+    ///
+    /// * the dead rank's own posted receives abort with
+    ///   [`MpiError::SelfFailed`] (the program observes its death on its
+    ///   next fallible call and can exit);
+    /// * every other rank's posted receive that *selects* the dead rank as
+    ///   its source aborts with [`MpiError::PeerFailed`] — wildcard
+    ///   receives stay posted, since another sender may still satisfy
+    ///   them;
+    /// * rendezvous handshakes parked in the dead rank's unexpected queue
+    ///   abort their senders' blocking sends;
+    /// * in-flight and future messages addressed to the window are dropped
+    ///   on delivery ([`Self::deliver_eager`] / [`Self::deliver_rndv_req`]).
+    pub fn fail_rank(self: &Arc<Self>, s: &Sched, rank: usize, until: Option<SimTime>) {
+        let until = until.unwrap_or(SimTime::MAX);
+        *self.failed[rank].lock() = Some(until);
+        self.emit_fault(
+            s,
+            "rank_fail",
+            rank as u64,
+            if until == SimTime::MAX {
+                0.0
+            } else {
+                until.since(s.now()).as_secs_f64()
+            },
+        );
+        // Drain the dead rank's own matcher.
+        let (own_posted, own_unexpected) = {
+            let mut m = self.matchers[rank].lock();
+            let posted: Vec<PostedRecv> = m.posted.drain(..).collect();
+            let unexpected: Vec<Unexpected> = m.unexpected.drain(..).collect();
+            (posted, unexpected)
+        };
+        for pr in own_posted {
+            pr.tx.fire_from(s, Err(MpiError::SelfFailed));
+        }
+        for u in own_unexpected {
+            if let Unexpected::RndvReq { sender_done, .. } = u {
+                sender_done.fire_from(s, Err(MpiError::PeerFailed { rank }));
+            }
+        }
+        // Abort peers' source-selected receives on the dead rank.
+        for (r, matcher) in self.matchers.iter().enumerate() {
+            if r == rank {
+                continue;
+            }
+            let aborted: Vec<PostedRecv> = {
+                let mut m = matcher.lock();
+                let mut out = Vec::new();
+                let mut keep = VecDeque::with_capacity(m.posted.len());
+                for pr in m.posted.drain(..) {
+                    if pr.sel_src == Some(rank) {
+                        out.push(pr);
+                    } else {
+                        keep.push_back(pr);
+                    }
+                }
+                m.posted = keep;
+                out
+            };
+            for pr in aborted {
+                pr.tx.fire_from(s, Err(MpiError::PeerFailed { rank }));
+            }
+        }
+        if until != SimTime::MAX {
+            let w = Arc::clone(self);
+            s.call_at(until, move |s2| {
+                w.emit_fault(s2, "rank_restart", rank as u64, 0.0);
+            });
+        }
+    }
+
+    /// Forward a fault event to the observability bus (no-op without a
+    /// recorder; never touches the simulation).
+    pub(crate) fn emit_fault(&self, s: &Sched, kind: &'static str, subject: u64, info: f64) {
+        if let Some(rec) = &self.obs {
+            rec.record(&desim::obs::Event::Fault {
+                kind,
+                subject,
+                t_ns: s.now().as_nanos(),
+                info,
+            });
         }
     }
 

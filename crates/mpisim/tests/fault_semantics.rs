@@ -1,0 +1,166 @@
+//! Semantics of the fallible MPI API under injected rank failures:
+//! timeouts fire when and only when armed, kills surface as typed errors
+//! on both sides, and transient failures heal through the retry policy.
+
+use desim::{SimDuration, SimTime};
+use mpisim::{FaultPlan, FaultPolicy, MpiError, MpiImpl, MpiJob, RankCtx};
+use netsim::{NodeParams, SiteParams, Topology};
+
+const TAG: u64 = 7;
+
+/// A one-site cluster of `n` nodes.
+fn cluster(n: usize) -> (netsim::Network, Vec<netsim::NodeId>) {
+    let mut t = Topology::new();
+    let s = t.add_site("rennes", SiteParams::default());
+    let nodes: Vec<_> = (0..n)
+        .map(|_| t.add_node(s, NodeParams::default()))
+        .collect();
+    (netsim::Network::new(t), nodes)
+}
+
+#[test]
+fn recv_timeout_fires_at_the_deadline() {
+    let (net, nodes) = cluster(2);
+    let timeout = SimDuration::from_millis(250);
+    MpiJob::new(net, nodes, MpiImpl::Mpich2)
+        .run(move |ctx: &mut RankCtx| {
+            if ctx.rank() == 0 {
+                ctx.set_fault_policy(FaultPolicy {
+                    recv_timeout: Some(timeout),
+                    ..FaultPolicy::none()
+                });
+                let t0 = ctx.now();
+                match ctx.try_recv(1, TAG) {
+                    Err(MpiError::Timeout { waited, .. }) => {
+                        assert_eq!(waited, timeout);
+                        assert_eq!(ctx.now().since(t0), timeout, "timeout fired off-schedule");
+                    }
+                    other => panic!("expected a timeout, got {other:?}"),
+                }
+            }
+            // Rank 1 never sends.
+        })
+        .unwrap();
+}
+
+#[test]
+fn successful_recv_is_undisturbed_by_an_armed_timeout() {
+    // The cancellation timer loses the race and must find nothing to do.
+    let (net, nodes) = cluster(2);
+    let run = |policy: FaultPolicy| {
+        let (net, nodes) = (net.clone(), nodes.clone());
+        MpiJob::new(net, nodes, MpiImpl::Mpich2)
+            .run(move |ctx: &mut RankCtx| {
+                if ctx.rank() == 0 {
+                    ctx.set_fault_policy(policy);
+                    let m = ctx.try_recv(1, TAG).expect("message arrives in time");
+                    assert_eq!(m.bytes, 4096);
+                } else {
+                    ctx.send(0, 4096, TAG);
+                }
+            })
+            .unwrap()
+            .elapsed
+            .as_nanos()
+    };
+    let bare = run(FaultPolicy::none());
+    let armed = run(FaultPolicy {
+        recv_timeout: Some(SimDuration::from_secs(5)),
+        ..FaultPolicy::none()
+    });
+    assert_eq!(bare, armed, "an unfired timeout changed the timing");
+}
+
+#[test]
+fn kill_surfaces_as_self_failed_and_peer_failed() {
+    let (net, nodes) = cluster(2);
+    let plan = FaultPlan::new().kill_rank(1, SimTime::from_nanos(1_000_000));
+    MpiJob::new(net, nodes, MpiImpl::Mpich2)
+        .with_faults(plan)
+        .run(|ctx: &mut RankCtx| {
+            if ctx.rank() == 0 {
+                // Give the kill time to land, then talk to the corpse.
+                ctx.compute(SimDuration::from_millis(10));
+                assert!(ctx.peer_failed(1));
+                match ctx.try_send(1, 1 << 20, TAG) {
+                    Err(MpiError::PeerFailed { rank: 1 }) => {}
+                    other => panic!("expected PeerFailed, got {other:?}"),
+                }
+            } else {
+                // Blocked in a posted receive when the kill fires.
+                match ctx.try_recv(0, TAG) {
+                    Err(MpiError::SelfFailed) => {}
+                    other => panic!("expected SelfFailed, got {other:?}"),
+                }
+            }
+        })
+        .unwrap();
+}
+
+#[test]
+fn transient_failure_heals_through_the_retry_policy() {
+    let (net, nodes) = cluster(2);
+    // Rank 1 is dead from t = 1 ms to t = 6 ms.
+    let plan = FaultPlan::new().restart_rank(
+        1,
+        SimTime::from_nanos(1_000_000),
+        SimDuration::from_millis(5),
+    );
+    MpiJob::new(net, nodes, MpiImpl::Mpich2)
+        .with_faults(plan)
+        .run(|ctx: &mut RankCtx| {
+            if ctx.rank() == 0 {
+                ctx.set_fault_policy(FaultPolicy {
+                    retries: 5,
+                    retry_backoff: SimDuration::from_millis(2),
+                    ..FaultPolicy::none()
+                });
+                // Land inside the failure window, then retry through it.
+                ctx.compute(SimDuration::from_millis(2));
+                assert!(ctx.peer_failed(1));
+                ctx.try_send(1, 1 << 20, TAG)
+                    .expect("send succeeds once the peer restarts");
+            } else {
+                // Dies while posted, recovers, receives after restart.
+                match ctx.try_recv(0, TAG) {
+                    Err(MpiError::SelfFailed) => {}
+                    other => panic!("expected SelfFailed first, got {other:?}"),
+                }
+                ctx.compute(SimDuration::from_millis(10)); // past the window
+                assert!(!ctx.peer_failed(ctx.rank()));
+                let m = ctx.try_recv(0, TAG).expect("delivery after restart");
+                assert_eq!(m.bytes, 1 << 20);
+            }
+        })
+        .unwrap();
+}
+
+#[test]
+fn wildcard_receives_survive_other_ranks_deaths() {
+    // A wildcard receive must not be cancelled when some peer dies — the
+    // message can still come from anyone else.
+    let (net, nodes) = cluster(3);
+    let plan = FaultPlan::new().kill_rank(2, SimTime::from_nanos(1_000_000));
+    MpiJob::new(net, nodes, MpiImpl::Mpich2)
+        .with_faults(plan)
+        .run(|ctx: &mut RankCtx| {
+            match ctx.rank() {
+                0 => {
+                    let m = ctx.try_recv_any(TAG).expect("rank 1 still delivers");
+                    assert_eq!(m.src, 1);
+                }
+                1 => {
+                    ctx.compute(SimDuration::from_millis(5));
+                    ctx.send(0, 512, TAG);
+                }
+                _ => {
+                    // Rank 2 idles until the kill reaps it; nothing posted.
+                    match ctx.try_recv(0, TAG) {
+                        Err(MpiError::SelfFailed) => {}
+                        other => panic!("expected SelfFailed, got {other:?}"),
+                    }
+                }
+            }
+        })
+        .unwrap();
+}

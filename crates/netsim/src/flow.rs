@@ -30,7 +30,9 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
+use desim::fault::FaultPlan;
 use desim::obs::{Event as ObsEvent, Recorder};
+use desim::prop::Rng;
 use desim::sync::Mutex;
 use desim::{Sched, SimDuration, SimTime};
 
@@ -60,6 +62,14 @@ pub(crate) struct ChannelState {
     round_gen: u64,
     pub(crate) bytes_done: u64,
     pub(crate) transfers: u64,
+    /// Injected per-segment loss probability (0 when no fault plan).
+    loss_rate: f64,
+    /// Wire-bytes inflation factor for duplicate traffic (0 = none).
+    dup: f64,
+    /// Seeded draw stream for injected losses, `Some` iff `loss_rate > 0`.
+    /// Each channel derives its own stream from the plan seed and its
+    /// creation index, so draws are order-free across channels.
+    loss_rng: Option<Rng>,
 }
 
 struct FlowState {
@@ -109,6 +119,10 @@ pub(crate) struct NetState {
     /// this host-side recorder — they never schedule events or touch the
     /// f64 arithmetic, so attaching one cannot change virtual timestamps.
     pub(crate) obs: Option<Arc<dyn Recorder>>,
+    /// Installed fault plan (`None`, or a non-empty plan — empty plans are
+    /// rejected at install so a fault-free network carries no fault state
+    /// at all and stays bit-identical to pre-fault builds).
+    pub(crate) faults: Option<FaultPlan>,
 }
 
 /// Initial fast-path setting for new networks: on, unless the
@@ -134,11 +148,13 @@ impl NetState {
             fast: None,
             fast_gen: 0,
             obs: None,
+            faults: None,
         }
     }
 
     pub(crate) fn add_channel(&mut self, path: Path, tcp: TcpState) -> ChannelId {
-        self.channels.push(ChannelState {
+        let index = self.channels.len();
+        let mut c = ChannelState {
             path,
             tcp,
             active: None,
@@ -147,8 +163,31 @@ impl NetState {
             round_gen: 0,
             bytes_done: 0,
             transfers: 0,
-        });
-        ChannelId(self.channels.len() - 1)
+            loss_rate: 0.0,
+            dup: 0.0,
+            loss_rng: None,
+        };
+        if let Some(plan) = &self.faults {
+            arm_channel_faults(plan, index, &mut c);
+        }
+        self.channels.push(c);
+        ChannelId(index)
+    }
+
+    /// Install a non-empty fault plan: every existing and future channel
+    /// gets its loss/duplication parameters and seeded draw stream, and
+    /// the closed-form bulk fast path is disabled — per-round loss draws
+    /// need the real event cadence, and scheduled outages would force a
+    /// materialize anyway. Empty plans are rejected by the caller
+    /// ([`crate::Network::install_faults`]) so fault-free runs carry no
+    /// fault state whatsoever.
+    pub(crate) fn install_faults(&mut self, plan: &FaultPlan) {
+        debug_assert!(!plan.is_empty(), "empty plans must not be installed");
+        self.fast_enabled = false;
+        for (i, c) in self.channels.iter_mut().enumerate() {
+            arm_channel_faults(plan, i, c);
+        }
+        self.faults = Some(plan.clone());
     }
 
     fn alloc_flow(&mut self, f: FlowState) -> usize {
@@ -301,6 +340,18 @@ impl NetState {
         let cap = ch.tcp.window_rate().min(ch.path.bottleneck);
         f.rate >= cap * 0.999
     }
+}
+
+/// Arm one channel with the loss/duplication parameters its path class
+/// draws from `plan`.
+fn arm_channel_faults(plan: &FaultPlan, index: usize, c: &mut ChannelState) {
+    c.loss_rate = plan.loss_for(c.path.wan);
+    c.dup = plan.duplicate;
+    c.loss_rng = if c.loss_rate > 0.0 {
+        Some(Rng::new(plan.stream_seed(index as u64)))
+    } else {
+        None
+    };
 }
 
 /// Number of currently active flows crossing `link`.
@@ -726,6 +777,14 @@ pub(crate) fn start_transfer(
 ) {
     let now = s.now();
     let mut g = net.lock();
+    // Duplicate traffic (fault injection): spurious retransmissions put
+    // extra copies of some segments on the wire, so the flow carries more
+    // bytes than the payload for the same goodput.
+    let bytes = if g.channels[ch.0].dup > 0.0 {
+        bytes + (bytes as f64 * g.channels[ch.0].dup).round() as u64
+    } else {
+        bytes
+    };
     g.channels[ch.0].queue.push_back(PendingTransfer {
         bytes: bytes.max(1),
         done,
@@ -845,7 +904,45 @@ fn round_event(net: &SharedNet, s: &Sched, ch: usize, gen: u64) {
         .active
         .map(|fid| g.cap_is_binding(fid, now))
         .unwrap_or(false);
-    let out = g.channels[ch].tcp.on_round();
+    // Injected segment loss (fault plans only): one Bernoulli draw per
+    // window round, with the per-window loss probability derived from the
+    // per-segment rate and the number of segments in flight. Channels
+    // without a plan take the `false` branch with zero draws, keeping
+    // fault-free runs bit-identical.
+    let injected = {
+        let c = &mut g.channels[ch];
+        match c.loss_rng.as_mut() {
+            Some(rng) => {
+                let segs = (c.tcp.effective_window() as f64 / c.tcp.params().mss as f64).max(1.0);
+                let p = 1.0 - (1.0 - c.loss_rate).powf(segs);
+                rng.chance(p)
+            }
+            None => false,
+        }
+    };
+    let out = if injected {
+        g.channels[ch].tcp.on_injected_loss()
+    } else {
+        g.channels[ch].tcp.on_round()
+    };
+    if injected {
+        if let Some(rec) = &g.obs {
+            rec.record(&ObsEvent::Fault {
+                kind: "segment_loss",
+                subject: ch as u64,
+                t_ns: now.as_nanos(),
+                info: g.channels[ch].tcp.cwnd() as f64,
+            });
+            if let RoundOutcome::RtoStall(d) = out {
+                rec.record(&ObsEvent::Fault {
+                    kind: "induced_rto",
+                    subject: ch as u64,
+                    t_ns: now.as_nanos(),
+                    info: d.as_secs_f64(),
+                });
+            }
+        }
+    }
     if let Some(rec) = &g.obs {
         rec.record(&tcp_sample(ch, now, &g.channels[ch].tcp, outcome_name(out)));
     }
@@ -899,6 +996,62 @@ fn stall_clear(net: &SharedNet, s: &Sched, ch: usize, gen: u64) {
         activate_next(&mut g, net, s, ch, now);
         reallocate(&mut g, net, s, now);
     }
+}
+
+/// Take every channel whose path crosses one of `links` down for `down`,
+/// reusing the RTO-stall machinery: the outage freezes the channel's rate
+/// at zero (the water-fill skips stalled channels) and a `stall_clear` at
+/// the end of the outage resumes whatever was active or queued. Channels
+/// created *during* an outage are not retroactively stalled.
+pub(crate) fn fault_path_outage(
+    net: &SharedNet,
+    s: &Sched,
+    links: Vec<LinkId>,
+    down: SimDuration,
+    kind: &'static str,
+    subject: u64,
+) {
+    let now = s.now();
+    let until = now + down;
+    let mut g = net.lock();
+    materialize(&mut g, net, s, now);
+    g.settle(now);
+    for ch in 0..g.channels.len() {
+        let hit = g.channels[ch].path.links.iter().any(|l| links.contains(l));
+        if !hit || g.channels[ch].stalled_until >= until {
+            continue;
+        }
+        g.channels[ch].stalled_until = until;
+        g.channels[ch].round_gen += 1;
+        let gen = g.channels[ch].round_gen;
+        let net2 = Arc::clone(net);
+        s.call_at(until, move |s2| stall_clear(&net2, s2, ch, gen));
+    }
+    if let Some(rec) = &g.obs {
+        rec.record(&ObsEvent::Fault {
+            kind,
+            subject,
+            t_ns: now.as_nanos(),
+            info: down.as_secs_f64(),
+        });
+        let up_kind = match kind {
+            "link_down" => "link_up",
+            _ => "nic_resume",
+        };
+        let net2 = Arc::clone(net);
+        s.call_at(until, move |s2| {
+            let g2 = net2.lock();
+            if let Some(rec) = &g2.obs {
+                rec.record(&ObsEvent::Fault {
+                    kind: up_kind,
+                    subject,
+                    t_ns: s2.now().as_nanos(),
+                    info: 0.0,
+                });
+            }
+        });
+    }
+    reallocate(&mut g, net, s, now);
 }
 
 /// Recompute rates and (re)schedule the earliest-finish event — or, when

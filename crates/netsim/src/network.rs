@@ -5,10 +5,12 @@ use std::sync::Arc;
 use desim::sync::Mutex;
 use desim::{completion, Completion, Proc, Sched, SimDuration};
 
+use desim::fault::{FaultKind, FaultPlan};
+
 use crate::config::SockBufRequest;
-use crate::flow::{start_transfer, ChannelId, NetState, SharedNet};
+use crate::flow::{fault_path_outage, start_transfer, ChannelId, NetState, SharedNet};
 use crate::tcp::{TcpParams, TcpState};
-use crate::topology::{NodeId, Path, SiteId, Topology};
+use crate::topology::{LinkId, NodeId, Path, SiteId, Topology};
 
 /// Default per-message host software overhead (IP stack in + out). With the
 /// paper's 30 µs one-way LAN latency this reproduces the 41 µs raw-TCP
@@ -242,6 +244,81 @@ impl Network {
     pub fn link_delivered(&self, l: crate::LinkId) -> f64 {
         let g = self.state.lock();
         g.link_delivered.get(l.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Install a fault plan on the network: every present and future
+    /// channel picks up the plan's stochastic loss/duplication rates
+    /// (each channel draws from its own seeded stream, so channel
+    /// creation order elsewhere never perturbs another channel's losses).
+    /// A non-empty plan disables the closed-form bulk fast path — loss is
+    /// drawn per window round, so lossy flows need the real event
+    /// cadence. Installing an empty plan is a no-op, which keeps
+    /// fault-free scenarios on the fast path and bit-identical.
+    pub fn install_faults(&self, plan: &FaultPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        self.state.lock().install_faults(plan);
+    }
+
+    /// Schedule the plan's explicit timed *network* events (link flaps,
+    /// NIC stalls) as kernel callbacks. Rank failures are ignored here —
+    /// they belong to the MPI layer, which owns rank lifecycles. Must be
+    /// called from scheduler context (e.g. a bootstrap process); the
+    /// scheduled callbacks do not keep the simulation alive past the last
+    /// process, so trailing faults after workload completion are inert.
+    pub fn schedule_fault_events(&self, s: &Sched, plan: &FaultPlan) {
+        for ev in plan.sorted_events() {
+            let net = Arc::clone(&self.state);
+            match ev.kind {
+                FaultKind::LinkDown { link, down } => {
+                    s.call_at(ev.at, move |s2| {
+                        fault_path_outage(
+                            &net,
+                            s2,
+                            vec![LinkId(link)],
+                            down,
+                            "link_down",
+                            link as u64,
+                        )
+                    });
+                }
+                FaultKind::NicStall { node, down } => {
+                    s.call_at(ev.at, move |s2| {
+                        let links = net.lock().topo.node_links(NodeId(node));
+                        fault_path_outage(&net, s2, links, down, "nic_stall", node as u64)
+                    });
+                }
+                // Rank lifecycle is mpisim's business (see MpiJob::with_faults).
+                FaultKind::RankFail { .. } => {}
+            }
+        }
+    }
+
+    /// Convenience: install `plan` and spawn a short-lived bootstrap
+    /// process that schedules its timed network events at t = 0.
+    pub fn spawn_faultd(&self, sim: &desim::Sim, plan: &FaultPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        self.install_faults(plan);
+        let net = self.clone();
+        let plan = plan.clone();
+        sim.spawn("faultd", move |p| {
+            net.schedule_fault_events(&p.sched(), &plan);
+        });
+    }
+
+    /// Dense indices of the topology's WAN links, for building random
+    /// link-flap schedules.
+    pub fn wan_link_indices(&self) -> Vec<u32> {
+        self.state
+            .lock()
+            .topo
+            .wan_links()
+            .iter()
+            .map(|&(_, _, l)| l.index() as u32)
+            .collect()
     }
 
     /// Spawn a deterministic background-traffic generator: `count` flows of

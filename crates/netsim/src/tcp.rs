@@ -137,6 +137,11 @@ pub struct TcpState {
     probe: f64,
     /// Cumulative loss episodes (diagnostics).
     losses: u64,
+    /// Consecutive injected-loss RTOs without progress: each one doubles
+    /// the next stall (classic exponential RTO backoff, capped at 2⁶).
+    /// Only the fault-injection path uses this — the organic overshoot
+    /// RTO keeps its fixed duration so fault-free runs are untouched.
+    rto_backoff: u32,
 }
 
 impl TcpState {
@@ -152,6 +157,7 @@ impl TcpState {
             seen_loss: false,
             probe: 1.0,
             losses: 0,
+            rto_backoff: 0,
             params,
         }
     }
@@ -221,9 +227,47 @@ impl TcpState {
         self.last_activity = self.last_activity.max(now);
     }
 
+    /// Apply one *injected* segment loss (fault injection). With a window
+    /// large enough for fast retransmit to work (≥ 4 segments in flight,
+    /// so triple duplicate acks can arrive) the connection fast-recovers:
+    /// `ssthresh = β·cwnd` and congestion avoidance resumes immediately.
+    /// With a smaller window the lost segment can only be recovered by a
+    /// retransmission timeout: `ssthresh = cwnd/2`, the window collapses
+    /// to the initial value, and the sender stalls one RTO — doubled for
+    /// every consecutive loss-RTO (exponential backoff, capped at 2⁶).
+    ///
+    /// This is a separate entry point from [`TcpState::on_round`] so the
+    /// organic overshoot path is byte-for-byte unchanged when no faults
+    /// are injected.
+    pub fn on_injected_loss(&mut self) -> RoundOutcome {
+        self.losses += 1;
+        self.seen_loss = true;
+        self.w_max = self.cwnd;
+        self.probe = 1.0;
+        let mss = self.params.mss as f64;
+        if self.cwnd >= 4.0 * mss {
+            self.ssthresh = (self.params.beta * self.cwnd).max(2.0 * mss);
+            self.cwnd = self.ssthresh;
+            self.phase = TcpPhase::CongestionAvoidance;
+            self.rto_backoff = 0;
+            RoundOutcome::FastRecovery
+        } else {
+            self.ssthresh = (self.cwnd / 2.0).max(2.0 * mss);
+            self.cwnd = self.params.init_cwnd as f64;
+            self.phase = TcpPhase::SlowStart;
+            let shift = self.rto_backoff.min(6);
+            self.rto_backoff += 1;
+            RoundOutcome::RtoStall(SimDuration::from_nanos(self.params.rto.as_nanos() << shift))
+        }
+    }
+
     /// Advance one RTT round of continuous sending: grow the window, then
     /// check the burst-loss condition.
     pub fn on_round(&mut self) -> RoundOutcome {
+        // A full round of acked progress ends any injected-RTO backoff
+        // sequence (integer bookkeeping only — no effect on the
+        // floating-point window arithmetic of fault-free runs).
+        self.rto_backoff = 0;
         let limit = self.params.loss_limit() as f64;
         // If flow control caps us below the loss limit the queue never
         // fills: the window just saturates at the buffer bound.
@@ -475,5 +519,43 @@ mod tests {
         p.init_cwnd = 1;
         let t = TcpState::new(p);
         assert_eq!(t.effective_window(), 1448);
+    }
+
+    #[test]
+    fn injected_loss_fast_recovers_when_window_allows() {
+        let mut t = TcpState::new(params(4 << 20, false));
+        for _ in 0..5 {
+            t.on_round();
+        }
+        let before = t.cwnd() as f64;
+        assert!(before >= 4.0 * 1448.0);
+        assert_eq!(t.on_injected_loss(), RoundOutcome::FastRecovery);
+        assert_eq!(t.phase(), TcpPhase::CongestionAvoidance);
+        assert!((t.cwnd() as f64) < before);
+        assert!((t.ssthresh() - 0.8 * before).abs() < 2.0);
+        assert_eq!(t.losses(), 1);
+    }
+
+    #[test]
+    fn injected_loss_backoff_doubles_then_resets() {
+        // Tiny initial window: every injected loss is an RTO.
+        let mut p = params(4 << 20, false);
+        p.init_cwnd = 1448;
+        let mut t = TcpState::new(p);
+        let stall = |t: &mut TcpState| match t.on_injected_loss() {
+            RoundOutcome::RtoStall(d) => d.as_millis(),
+            other => panic!("expected RTO, got {other:?}"),
+        };
+        assert_eq!(stall(&mut t), 200);
+        assert_eq!(stall(&mut t), 400);
+        assert_eq!(stall(&mut t), 800);
+        // A clean round of progress resets the backoff sequence.
+        t.on_round();
+        assert_eq!(stall(&mut t), 200);
+        // The exponent is capped at 2^6.
+        for _ in 0..20 {
+            stall(&mut t);
+        }
+        assert_eq!(stall(&mut t), 200 * 64);
     }
 }

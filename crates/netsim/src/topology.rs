@@ -302,6 +302,17 @@ impl Topology {
         }
     }
 
+    /// Directed links attached to a node's interfaces (uplink, downlink,
+    /// and the fast-fabric pair when present) — the set a NIC stall takes
+    /// down.
+    pub(crate) fn node_links(&self, n: NodeId) -> Vec<LinkId> {
+        let i = &self.nodes[n.index()];
+        let mut v = vec![i.uplink, i.downlink];
+        v.extend(i.fast_uplink);
+        v.extend(i.fast_downlink);
+        v
+    }
+
     pub(crate) fn link(&self, l: LinkId) -> &LinkInfo {
         &self.links[l.0 as usize]
     }

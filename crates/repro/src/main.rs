@@ -4,6 +4,7 @@
 
 mod ablation;
 mod analysis;
+mod faults;
 mod g2;
 mod heterogeneity;
 mod methodology;
@@ -11,6 +12,7 @@ mod nas;
 mod par;
 mod pingpong;
 mod rays;
+mod scenario;
 mod slowstart;
 mod util;
 
@@ -156,6 +158,7 @@ fn main() {
             analysis::cmd_trace(bench);
         }
         "cwnd" => slowstart::cmd_cwnd(),
+        "faults" => faults::cmd_faults(),
         "validate" => cmd_validate(args.get(1).map(String::as_str)),
         "all" => {
             cmd_testbed();
@@ -182,12 +185,13 @@ fn main() {
             analysis::cmd_placement();
             analysis::cmd_scaling();
             slowstart::cmd_cwnd();
+            faults::cmd_faults();
         }
         _ => {
             eprintln!(
                 "usage: repro <table1|table2|table4|table5|table6|table7|\
                  fig3|fig5|fig6|fig7|fig9|fig10|fig11|fig12|fig13|testbed|ablation|g2|heterogeneity|perturbation|simri|\
-                 utilization|placement|scaling|trace [BENCH]|cwnd|validate FILE|all> \
+                 utilization|placement|scaling|trace [BENCH]|cwnd|faults|validate FILE|all> \
                  [--class-a] [--dat DIR] [--trace-out FILE] [--metrics FILE]"
             );
         }
@@ -424,11 +428,10 @@ fn cmd_table5() {
 /// Steady-state one-way time for `bytes` with a forced protocol mode.
 fn timed_mode(id: MpiImpl, scope: Scope, bytes: u64, threshold: Option<u64>) -> f64 {
     let level = TuningLevel::TcpTuned;
-    let (net, a, b) = util::pair_endpoints(scope, level.kernel(Some(id)));
     let mut tuning = level.tuning(id);
     tuning.eager_threshold = threshold;
-    let report = mpisim::MpiJob::new(net, vec![a, b], id)
-        .with_tuning(tuning)
+    let report = scenario::Scenario::pair(scope, level, id)
+        .tuning(tuning)
         .run(move |ctx: &mut mpisim::RankCtx| {
             const TAG: u64 = 1;
             for _ in 0..10 {

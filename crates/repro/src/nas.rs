@@ -1,11 +1,12 @@
 //! The NPB experiment matrix of §4.3: Figs. 10–13 and Table 2.
 
 use desim::{SimDuration, SimError, SimTime};
-use mpisim::{MpiImpl, MpiJob};
+use mpisim::MpiImpl;
 use npb::{NasBenchmark, NasClass, NasRun};
 
 use crate::par::par_map;
-use crate::util::{npb_placement, TuningLevel};
+use crate::scenario::Scenario;
+use crate::util::TuningLevel;
 
 /// Node layouts used by the paper's NPB experiments.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -65,17 +66,16 @@ pub fn run_nas(bench: NasBenchmark, class: NasClass, id: MpiImpl, layout: Layout
     if crosses_wan && layout.ranks() >= 16 && id.profile().grid_timeouts.contains(&bench.name()) {
         return NasOutcome::Timeout;
     }
-    let (net, placement) = match layout {
-        Layout::Cluster(n) => npb_placement(n, n, 0, level.kernel(Some(id))),
-        Layout::Split(a, b) => npb_placement(a.max(b), a, b, level.kernel(Some(id))),
+    let scenario = match layout {
+        Layout::Cluster(n) => Scenario::npb(n, n, 0, level, id),
+        Layout::Split(a, b) => Scenario::npb(a.max(b), a, b, level, id),
     };
     let run = NasRun::new(bench, class);
     // A generous virtual deadline (one hour of simulated time for the
     // reduced-iteration window) backstops the known-failure list: any
     // future pathology surfaces as a timeout, exactly as mpirun's would.
-    let report = match MpiJob::new(net, placement, id)
-        .with_tuning(level.tuning(id))
-        .with_deadline(SimTime::from_nanos(3_600_000_000_000))
+    let report = match scenario
+        .deadline(SimTime::from_nanos(3_600_000_000_000))
         .run(run.program())
     {
         Ok(r) => r,
@@ -162,14 +162,7 @@ pub struct Table2Row {
 pub fn table2(class: NasClass) -> Vec<Table2Row> {
     par_map(&NasBenchmark::ALL, |&bench| {
         let run = NasRun::new(bench, class);
-        let (net, placement) = npb_placement(
-            16,
-            16,
-            0,
-            TuningLevel::FullyTuned.kernel(Some(MpiImpl::Mpich2)),
-        );
-        let report = MpiJob::new(net, placement, MpiImpl::Mpich2)
-            .with_tuning(TuningLevel::FullyTuned.tuning(MpiImpl::Mpich2))
+        let report = Scenario::npb(16, 16, 0, TuningLevel::FullyTuned, MpiImpl::Mpich2)
             .run(run.program())
             .expect("table2 run completes");
         // Extrapolate observed counts (warmup + timed window) to the

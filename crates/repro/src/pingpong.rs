@@ -6,10 +6,11 @@
 //! state).
 
 use desim::Sim;
-use mpisim::{MpiImpl, MpiJob, RankCtx};
+use mpisim::{MpiImpl, RankCtx};
 use netsim::SockBufRequest;
 
 use crate::par::par_map;
+use crate::scenario::Scenario;
 use crate::util::{pair_endpoints, Scope, TuningLevel};
 
 /// Stacks compared in Figs. 3/5/6/7 and Table 4.
@@ -65,16 +66,13 @@ pub fn pingpong(
     bytes: u64,
     iters: u32,
 ) -> PingpongPoint {
-    let impl_id = match stack {
-        Stack::Mpi(id) => Some(id),
-        Stack::RawTcp => None,
-    };
-    let (net, a, b) = pair_endpoints(scope, level.kernel(impl_id));
     let one_ways = match stack {
-        Stack::RawTcp => raw_tcp_pingpong(net, a, b, bytes, iters),
+        Stack::RawTcp => {
+            let (net, a, b) = pair_endpoints(scope, level.kernel(None));
+            raw_tcp_pingpong(net, a, b, bytes, iters)
+        }
         Stack::Mpi(id) => {
-            let job = MpiJob::new(net, vec![a, b], id).with_tuning(level.tuning(id));
-            let report = job
+            let report = Scenario::pair(scope, level, id)
                 .run(move |ctx: &mut RankCtx| {
                     const TAG: u64 = 1;
                     for _ in 0..iters {

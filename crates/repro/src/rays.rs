@@ -2,10 +2,11 @@
 //! eight nodes (Fig. 8), the master moved across the four sites.
 
 use gridapps::Ray2MeshConfig;
-use mpisim::{MpiImpl, MpiJob};
-use netsim::{grid5000_four_sites, Grid5000Site, KernelConfig, Network};
+use mpisim::MpiImpl;
+use netsim::Grid5000Site;
 
 use crate::par::par_map;
+use crate::scenario::Scenario;
 
 /// Result of one ray2mesh execution.
 #[derive(Clone, Debug)]
@@ -25,15 +26,7 @@ pub struct RayRun {
 
 /// Run ray2mesh with the master on `master`, 8 slaves per site.
 pub fn run_ray2mesh(cfg: &Ray2MeshConfig, master: Grid5000Site) -> RayRun {
-    let (mut topo, _sites, nodes) = grid5000_four_sites(8);
-    topo.set_kernel_all(KernelConfig::tuned(4 << 20));
-    // Master shares the first node of its site; slave ranks are laid out
-    // site by site in Grid5000Site::ALL order.
-    let mut placement = vec![nodes[master.index()][0]];
-    for site_nodes in &nodes {
-        placement.extend(site_nodes.iter().copied());
-    }
-    let report = MpiJob::new(Network::new(topo), placement, MpiImpl::GridMpi)
+    let report = Scenario::four_sites(8, master, MpiImpl::GridMpi)
         .run(cfg.program())
         .expect("ray2mesh completes");
     let rays = report.values("rays");

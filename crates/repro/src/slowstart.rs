@@ -6,10 +6,11 @@ use std::io::Write as _;
 use std::sync::Arc;
 
 use desim::{Event, RingSink};
-use mpisim::{MpiImpl, MpiJob, RankCtx};
+use mpisim::{MpiImpl, RankCtx};
 
 use crate::pingpong::Stack;
-use crate::util::{mbps, pair_endpoints, Scope, TuningLevel};
+use crate::scenario::Scenario;
+use crate::util::{mbps, Scope, TuningLevel};
 
 /// One point of the Fig. 9 series.
 #[derive(Clone, Copy, Debug)]
@@ -30,10 +31,7 @@ pub fn slowstart_series(stack: Stack, bytes: u64, count: u32) -> Vec<SlowstartPo
 }
 
 fn mpi_series(id: MpiImpl, bytes: u64, count: u32) -> Vec<SlowstartPoint> {
-    let level = TuningLevel::FullyTuned;
-    let (net, a, b) = pair_endpoints(Scope::Grid, level.kernel(Some(id)));
-    let report = MpiJob::new(net, vec![a, b], id)
-        .with_tuning(level.tuning(id))
+    let report = Scenario::pair(Scope::Grid, TuningLevel::FullyTuned, id)
         .run(move |ctx: &mut RankCtx| {
             const TAG: u64 = 1;
             for _ in 0..count {
@@ -62,14 +60,7 @@ fn mpi_series(id: MpiImpl, bytes: u64, count: u32) -> Vec<SlowstartPoint> {
 fn raw_series(bytes: u64, count: u32) -> Vec<SlowstartPoint> {
     // Reuse the MPI machinery with a zero-overhead profile: raw TCP is an
     // MPI stack with no software overhead, no rendezvous and no pacing.
-    let level = TuningLevel::FullyTuned;
-    let (net, a, b) = pair_endpoints(Scope::Grid, level.kernel(None));
-    let mut profile = mpisim::ImplProfile::mpich2();
-    profile.overhead_lan = desim::SimDuration::ZERO;
-    profile.overhead_wan = desim::SimDuration::ZERO;
-    profile.eager_threshold = u64::MAX;
-    let report = MpiJob::new(net, vec![a, b], MpiImpl::Mpich2)
-        .with_profile(profile)
+    let report = Scenario::raw_pair(Scope::Grid, TuningLevel::FullyTuned)
         .run(move |ctx: &mut RankCtx| {
             const TAG: u64 = 1;
             for _ in 0..count {
@@ -157,11 +148,9 @@ pub fn cmd_cwnd() {
 /// Run one `bytes` send over the WAN with a recorder attached and return
 /// the TCP sample stream of the bulk channel.
 fn cwnd_series(id: MpiImpl, level: TuningLevel, bytes: u64) -> Vec<CwndPoint> {
-    let (net, a, b) = pair_endpoints(Scope::Grid, level.kernel(Some(id)));
     let sink = Arc::new(RingSink::new(1 << 20));
-    let report = MpiJob::new(net, vec![a, b], id)
-        .with_tuning(level.tuning(id))
-        .with_recorder(sink.clone())
+    let report = Scenario::pair(Scope::Grid, level, id)
+        .recorder(sink.clone())
         .run(move |ctx: &mut RankCtx| {
             const TAG: u64 = 1;
             if ctx.rank() == 0 {

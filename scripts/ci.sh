@@ -22,3 +22,20 @@ cargo test -q --workspace --offline
 QUICKSTART_TRACE=target/quickstart.trace.json \
     cargo run --release --offline --example quickstart >/dev/null
 ./target/release/repro validate target/quickstart.trace.json
+
+# Fault-injection smoke: the loss sweep + degradation demo run end to
+# end, the exported trace is valid JSON, and the injected faults are
+# actually visible in it.
+./target/release/repro faults --dat target/faultdat \
+    --trace-out target/faults.trace.json >/dev/null
+./target/release/repro validate target/faults.trace.json
+grep -q rank_fail target/faults.trace.json
+grep -q chunk_reissued target/faults.trace.json
+test -s target/faultdat/faults_goodput.dat
+test -s target/faultdat/faults_ray2mesh.dat
+
+# Fault determinism: same seed => bit-identical runs; empty plan =>
+# the fault-free timeline. (Also part of the workspace test run above;
+# called out here so a failure names the contract.)
+cargo test -q --offline --test fault_determinism
+cargo test -q --offline -p mpisim --test fault_semantics
