@@ -1,0 +1,201 @@
+//! Comparing two bench JSON-lines files (`bench compare OLD NEW`).
+//!
+//! A bench run emits one JSON object per line. Two of its fields have
+//! very different regression semantics:
+//!
+//! * `events` — simulated events per iteration. This is a property of the
+//!   *simulation*, not the host: the same binary produces the same count
+//!   on any machine. Any change is a behavioural diff and compares
+//!   **exactly**.
+//! * `secs_per_iter` — host wall clock. Noisy by nature, so it compares
+//!   against a percentage threshold (default 25%), and only *slowdowns*
+//!   beyond the threshold fail; speedups are reported but never fatal.
+//!
+//! Derived note lines (speedup/overhead summaries) carry a `name` but no
+//! `secs_per_iter`/`events`; they parse fine and are skipped per-field.
+
+use desim::obs::json::{self, Value};
+
+/// One parsed bench line; `None` fields were absent from the JSON.
+pub struct BenchLine {
+    /// Benchmark name, e.g. `smoke/wan_transfer_64k`.
+    pub name: String,
+    /// Wall-clock seconds per iteration (host-dependent).
+    pub secs_per_iter: Option<f64>,
+    /// Simulated events per iteration (deterministic; 0 = not counted).
+    pub events: Option<u64>,
+}
+
+/// Parse a bench JSON-lines document. Blank lines are skipped; every
+/// other line must be a JSON object with a string `"name"`.
+pub fn parse_lines(text: &str) -> Result<Vec<BenchLine>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = json::parse(line)
+            .map_err(|(pos, msg)| format!("line {}: byte {pos}: {msg}", idx + 1))?;
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {}: missing string \"name\"", idx + 1))?
+            .to_string();
+        out.push(BenchLine {
+            name,
+            secs_per_iter: v.get("secs_per_iter").and_then(Value::as_f64),
+            events: v.get("events").and_then(Value::as_u64),
+        });
+    }
+    Ok(out)
+}
+
+/// The verdict of [`compare`]: per-benchmark rows plus the two failure
+/// classes that matter for a gate.
+pub struct Comparison {
+    /// One human-readable row per compared benchmark.
+    pub rows: Vec<String>,
+    /// Names present in only one of the two files.
+    pub warnings: Vec<String>,
+    /// Fatal diffs: exact `events` mismatches and over-threshold slowdowns.
+    pub failures: Vec<String>,
+}
+
+/// Compare `new` against `old`. Errs (rather than trivially passing)
+/// when the two files share no benchmark names — that is a wiring
+/// mistake, not a clean bill of health.
+pub fn compare(
+    old: &[BenchLine],
+    new: &[BenchLine],
+    threshold_pct: f64,
+) -> Result<Comparison, String> {
+    let mut cmp = Comparison {
+        rows: Vec::new(),
+        warnings: Vec::new(),
+        failures: Vec::new(),
+    };
+    let mut matched = 0usize;
+    for n in new {
+        let Some(o) = old.iter().find(|o| o.name == n.name) else {
+            cmp.warnings
+                .push(format!("{}: only in NEW (no baseline)", n.name));
+            continue;
+        };
+        matched += 1;
+        let mut row = format!("{}:", n.name);
+        match (o.events, n.events) {
+            (Some(oe), Some(ne)) if oe != ne => {
+                row.push_str(&format!(" events {oe} -> {ne} [FAIL exact]"));
+                cmp.failures.push(format!(
+                    "{}: events changed {oe} -> {ne} (deterministic field; exact match required)",
+                    n.name
+                ));
+            }
+            (Some(oe), Some(_)) => row.push_str(&format!(" events {oe} (exact ok)")),
+            _ => {}
+        }
+        match (o.secs_per_iter, n.secs_per_iter) {
+            (Some(os), Some(ns)) if os > 0.0 => {
+                let pct = (ns - os) / os * 100.0;
+                row.push_str(&format!(" secs {os:.3e} -> {ns:.3e} ({pct:+.1}%)"));
+                if pct > threshold_pct {
+                    row.push_str(&format!(" [FAIL >{threshold_pct}%]"));
+                    cmp.failures.push(format!(
+                        "{}: {pct:+.1}% slower than baseline (threshold {threshold_pct}%)",
+                        n.name
+                    ));
+                }
+            }
+            _ => {}
+        }
+        cmp.rows.push(row);
+    }
+    for o in old {
+        if !new.iter().any(|n| n.name == o.name) {
+            cmp.warnings
+                .push(format!("{}: only in OLD (dropped?)", o.name));
+        }
+    }
+    if matched == 0 {
+        return Err("OLD and NEW share no benchmark names — nothing to compare".into());
+    }
+    Ok(cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(name: &str, secs: f64, events: u64) -> String {
+        format!(
+            "{{\"name\": \"{name}\", \"iters\": 3, \"secs_per_iter\": {secs:e}, \
+             \"events_per_sec\": null, \"events\": {events}, \"metrics\": {{}}}}"
+        )
+    }
+
+    #[test]
+    fn parses_bench_lines_and_notes() {
+        let text = format!(
+            "{}\n\n{}\n{{\"name\": \"fastpath/speedup\", \"speedup\": 12.5}}\n",
+            line("a/x", 1e-3, 100),
+            line("b/y", 2e-3, 0)
+        );
+        let lines = parse_lines(&text).unwrap();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].name, "a/x");
+        assert_eq!(lines[0].events, Some(100));
+        assert_eq!(lines[2].name, "fastpath/speedup");
+        assert_eq!(lines[2].secs_per_iter, None);
+        assert_eq!(lines[2].events, None);
+    }
+
+    #[test]
+    fn rejects_missing_name() {
+        assert!(parse_lines("{\"iters\": 3}").is_err());
+        assert!(parse_lines("not json").is_err());
+    }
+
+    #[test]
+    fn events_mismatch_is_fatal() {
+        let old = parse_lines(&line("a/x", 1e-3, 100)).unwrap();
+        let new = parse_lines(&line("a/x", 1e-3, 101)).unwrap();
+        let cmp = compare(&old, &new, 25.0).unwrap();
+        assert_eq!(cmp.failures.len(), 1);
+        assert!(cmp.failures[0].contains("events changed 100 -> 101"));
+    }
+
+    #[test]
+    fn slowdown_beyond_threshold_fails_speedup_never_does() {
+        let old = parse_lines(&line("a/x", 1.0e-3, 100)).unwrap();
+        let slow = parse_lines(&line("a/x", 1.3e-3, 100)).unwrap();
+        let cmp = compare(&old, &slow, 25.0).unwrap();
+        assert_eq!(cmp.failures.len(), 1, "30% slowdown must fail at 25%");
+        let cmp = compare(&old, &slow, 50.0).unwrap();
+        assert!(cmp.failures.is_empty(), "30% slowdown passes at 50%");
+        let fast = parse_lines(&line("a/x", 0.2e-3, 100)).unwrap();
+        let cmp = compare(&old, &fast, 25.0).unwrap();
+        assert!(cmp.failures.is_empty(), "big speedups are never fatal");
+    }
+
+    #[test]
+    fn one_sided_names_warn_and_disjoint_errors() {
+        let old = parse_lines(&format!(
+            "{}\n{}",
+            line("a/x", 1e-3, 1),
+            line("a/gone", 1e-3, 1)
+        ))
+        .unwrap();
+        let new = parse_lines(&format!(
+            "{}\n{}",
+            line("a/x", 1e-3, 1),
+            line("a/new", 1e-3, 1)
+        ))
+        .unwrap();
+        let cmp = compare(&old, &new, 25.0).unwrap();
+        assert!(cmp.failures.is_empty());
+        assert_eq!(cmp.warnings.len(), 2);
+        let other = parse_lines(&line("z/z", 1e-3, 1)).unwrap();
+        assert!(compare(&old, &other, 25.0).is_err());
+    }
+}

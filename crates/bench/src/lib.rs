@@ -3,6 +3,8 @@
 use mpisim::{MpiImpl, MpiJob, RankCtx, Tuning};
 use netsim::{grid5000_pair, KernelConfig, Network, NodeId};
 
+pub mod compare;
+
 /// Build the tuned two-site testbed with `n` nodes per site.
 pub fn tuned_pair(n: usize) -> (Network, Vec<NodeId>, Vec<NodeId>) {
     let (mut topo, rn, nn) = grid5000_pair(n);

@@ -8,13 +8,21 @@
 //! throughput from [`desim::RunStats`].
 //!
 //! ```text
-//! bench [GROUP ...] [--json FILE]
+//! bench [GROUP ...] [--json FILE] [--baseline FILE|none]
+//! bench compare OLD.json NEW.json [--threshold PCT]
 //! ```
 //!
 //! Groups: `kernel`, `tcp`, `pingpong`, `collectives`, `npb`, `ray2mesh`,
 //! `fastpath`, `obs` (observability overhead), `faults` (lossy-path and
 //! fault-tolerance overhead), `smoke` (a quick CI subset). No groups =
 //! all of them except `smoke`.
+//!
+//! The `smoke` group doubles as a regression gate: after it runs, every
+//! `smoke/*` line in the baseline file (`--baseline`, default
+//! `BENCH_baseline.json`; `none` disables — use while regenerating) must
+//! match the fresh run's `events` count *exactly*. `compare` diffs two
+//! recorded files: exact on `events`, threshold (default 25%, slowdowns
+//! only) on `secs_per_iter`.
 //!
 //! Each JSON line carries `events` (simulated events per iteration, 0 if
 //! the benchmark does not count them) and `metrics` (a snapshot of the
@@ -42,6 +50,9 @@ struct Harness {
     /// Registry shared with any recorder a benchmark attaches; its
     /// snapshot lands in that benchmark's JSON line, then it is cleared.
     metrics: Arc<Metrics>,
+    /// `(name, events-per-iteration)` for every benchmark run, so the
+    /// smoke gate can check them against the baseline afterwards.
+    recorded: Vec<(String, u64)>,
 }
 
 impl Harness {
@@ -56,7 +67,7 @@ impl Harness {
         let iters = if once >= TARGET_SECS {
             1
         } else {
-            (((TARGET_SECS / once.max(1e-9)) as u32).max(3)).min(MAX_ITERS)
+            ((TARGET_SECS / once.max(1e-9)) as u32).clamp(3, MAX_ITERS)
         };
         self.metrics.clear(); // count only the timed iterations
         let t0 = Instant::now();
@@ -71,12 +82,13 @@ impl Harness {
         } else {
             "null".into()
         };
+        let per_iter = events / iters as u64;
         let line = format!(
             "{{\"name\": \"{name}\", \"iters\": {iters}, \"secs_per_iter\": {secs:.6e}, \
-             \"events_per_sec\": {eps}, \"events\": {}, \"metrics\": {}}}",
-            events / iters as u64,
+             \"events_per_sec\": {eps}, \"events\": {per_iter}, \"metrics\": {}}}",
             self.metrics.snapshot().to_json()
         );
+        self.recorded.push((name.to_string(), per_iter));
         println!("{line}");
         if let Some(f) = &mut self.json {
             let _ = writeln!(f, "{line}");
@@ -93,25 +105,44 @@ impl Harness {
     }
 }
 
+/// The value following `flag`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Positional arguments: everything that is neither a `--flag` nor the
+/// value consumed by one.
+fn positional(args: &[String]) -> Vec<&str> {
+    const VALUED: &[&str] = &["--json", "--baseline", "--threshold"];
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = VALUED.contains(&a.as_str());
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .map(|p| std::fs::File::create(p).expect("create --json file"));
-    let groups: Vec<&str> = args
-        .iter()
-        .map(String::as_str)
-        .filter(|a| !a.starts_with("--"))
-        .filter(|a| {
-            args.iter()
-                .position(|x| x == "--json")
-                .and_then(|i| args.get(i + 1))
-                .map(String::as_str)
-                != Some(*a)
-        })
-        .collect();
+    if args.first().map(String::as_str) == Some("compare") {
+        cmd_compare(&args[1..]);
+        return;
+    }
+    let json =
+        flag_value(&args, "--json").map(|p| std::fs::File::create(p).expect("create --json file"));
+    let baseline = flag_value(&args, "--baseline").unwrap_or("BENCH_baseline.json");
+    let groups = positional(&args);
     let all = [
         "kernel",
         "tcp",
@@ -131,9 +162,10 @@ fn main() {
     let mut h = Harness {
         json,
         metrics: Arc::new(Metrics::new()),
+        recorded: Vec::new(),
     };
-    for g in groups {
-        match g {
+    for g in &groups {
+        match *g {
             "kernel" => group_kernel(&mut h),
             "tcp" => group_tcp(&mut h),
             "pingpong" => group_pingpong(&mut h),
@@ -146,6 +178,116 @@ fn main() {
             "smoke" => group_smoke(&mut h),
             other => eprintln!("unknown group: {other}"),
         }
+    }
+    if groups.contains(&"smoke") && baseline != "none" {
+        check_smoke_baseline(baseline, &h.recorded);
+    }
+}
+
+/// The smoke gate: every `smoke/*` entry in the baseline must match this
+/// run's deterministic `events` count exactly. Wall clock is ignored —
+/// this check is meant to be host-independent.
+fn check_smoke_baseline(path: &str, recorded: &[(String, u64)]) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("smoke baseline: cannot read {path}: {e} (use --baseline none to skip)");
+            std::process::exit(1);
+        }
+    };
+    let baseline = match bench::compare::parse_lines(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("smoke baseline: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let smoke: Vec<_> = baseline
+        .iter()
+        .filter(|l| l.name.starts_with("smoke/") && l.events.is_some())
+        .collect();
+    if smoke.is_empty() {
+        eprintln!(
+            "smoke baseline: {path} has no smoke/* entries — regenerate it with \
+             `bench ... smoke --baseline none --json {path}`"
+        );
+        std::process::exit(1);
+    }
+    let mut failures = Vec::new();
+    for b in &smoke {
+        match recorded.iter().find(|(n, _)| *n == b.name) {
+            Some((_, got)) if Some(*got) == b.events => {}
+            Some((_, got)) => failures.push(format!(
+                "{}: events {} (baseline) != {got} (this run)",
+                b.name,
+                b.events.unwrap()
+            )),
+            None => failures.push(format!("{}: in baseline but not run", b.name)),
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "smoke baseline: {} benchmark(s) match {path} exactly",
+            smoke.len()
+        );
+    } else {
+        for f in &failures {
+            eprintln!("smoke baseline FAIL: {f}");
+        }
+        eprintln!(
+            "smoke baseline: {} mismatch(es) vs {path}; if the change is intentional, \
+             regenerate the baseline",
+            failures.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// `bench compare OLD.json NEW.json [--threshold PCT]` — exact on the
+/// deterministic `events` field, threshold on wall clock (slowdowns only).
+fn cmd_compare(args: &[String]) {
+    let files = positional(args);
+    let [old_path, new_path] = files[..] else {
+        eprintln!("usage: bench compare OLD.json NEW.json [--threshold PCT]");
+        std::process::exit(2);
+    };
+    let threshold: f64 = flag_value(args, "--threshold")
+        .map(|t| t.parse().expect("--threshold takes a number (percent)"))
+        .unwrap_or(25.0);
+    let read = |p: &str| -> Vec<bench::compare::BenchLine> {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("bench compare: cannot read {p}: {e}");
+            std::process::exit(2);
+        });
+        bench::compare::parse_lines(&text).unwrap_or_else(|e| {
+            eprintln!("bench compare: {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (old, new) = (read(old_path), read(new_path));
+    let cmp = match bench::compare::compare(&old, &new, threshold) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench compare: {e}");
+            std::process::exit(2);
+        }
+    };
+    for row in &cmp.rows {
+        println!("{row}");
+    }
+    for w in &cmp.warnings {
+        println!("warn: {w}");
+    }
+    if cmp.failures.is_empty() {
+        println!(
+            "compare: {} benchmark(s) within threshold ({threshold}%), events exact",
+            cmp.rows.len()
+        );
+    } else {
+        for f in &cmp.failures {
+            eprintln!("compare FAIL: {f}");
+        }
+        std::process::exit(1);
     }
 }
 

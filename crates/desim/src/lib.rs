@@ -47,6 +47,6 @@ mod time;
 pub use completion::{completion, Completion, Trigger};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use kernel::{RunStats, Sched, Sim, SimError};
-pub use obs::{Event, Metrics, Recorder, RingSink};
+pub use obs::{DigestSink, DigestValue, Event, Metrics, Recorder, RingSink, Tee};
 pub use process::{Proc, ProcId};
 pub use time::{SimDuration, SimTime};

@@ -1,7 +1,10 @@
-//! A std-only JSON well-formedness validator (recursive descent over
-//! RFC 8259 grammar). Used by CI to check exported trace files and by
-//! tests to check every hand-rolled serializer in the workspace. It
-//! validates structure only — no value tree is built.
+//! A std-only JSON validator and value parser (recursive descent over
+//! RFC 8259 grammar). [`validate`] checks structure only — no value tree
+//! is built — and is used by CI to check exported trace files and by
+//! tests to check every hand-rolled serializer in the workspace.
+//! [`parse`] builds a [`Value`] tree for the consumers that need to read
+//! JSON back (benchmark comparison, golden-run checking, trace-content
+//! assertions), at the cost of allocation.
 
 /// Validate that `input` is exactly one well-formed JSON value (with
 /// optional surrounding whitespace). Returns the byte offset and a
@@ -20,6 +23,87 @@ pub fn validate(input: &str) -> Result<(), (usize, String)> {
         return Err((p.pos, "trailing characters after JSON value".to_string()));
     }
     Ok(())
+}
+
+/// A parsed JSON value. Numbers are `f64` (exact for the integer ranges
+/// this workspace serializes); object keys keep their document order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, keys in document order (duplicates kept as-is).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member of an object by key (first occurrence), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact non-negative integer, if this is a
+    /// number holding one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse `input` as exactly one JSON value (with optional surrounding
+/// whitespace). Returns the byte offset and a message on failure.
+pub fn parse(input: &str) -> Result<Value, (usize, String)> {
+    let b = input.as_bytes();
+    let mut p = Parser {
+        b,
+        pos: 0,
+        depth: 0,
+    };
+    p.ws();
+    let v = p.value_tree()?;
+    p.ws();
+    if p.pos != b.len() {
+        return Err((p.pos, "trailing characters after JSON value".to_string()));
+    }
+    Ok(v)
 }
 
 /// Nesting guard: exported traces are at most a few levels deep; this
@@ -173,6 +257,155 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn value_tree(&mut self) -> Result<Value, (usize, String)> {
+        if self.depth >= MAX_DEPTH {
+            return self.err("nesting too deep");
+        }
+        match self.peek() {
+            Some(b'{') => {
+                self.depth += 1;
+                let r = self.object_tree();
+                self.depth -= 1;
+                r
+            }
+            Some(b'[') => {
+                self.depth += 1;
+                let r = self.array_tree();
+                self.depth -= 1;
+                r
+            }
+            Some(b'"') => Ok(Value::Str(self.string_tree()?)),
+            Some(b't') => self.literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Value::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.pos;
+                self.number()?;
+                let text =
+                    std::str::from_utf8(&self.b[start..self.pos]).expect("number span is ASCII");
+                match text.parse::<f64>() {
+                    Ok(n) => Ok(Value::Num(n)),
+                    Err(_) => Err((start, format!("unrepresentable number '{text}'"))),
+                }
+            }
+            Some(_) => self.err("unexpected character"),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn object_tree(&mut self) -> Result<Value, (usize, String)> {
+        self.expect(b'{')?;
+        self.ws();
+        let mut members = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.ws();
+            let key = self.string_tree()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let val = self.value_tree()?;
+            members.push((key, val));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return self.err("expected ',' or '}' in object"),
+            }
+        }
+    }
+
+    fn array_tree(&mut self) -> Result<Value, (usize, String)> {
+        self.expect(b'[')?;
+        self.ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value_tree()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']' in array"),
+            }
+        }
+    }
+
+    /// Validate a string *and* return its unescaped contents: validate
+    /// the span with [`Parser::string`], then decode the escapes (which
+    /// the validation guarantees are well-formed, except that surrogate
+    /// pairs are decoded here and can still fail).
+    fn string_tree(&mut self) -> Result<String, (usize, String)> {
+        let start = self.pos;
+        self.string()?;
+        let span = &self.b[start + 1..self.pos - 1]; // inside the quotes
+        let mut out = String::with_capacity(span.len());
+        let mut i = 0;
+        while i < span.len() {
+            if span[i] != b'\\' {
+                // Copy a run of plain bytes (keeps UTF-8 intact).
+                let run_start = i;
+                while i < span.len() && span[i] != b'\\' {
+                    i += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&span[run_start..i])
+                        .map_err(|_| (start + run_start, "invalid UTF-8".to_string()))?,
+                );
+                continue;
+            }
+            i += 1;
+            match span[i] {
+                b'"' => out.push('"'),
+                b'\\' => out.push('\\'),
+                b'/' => out.push('/'),
+                b'b' => out.push('\u{8}'),
+                b'f' => out.push('\u{c}'),
+                b'n' => out.push('\n'),
+                b'r' => out.push('\r'),
+                b't' => out.push('\t'),
+                b'u' => {
+                    let hex4 = |b: &[u8]| {
+                        u32::from_str_radix(std::str::from_utf8(&b[..4]).unwrap(), 16).unwrap()
+                    };
+                    let mut code = hex4(&span[i + 1..]);
+                    i += 4;
+                    if (0xd800..0xdc00).contains(&code) {
+                        // High surrogate: require a following \uXXXX low
+                        // surrogate and combine.
+                        if span.len() >= i + 7 && span[i + 1] == b'\\' && span[i + 2] == b'u' {
+                            let low = hex4(&span[i + 3..]);
+                            if (0xdc00..0xe000).contains(&low) {
+                                code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                i += 6;
+                            }
+                        }
+                    }
+                    match char::from_u32(code) {
+                        Some(c) => out.push(c),
+                        None => return Err((start + i, "lone surrogate in string".to_string())),
+                    }
+                }
+                _ => unreachable!("validated escape"),
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+
     fn number(&mut self) -> Result<(), (usize, String)> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -259,5 +492,53 @@ mod tests {
         assert!(validate(&deep).is_err());
         let ok = "[".repeat(50) + &"]".repeat(50);
         assert!(validate(&ok).is_ok());
+    }
+
+    use super::{parse, Value};
+
+    #[test]
+    fn parse_builds_the_value_tree() {
+        let v = parse(r#"{"name": "tcp/wan", "events": 5, "secs": 1.5e-3, "ok": true, "x": null, "tags": ["a", "b"]}"#)
+            .unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("tcp/wan"));
+        assert_eq!(v.get("events").and_then(Value::as_u64), Some(5));
+        assert_eq!(v.get("secs").and_then(Value::as_f64), Some(1.5e-3));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("x"), Some(&Value::Null));
+        assert_eq!(
+            v.get("tags").and_then(Value::as_arr).map(<[Value]>::len),
+            Some(2)
+        );
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_unescapes_strings() {
+        assert_eq!(
+            parse(r#""a\n\t\"\\é b""#).unwrap(),
+            Value::Str("a\n\t\"\\é b".to_string())
+        );
+        // Escaped surrogate pair → one astral char.
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Value::Str("\u{1f600}".to_string())
+        );
+        // Lone surrogate is structurally valid JSON but not decodable.
+        assert!(parse("\"\\ud83d\"").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "nul", "[1] [2]"] {
+            assert!(parse(bad).is_err(), "{bad:?} was accepted");
+        }
+    }
+
+    #[test]
+    fn as_u64_guards_range_and_integrality() {
+        assert_eq!(parse("7").unwrap().as_u64(), Some(7));
+        assert_eq!(parse("7.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1e300").unwrap().as_u64(), None);
     }
 }

@@ -18,10 +18,12 @@
 //! payloads, so the bus has no dependency on the producing crates and the
 //! exporters need no type knowledge beyond this module.
 
+pub mod digest;
 pub mod export;
 pub mod json;
 pub mod metrics;
 
+pub use digest::{Digest, DigestSink, DigestValue, Tee};
 pub use metrics::{Metrics, MetricsSnapshot};
 
 use std::collections::VecDeque;

@@ -3,7 +3,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use desim::prop::{forall, Rng};
+use desim::prop::forall;
 use desim::{completion, Sim, SimDuration, SimTime};
 
 /// Observed event times never decrease, whatever the mix of process

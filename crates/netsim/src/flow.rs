@@ -722,7 +722,7 @@ fn materialize(g: &mut NetState, net: &SharedNet, s: &Sched, now: SimTime) {
 fn fast_commit(net: &SharedNet, s: &Sched, gen: u64) {
     let now = s.now();
     let mut g = net.lock();
-    if !g.fast.as_ref().is_some_and(|p| p.gen == gen) {
+    if g.fast.as_ref().is_none_or(|p| p.gen != gen) {
         return; // Superseded by a materialize.
     }
     let plan = g.fast.take().expect("plan checked above");

@@ -59,7 +59,10 @@ fn sample_key(ev: &Event) -> Option<Sample> {
     }
 }
 
-fn flow_key(ev: &Event) -> Option<(&'static str, u64, u64, u64)> {
+/// `(start|finish, channel, t_ns, bytes)` — one flow lifecycle edge.
+type FlowEdge = (&'static str, u64, u64, u64);
+
+fn flow_key(ev: &Event) -> Option<FlowEdge> {
     match ev {
         Event::FlowStart {
             channel,
@@ -84,7 +87,7 @@ fn probed_transfer(
     buf: u64,
     pacing: bool,
     fast: bool,
-) -> (Vec<Sample>, Vec<(&'static str, u64, u64, u64)>, u64) {
+) -> (Vec<Sample>, Vec<FlowEdge>, u64) {
     let (net, na, nb) = wan_pair(buf);
     net.set_bulk_fast_path(fast);
     let sink = Arc::new(RingSink::new(1 << 20));

@@ -1,0 +1,359 @@
+//! `repro golden` — golden-run digests: the mechanical guard on the
+//! simulator's bit-reproducibility claim.
+//!
+//! Each scenario below wires a representative experiment through the
+//! [`Scenario`] builder with a [`DigestSink`] attached, folds the full
+//! structured event stream plus the run's closing scalars (elapsed time,
+//! per-rank times, every `RankCtx::record` measurement, the quiescence
+//! flag) into one 128-bit digest, and compares it against the committed
+//! corpus under `results/golden/`. Any change to a tuning constant, a
+//! protocol decision, or an event emission — however small — moves the
+//! digest and fails `repro golden check` with the offending scenario
+//! named.
+//!
+//! `repro golden record` re-records the corpus after an *intentional*
+//! behaviour change; the diff of `results/golden/*.json` then documents
+//! exactly which scenarios moved (see DESIGN.md §10).
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use desim::obs::digest::DigestSink;
+use desim::SimTime;
+use gridapps::Ray2MeshConfig;
+use mpisim::{FaultPlan, FaultPolicy, MpiImpl, RankCtx, RunReport};
+use netsim::Grid5000Site;
+use npb::{NasBenchmark, NasClass, NasRun};
+
+use crate::scenario::Scenario;
+use crate::util::{Scope, TuningLevel};
+
+/// One recomputed golden entry.
+pub struct GoldenRecord {
+    /// Scenario name (also the corpus file stem).
+    pub scenario: &'static str,
+    /// 128-bit digest, 32 hex digits.
+    pub digest: String,
+    /// Structured events folded into the digest.
+    pub events: u64,
+    /// Summed virtual elapsed time over the scenario's sub-runs, ns.
+    pub elapsed_ns: u64,
+}
+
+/// Fold a finished run's closing scalars into the digest: a label
+/// separating sub-runs, the elapsed and per-rank times, every recorded
+/// measurement, and the quiescence flag. Returns the run's elapsed ns.
+fn seal(sink: &DigestSink, label: &str, report: &RunReport) -> u64 {
+    sink.absorb_str(label);
+    let elapsed = report.elapsed.as_nanos();
+    sink.absorb_u64(elapsed);
+    for d in &report.per_rank {
+        sink.absorb_u64(d.as_nanos());
+    }
+    for (rank, key, value) in &report.records {
+        sink.absorb_u64(*rank as u64);
+        sink.absorb_str(key);
+        sink.absorb_f64(*value);
+    }
+    sink.absorb_u64(report.clean as u64);
+    elapsed
+}
+
+/// The grid ping-pong of Figs. 3/6/7: three sizes spanning eager, small
+/// rendezvous, and the 64 MB bulk fast path, fully tuned MPICH2.
+fn golden_pingpong(sink: &Arc<DigestSink>) -> u64 {
+    let report = Scenario::pair(Scope::Grid, TuningLevel::FullyTuned, MpiImpl::Mpich2)
+        .recorder(sink.clone())
+        .run(|ctx: &mut RankCtx| {
+            const TAG: u64 = 1;
+            for bytes in [1u64 << 10, 1 << 20, 64 << 20] {
+                for _ in 0..3 {
+                    if ctx.rank() == 0 {
+                        let t0 = ctx.now();
+                        ctx.send(1, bytes, TAG);
+                        ctx.recv(1, TAG);
+                        ctx.record("one_way", ctx.now().since(t0).as_secs_f64() / 2.0);
+                    } else {
+                        ctx.recv(0, TAG);
+                        ctx.send(0, bytes, TAG);
+                    }
+                }
+            }
+        })
+        .expect("golden pingpong completes");
+    seal(sink, "pingpong", &report)
+}
+
+/// The Fig. 9 slow-start mechanism: one 16 MB WAN transfer per kernel
+/// configuration (untuned, tuned, tuned + GridMPI pacing), cwnd samples
+/// and all.
+fn golden_slowstart(sink: &Arc<DigestSink>) -> u64 {
+    let mut total = 0;
+    for (label, level, id) in [
+        ("untuned", TuningLevel::Default, MpiImpl::Mpich2),
+        ("tuned_unpaced", TuningLevel::TcpTuned, MpiImpl::Mpich2),
+        ("tuned_paced", TuningLevel::TcpTuned, MpiImpl::GridMpi),
+    ] {
+        let report = Scenario::pair(Scope::Grid, level, id)
+            .recorder(sink.clone())
+            .run(|ctx: &mut RankCtx| {
+                const TAG: u64 = 1;
+                if ctx.rank() == 0 {
+                    ctx.send(1, 16 << 20, TAG);
+                } else {
+                    ctx.recv(0, TAG);
+                }
+            })
+            .expect("golden slowstart completes");
+        total += seal(sink, label, &report);
+    }
+    total
+}
+
+/// Table 4's 1-byte latency: every implementation, cluster and grid, the
+/// software-overhead model in isolation.
+fn golden_table4(sink: &Arc<DigestSink>) -> u64 {
+    let mut total = 0;
+    for scope in [Scope::Cluster, Scope::Grid] {
+        for id in MpiImpl::ALL {
+            let report = Scenario::pair(scope, TuningLevel::Default, id)
+                .recorder(sink.clone())
+                .run(|ctx: &mut RankCtx| {
+                    const TAG: u64 = 1;
+                    for _ in 0..5 {
+                        if ctx.rank() == 0 {
+                            let t0 = ctx.now();
+                            ctx.send(1, 1, TAG);
+                            ctx.recv(1, TAG);
+                            ctx.record("one_way", ctx.now().since(t0).as_secs_f64() / 2.0);
+                        } else {
+                            ctx.recv(0, TAG);
+                            ctx.send(0, 1, TAG);
+                        }
+                    }
+                })
+                .expect("golden table4 completes");
+            total += seal(sink, id.name(), &report);
+        }
+    }
+    total
+}
+
+/// The NPB machinery on the 8+8 grid: CG (point-to-point transposes) and
+/// FT (all-to-all collectives), class S quick runs.
+fn golden_nas(sink: &Arc<DigestSink>) -> u64 {
+    let mut total = 0;
+    for bench in [NasBenchmark::Cg, NasBenchmark::Ft] {
+        let run = NasRun::quick(bench, NasClass::S);
+        let report = Scenario::npb(8, 8, 8, TuningLevel::FullyTuned, MpiImpl::GridMpi)
+            .recorder(sink.clone())
+            .run(run.program())
+            .expect("golden NAS completes");
+        total += seal(sink, bench.name(), &report);
+        // The full-run extrapolation is part of the contract too.
+        sink.absorb_u64(run.estimate(&report).as_nanos());
+    }
+    total
+}
+
+/// The §4.4 master/worker application over four sites.
+fn golden_ray2mesh(sink: &Arc<DigestSink>) -> u64 {
+    let cfg = Ray2MeshConfig::small();
+    let report = Scenario::four_sites(2, Grid5000Site::ALL[0], MpiImpl::GridMpi)
+        .recorder(sink.clone())
+        .run(cfg.program())
+        .expect("golden ray2mesh completes");
+    seal(sink, "ray2mesh", &report)
+}
+
+/// The fault-injection stack: a lossy 16 MB WAN transfer (seeded loss
+/// RNG, recovery machinery, RTO path) and the fault-tolerant ray2mesh
+/// surviving two mid-trace kills.
+fn golden_faults(sink: &Arc<DigestSink>) -> u64 {
+    let mut total = 0;
+    let report = Scenario::pair(Scope::Grid, TuningLevel::TcpTuned, MpiImpl::Mpich2)
+        .faults(FaultPlan::new().with_seed(42).with_wan_loss(1e-3))
+        .recorder(sink.clone())
+        .run(|ctx: &mut RankCtx| {
+            const TAG: u64 = 7;
+            if ctx.rank() == 0 {
+                ctx.send(1, 16 << 20, TAG);
+            } else {
+                ctx.recv(0, TAG);
+            }
+        })
+        .expect("golden lossy transfer completes");
+    total += seal(sink, "lossy_wan", &report);
+
+    let cfg = Ray2MeshConfig {
+        total_rays: 20_000,
+        ..Ray2MeshConfig::small()
+    };
+    let plan = FaultPlan::new()
+        .with_seed(7)
+        .with_wan_loss(5e-4)
+        .kill_rank(3, SimTime::from_nanos(1_000_000_000))
+        .kill_rank(6, SimTime::from_nanos(2_000_000_000));
+    let report = Scenario::four_sites(2, Grid5000Site::ALL[0], MpiImpl::GridMpi)
+        .faults(plan)
+        .recorder(sink.clone())
+        .run(cfg.program_ft(FaultPolicy::grid_default()))
+        .expect("golden FT ray2mesh completes");
+    total += seal(sink, "ft_ray2mesh", &report);
+    total
+}
+
+/// A golden scenario runner: feeds the sink, returns total elapsed ns.
+type GoldenFn = fn(&Arc<DigestSink>) -> u64;
+
+/// The corpus: scenario name → runner. Order is the check/record order.
+pub const SCENARIOS: &[(&str, GoldenFn)] = &[
+    ("pingpong", golden_pingpong),
+    ("slowstart", golden_slowstart),
+    ("table4", golden_table4),
+    ("nas", golden_nas),
+    ("ray2mesh", golden_ray2mesh),
+    ("faults", golden_faults),
+];
+
+/// Recompute one scenario's digest.
+pub fn run_scenario(name: &'static str, f: fn(&Arc<DigestSink>) -> u64) -> GoldenRecord {
+    let sink = Arc::new(DigestSink::new());
+    let elapsed_ns = f(&sink);
+    GoldenRecord {
+        scenario: name,
+        digest: sink.value().to_string(),
+        events: sink.events(),
+        elapsed_ns,
+    }
+}
+
+fn corpus_path(dir: &Path, scenario: &str) -> PathBuf {
+    dir.join(format!("{scenario}.json"))
+}
+
+fn write_record(dir: &Path, rec: &GoldenRecord) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let body = format!(
+        "{{\n  \"scenario\": {},\n  \"digest\": {},\n  \"events\": {},\n  \"elapsed_ns\": {}\n}}\n",
+        crate::json_str(rec.scenario),
+        crate::json_str(&rec.digest),
+        rec.events,
+        rec.elapsed_ns
+    );
+    std::fs::write(corpus_path(dir, rec.scenario), body)
+}
+
+/// A committed golden entry, parsed back from the corpus.
+struct StoredRecord {
+    digest: String,
+    events: u64,
+    elapsed_ns: u64,
+}
+
+fn read_record(dir: &Path, scenario: &str) -> Result<StoredRecord, String> {
+    let path = corpus_path(dir, scenario);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read {}: {e} (run `repro golden record`?)",
+            path.display()
+        )
+    })?;
+    let v = desim::obs::json::parse(&text)
+        .map_err(|(pos, msg)| format!("{}: invalid JSON at byte {pos}: {msg}", path.display()))?;
+    let field = |key: &str| {
+        v.get(key)
+            .ok_or_else(|| format!("{}: missing field {key:?}", path.display()))
+    };
+    Ok(StoredRecord {
+        digest: field("digest")?
+            .as_str()
+            .ok_or_else(|| format!("{}: \"digest\" is not a string", path.display()))?
+            .to_string(),
+        events: field("events")?
+            .as_u64()
+            .ok_or_else(|| format!("{}: \"events\" is not an integer", path.display()))?,
+        elapsed_ns: field("elapsed_ns")?
+            .as_u64()
+            .ok_or_else(|| format!("{}: \"elapsed_ns\" is not an integer", path.display()))?,
+    })
+}
+
+/// `repro golden record|check [--dir DIR]`.
+pub fn cmd_golden(args: &[String]) {
+    let mode = args.get(1).map(String::as_str);
+    let dir = args
+        .iter()
+        .position(|a| a == "--dir")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| PathBuf::from("results/golden"), PathBuf::from);
+    match mode {
+        Some("record") => {
+            crate::header("Golden corpus: recording run digests");
+            for &(name, f) in SCENARIOS {
+                let rec = run_scenario(name, f);
+                write_record(&dir, &rec)
+                    .unwrap_or_else(|e| panic!("cannot write golden record for {name}: {e}"));
+                println!(
+                    "{:<10} digest {} ({} events, {:.3}s simulated) -> {}",
+                    rec.scenario,
+                    rec.digest,
+                    rec.events,
+                    rec.elapsed_ns as f64 / 1e9,
+                    corpus_path(&dir, name).display()
+                );
+            }
+        }
+        Some("check") => {
+            crate::header("Golden corpus: checking run digests");
+            let mut failures: Vec<&str> = Vec::new();
+            for &(name, f) in SCENARIOS {
+                let got = run_scenario(name, f);
+                match read_record(&dir, name) {
+                    Err(msg) => {
+                        println!("{name:<10} FAIL  {msg}");
+                        failures.push(name);
+                    }
+                    Ok(want) if want.digest == got.digest && want.events == got.events => {
+                        println!(
+                            "{:<10} ok    digest {} ({} events)",
+                            name, got.digest, got.events
+                        );
+                    }
+                    Ok(want) => {
+                        println!(
+                            "{name:<10} FAIL  behaviour diverged from the recorded golden run:"
+                        );
+                        println!(
+                            "           digest     {} (want {})",
+                            got.digest, want.digest
+                        );
+                        println!(
+                            "           events     {} (want {})",
+                            got.events, want.events
+                        );
+                        println!(
+                            "           elapsed_ns {} (want {})",
+                            got.elapsed_ns, want.elapsed_ns
+                        );
+                        failures.push(name);
+                    }
+                }
+            }
+            if !failures.is_empty() {
+                eprintln!(
+                    "\ngolden check FAILED for: {}\n\
+                     If the behaviour change is intentional, re-record with \
+                     `repro golden record` and commit the corpus diff.",
+                    failures.join(", ")
+                );
+                std::process::exit(1);
+            }
+            println!("\ngolden check passed ({} scenarios)", SCENARIOS.len());
+        }
+        _ => {
+            eprintln!("usage: repro golden <record|check> [--dir DIR]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -6,6 +6,8 @@ mod ablation;
 mod analysis;
 mod faults;
 mod g2;
+mod golden;
+mod guidelines;
 mod heterogeneity;
 mod methodology;
 mod nas;
@@ -159,7 +161,9 @@ fn main() {
         }
         "cwnd" => slowstart::cmd_cwnd(),
         "faults" => faults::cmd_faults(),
-        "validate" => cmd_validate(args.get(1).map(String::as_str)),
+        "golden" => golden::cmd_golden(&args),
+        "guidelines" => guidelines::cmd_guidelines(),
+        "validate" => cmd_validate(&args[1..]),
         "all" => {
             cmd_testbed();
             cmd_table1();
@@ -191,18 +195,36 @@ fn main() {
             eprintln!(
                 "usage: repro <table1|table2|table4|table5|table6|table7|\
                  fig3|fig5|fig6|fig7|fig9|fig10|fig11|fig12|fig13|testbed|ablation|g2|heterogeneity|perturbation|simri|\
-                 utilization|placement|scaling|trace [BENCH]|cwnd|faults|validate FILE|all> \
+                 utilization|placement|scaling|trace [BENCH]|cwnd|faults|\
+                 golden <record|check> [--dir DIR]|guidelines|\
+                 validate FILE [--require-event NAME]|all> \
                  [--class-a] [--dat DIR] [--trace-out FILE] [--metrics FILE]"
             );
         }
     }
 }
 
-/// `repro validate FILE`: check that an exported trace or metrics file is
-/// well-formed JSON (std-only RFC 8259 validator, no external tools).
-fn cmd_validate(path: Option<&str>) {
+/// `repro validate FILE [--require-event NAME ...]`: check that an
+/// exported trace or metrics file is well-formed JSON (std-only RFC 8259
+/// validator, no external tools), and — for each `--require-event` — that
+/// the trace actually contains an *event* with that name. Unlike a bare
+/// `grep`, the check looks only at `"name"` fields of trace objects, so a
+/// string that happens to appear in some unrelated field cannot satisfy
+/// it.
+fn cmd_validate(args: &[String]) {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .map(String::as_str);
+    let required: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--require-event")
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect();
     let Some(path) = path else {
-        eprintln!("usage: repro validate FILE");
+        eprintln!("usage: repro validate FILE [--require-event NAME ...]");
         std::process::exit(2);
     };
     let text = match std::fs::read_to_string(path) {
@@ -212,12 +234,62 @@ fn cmd_validate(path: Option<&str>) {
             std::process::exit(1);
         }
     };
-    match desim::obs::json::validate(&text) {
-        Ok(()) => println!("{path}: valid JSON ({} bytes)", text.len()),
+    if required.is_empty() {
+        match desim::obs::json::validate(&text) {
+            Ok(()) => println!("{path}: valid JSON ({} bytes)", text.len()),
+            Err((pos, msg)) => {
+                eprintln!("{path}: invalid JSON at byte {pos}: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let doc = match desim::obs::json::parse(&text) {
+        Ok(v) => v,
         Err((pos, msg)) => {
             eprintln!("{path}: invalid JSON at byte {pos}: {msg}");
             std::process::exit(1);
         }
+    };
+    println!("{path}: valid JSON ({} bytes)", text.len());
+    let mut missing = Vec::new();
+    for name in required {
+        if event_named(&doc, name) {
+            println!("{path}: has event {name:?}");
+        } else {
+            eprintln!("{path}: MISSING required event {name:?}");
+            missing.push(name);
+        }
+    }
+    if !missing.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// True if `doc` contains (at any depth) an object whose `"name"` is
+/// `want` exactly, or `want` followed by a ` #subject` suffix (the form
+/// fault instants use in the Chrome trace, e.g. `"rank_fail #3"`).
+fn event_named(doc: &desim::obs::json::Value, want: &str) -> bool {
+    use desim::obs::json::Value;
+    let name_matches = |name: &str| {
+        name == want
+            || name
+                .strip_prefix(want)
+                .is_some_and(|rest| rest.starts_with(" #"))
+    };
+    match doc {
+        Value::Obj(members) => {
+            if doc
+                .get("name")
+                .and_then(Value::as_str)
+                .is_some_and(name_matches)
+            {
+                return true;
+            }
+            members.iter().any(|(_, v)| event_named(v, want))
+        }
+        Value::Arr(items) => items.iter().any(|v| event_named(v, want)),
+        _ => false,
     }
 }
 
@@ -426,7 +498,7 @@ fn cmd_table5() {
 }
 
 /// Steady-state one-way time for `bytes` with a forced protocol mode.
-fn timed_mode(id: MpiImpl, scope: Scope, bytes: u64, threshold: Option<u64>) -> f64 {
+pub(crate) fn timed_mode(id: MpiImpl, scope: Scope, bytes: u64, threshold: Option<u64>) -> f64 {
     let level = TuningLevel::TcpTuned;
     let mut tuning = level.tuning(id);
     tuning.eager_threshold = threshold;

@@ -1,0 +1,137 @@
+//! Stability of the golden-run digest across everything that is allowed
+//! to vary between two runs of the same scenario.
+//!
+//! The digest is the foundation of `repro golden check`: it must be a
+//! pure function of the simulated behaviour. These tests pin the three
+//! invariances that make that true — rerunning in the same process,
+//! toggling the TCP bulk fast path (`Network::set_bulk_fast_path` is the
+//! in-process form of `NETSIM_NO_FAST_PATH=1`, which is latched once per
+//! process), and attaching additional observers via [`Tee`] — and one
+//! sensitivity: actually changing the workload must change the digest.
+
+use std::sync::Arc;
+
+use grid_mpi_lab::desim::obs::Recorder;
+use grid_mpi_lab::desim::{DigestSink, DigestValue, RingSink, Tee};
+use grid_mpi_lab::mpisim::{FaultPlan, MpiImpl, MpiJob, RankCtx, Tuning};
+use grid_mpi_lab::netsim::{grid5000_pair, KernelConfig, Network};
+
+/// One WAN ping-pong driven through the full recorder pipeline; returns
+/// the digest and the number of events it folded in.
+fn pingpong_digest(
+    bytes: u64,
+    fast: bool,
+    seed: Option<u64>,
+    extra: Option<Arc<dyn Recorder>>,
+) -> (DigestValue, u64) {
+    let (mut topo, rennes, sophia) = grid5000_pair(1);
+    topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+    let mut placement = rennes;
+    placement.extend(sophia);
+    let net = Network::new(topo);
+    net.set_bulk_fast_path(fast);
+    let sink = Arc::new(DigestSink::new());
+    let rec: Arc<dyn Recorder> = match extra {
+        Some(extra) => Arc::new(Tee::new(vec![sink.clone(), extra])),
+        None => sink.clone(),
+    };
+    let mut job = MpiJob::new(net, placement, MpiImpl::Mpich2)
+        .with_tuning(Tuning::paper_tuned(MpiImpl::Mpich2))
+        .with_recorder(rec)
+        .with_tracing();
+    if let Some(seed) = seed {
+        job = job.with_faults(FaultPlan::new().with_seed(seed).with_wan_loss(1e-3));
+    }
+    let report = job
+        .run(move |ctx: &mut RankCtx| {
+            let peer = 1 - ctx.rank();
+            for _ in 0..3 {
+                if ctx.rank() == 0 {
+                    ctx.send(peer, bytes, 7);
+                    ctx.recv(peer, 7);
+                } else {
+                    ctx.recv(peer, 7);
+                    ctx.send(peer, bytes, 7);
+                }
+            }
+        })
+        .expect("pingpong completes");
+    // Fold the final times in too, exactly like the golden corpus does.
+    sink.absorb_u64(report.elapsed.as_nanos());
+    for d in &report.per_rank {
+        sink.absorb_u64(d.as_nanos());
+    }
+    (sink.value(), sink.events())
+}
+
+/// Two in-process runs of the identical scenario produce the identical
+/// digest — and a real one (events were actually folded in).
+#[test]
+fn same_run_same_digest() {
+    let (a, ev_a) = pingpong_digest(4 << 20, true, None, None);
+    let (b, ev_b) = pingpong_digest(4 << 20, true, None, None);
+    assert!(ev_a > 0, "digest saw no events — recorder not wired?");
+    assert_eq!(ev_a, ev_b, "reruns folded different event counts");
+    assert_eq!(a, b, "identical scenario reruns must digest identically");
+}
+
+/// The closed-form bulk fast path is an engine optimisation, not a
+/// behaviour change: digests are identical with it on and off.
+#[test]
+fn fast_path_does_not_change_digest() {
+    let (slow, _) = pingpong_digest(4 << 20, false, None, None);
+    let (fast, _) = pingpong_digest(4 << 20, true, None, None);
+    assert_eq!(
+        slow, fast,
+        "digest differs across NETSIM_NO_FAST_PATH — an engine detail leaked \
+         into the canonical event encoding"
+    );
+}
+
+/// Tee-ing a RingSink (or any other observer) alongside the digest does
+/// not perturb it, and the ring actually sees the same events.
+#[test]
+fn extra_observers_do_not_change_digest() {
+    let (alone, ev_alone) = pingpong_digest(4 << 20, true, None, None);
+    let ring = Arc::new(RingSink::new(1 << 18));
+    let (teed, ev_teed) = pingpong_digest(4 << 20, true, None, Some(ring.clone()));
+    assert_eq!(alone, teed, "an extra Tee'd observer changed the digest");
+    assert_eq!(ev_alone, ev_teed);
+    assert_eq!(
+        ring.events().len() as u64,
+        ev_teed,
+        "the Tee'd ring saw a different event stream than the digest"
+    );
+}
+
+/// Deterministic fault injection digests deterministically: same seed =>
+/// same digest, different seed => different digest.
+#[test]
+fn fault_seed_determinism() {
+    let (a, _) = pingpong_digest(4 << 20, true, Some(42), None);
+    let (b, _) = pingpong_digest(4 << 20, true, Some(42), None);
+    let (c, _) = pingpong_digest(4 << 20, true, Some(43), None);
+    assert_eq!(a, b, "same loss seed must digest identically");
+    assert_ne!(a, c, "different loss seeds should perturb the digest");
+}
+
+/// Sensitivity: the digest is not a constant — changing the workload
+/// (message size) changes it.
+#[test]
+fn different_workload_different_digest() {
+    let (small, _) = pingpong_digest(1 << 20, true, None, None);
+    let (big, _) = pingpong_digest(4 << 20, true, None, None);
+    assert_ne!(
+        small, big,
+        "digest failed to distinguish 1 MB from 4 MB transfers"
+    );
+}
+
+/// The hex round trip used by the golden corpus files.
+#[test]
+fn digest_value_roundtrips_through_hex() {
+    let (d, _) = pingpong_digest(1 << 20, true, None, None);
+    let s = d.to_string();
+    assert_eq!(s.len(), 32, "digest renders as 32 hex digits");
+    assert_eq!(DigestValue::parse(&s), Some(d));
+}
