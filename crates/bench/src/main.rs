@@ -13,9 +13,9 @@
 //! ```
 //!
 //! Groups: `kernel`, `tcp`, `pingpong`, `collectives`, `npb`, `ray2mesh`,
-//! `fastpath`, `obs` (observability overhead), `faults` (lossy-path and
-//! fault-tolerance overhead), `smoke` (a quick CI subset). No groups =
-//! all of them except `smoke`.
+//! `fastpath`, `obs` (observability overhead), `blame` (post-hoc
+//! analyzer cost), `faults` (lossy-path and fault-tolerance overhead),
+//! `smoke` (a quick CI subset). No groups = all of them except `smoke`.
 //!
 //! The `smoke` group doubles as a regression gate: after it runs, every
 //! `smoke/*` line in the baseline file (`--baseline`, default
@@ -35,7 +35,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bench::{grid_job, pingpong_once, tuned_pair};
-use desim::{completion, Metrics, RingSink, Sim, SimDuration, SimTime};
+use desim::{completion, Analysis, Collector, Metrics, RingSink, Sim, SimDuration, SimTime};
 use gridapps::Ray2MeshConfig;
 use mpisim::{FaultPlan, FaultPolicy, MpiImpl, MpiJob, RankCtx};
 use netsim::{grid5000_four_sites, KernelConfig, Network, SockBufRequest};
@@ -152,6 +152,7 @@ fn main() {
         "ray2mesh",
         "fastpath",
         "obs",
+        "blame",
         "faults",
     ];
     let groups: Vec<&str> = if groups.is_empty() {
@@ -174,6 +175,7 @@ fn main() {
             "ray2mesh" => group_ray2mesh(&mut h),
             "fastpath" => group_fastpath(&mut h),
             "obs" => group_obs(&mut h),
+            "blame" => group_blame(&mut h),
             "faults" => group_faults(&mut h),
             "smoke" => group_smoke(&mut h),
             other => eprintln!("unknown group: {other}"),
@@ -569,6 +571,47 @@ fn group_obs(h: &mut Harness) {
         timed[0],
         timed[1],
         timed[1] / timed[0]
+    ));
+}
+
+/// Blame-analysis cost: capture one 64 MB grid ping-pong's event stream
+/// through a [`Collector`], then time `Analysis::from_events` alone on
+/// the captured stream — the post-hoc analyzer's cost per event — plus
+/// the end-to-end capture-and-analyze variant for the live-tee case.
+fn group_blame(h: &mut Harness) {
+    fn captured() -> Vec<desim::obs::Event> {
+        let collector = Arc::new(Collector::new());
+        grid_job(2, MpiImpl::Mpich2)
+            .with_recorder(collector.clone())
+            .run(move |ctx: &mut RankCtx| {
+                const TAG: u64 = 1;
+                for _ in 0..2 {
+                    if ctx.rank() == 0 {
+                        ctx.send(1, 64 << 20, TAG);
+                        ctx.recv(1, TAG);
+                    } else {
+                        ctx.recv(0, TAG);
+                        ctx.send(0, 64 << 20, TAG);
+                    }
+                }
+            })
+            .expect("pingpong completes");
+        collector.events()
+    }
+    let events = captured();
+    let n_events = events.len() as u64;
+    h.bench("blame/analyze_pingpong_64M", move || {
+        black_box(Analysis::from_events(&events, mpisim::HEADER_BYTES));
+        n_events
+    });
+    h.bench("blame/capture_and_analyze_pingpong_64M", || {
+        let events = captured();
+        let n = events.len() as u64;
+        black_box(Analysis::from_events(&events, mpisim::HEADER_BYTES));
+        n
+    });
+    h.note(&format!(
+        "{{\"name\": \"blame/stream_size_pingpong_64M\", \"events\": {n_events}}}"
     ));
 }
 

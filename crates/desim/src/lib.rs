@@ -47,6 +47,7 @@ mod time;
 pub use completion::{completion, Completion, Trigger};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use kernel::{RunStats, Sched, Sim, SimError};
+pub use obs::analysis::{Analysis, Collector, CriticalPath, FlowBlame, MessageBlame, RankProfile};
 pub use obs::{DigestSink, DigestValue, Event, Metrics, Recorder, RingSink, Tee};
 pub use process::{Proc, ProcId};
 pub use time::{SimDuration, SimTime};

@@ -204,6 +204,7 @@ impl Digest {
                 bytes,
                 start_ns,
                 end_ns,
+                msg_id,
             } => {
                 self.absorb_u64(*rank);
                 self.absorb_str(op);
@@ -211,6 +212,7 @@ impl Digest {
                 self.absorb_u64(*bytes);
                 self.absorb_u64(*start_ns);
                 self.absorb_u64(*end_ns);
+                self.absorb_u64(*msg_id);
             }
             Event::Phase { rank, name, t_ns } => {
                 self.absorb_u64(*rank);

@@ -96,15 +96,17 @@ pub fn json_line(ev: &Event) -> String {
             bytes,
             start_ns,
             end_ns,
+            msg_id,
         } => format!(
             "{{\"kind\":\"mpi_span\",\"rank\":{},\"op\":{},\"peer\":{},\"bytes\":{},\
-             \"start_ns\":{},\"end_ns\":{}}}",
+             \"start_ns\":{},\"end_ns\":{},\"msg_id\":{}}}",
             rank,
             json_string(op),
             peer,
             bytes,
             start_ns,
-            end_ns
+            end_ns,
+            msg_id
         ),
         Event::Phase { rank, name, t_ns } => format!(
             "{{\"kind\":\"phase\",\"rank\":{},\"name\":{},\"t_ns\":{}}}",
@@ -213,19 +215,21 @@ pub fn chrome_trace(events: &[Event]) -> String {
                 bytes,
                 start_ns,
                 end_ns,
+                msg_id,
             } => {
                 seen_rank(&mut rows, &mut rank_rows, *rank);
                 let dur_ns = end_ns.saturating_sub(*start_ns);
                 rows.push(format!(
                     "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"name\":{},\"ts\":{},\"dur\":{},\
-                     \"args\":{{\"peer\":{},\"bytes\":{}}}}}",
+                     \"args\":{{\"peer\":{},\"bytes\":{},\"msg_id\":{}}}}}",
                     PID_RANKS,
                     rank,
                     json_string(op),
                     us(*start_ns),
                     us(dur_ns),
                     peer,
-                    bytes
+                    bytes,
+                    msg_id
                 ));
             }
             Event::Phase { rank, name, t_ns } => {
@@ -381,6 +385,7 @@ mod tests {
                 bytes: 1024,
                 start_ns: 0,
                 end_ns: 200_000,
+                msg_id: 7,
             },
             Event::Phase {
                 rank: 1,

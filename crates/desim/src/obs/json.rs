@@ -541,4 +541,39 @@ mod tests {
         assert_eq!(parse("-1").unwrap().as_u64(), None);
         assert_eq!(parse("1e300").unwrap().as_u64(), None);
     }
+
+    #[test]
+    fn parse_deeply_nested_arrays_below_the_guard() {
+        // 100 levels: well below MAX_DEPTH (128) but deep enough that a
+        // naive recursive descent without a guard would still be fine —
+        // the point is the tree comes back intact, not just validated.
+        let depth = 100;
+        let text = "[".repeat(depth) + "42" + &"]".repeat(depth);
+        let mut v = parse(&text).unwrap();
+        for _ in 0..depth {
+            let arr = v.as_arr().expect("still an array");
+            assert_eq!(arr.len(), 1);
+            v = arr[0].clone();
+        }
+        assert_eq!(v.as_u64(), Some(42));
+        // One past the guard still fails, parse and validate alike.
+        let over = "[".repeat(129) + &"]".repeat(129);
+        assert!(parse(&over).is_err());
+    }
+
+    #[test]
+    fn parse_exponent_numbers() {
+        assert_eq!(parse("1e-9").unwrap().as_f64(), Some(1e-9));
+        assert_eq!(parse("-2.5E+3").unwrap().as_f64(), Some(-2500.0));
+        assert_eq!(parse("2.5e3").unwrap().as_u64(), Some(2500));
+        assert_eq!(parse("1E2").unwrap().as_f64(), Some(100.0));
+        // Exponent needs digits; a sign alone is malformed.
+        assert!(parse("1e+").is_err());
+        assert!(parse("1E-").is_err());
+        // Nested in structure, the value survives the round trip.
+        let v = parse(r#"{"dt": [1e-9, -2.5E+3]}"#).unwrap();
+        let arr = v.get("dt").and_then(Value::as_arr).unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1e-9));
+        assert_eq!(arr[1].as_f64(), Some(-2.5e3));
+    }
 }

@@ -18,6 +18,7 @@
 //! payloads, so the bus has no dependency on the producing crates and the
 //! exporters need no type knowledge beyond this module.
 
+pub mod analysis;
 pub mod digest;
 pub mod export;
 pub mod json;
@@ -107,6 +108,10 @@ pub enum Event {
         start_ns: u64,
         /// Span end, ns.
         end_ns: u64,
+        /// Deterministic message id pairing a send span with its matching
+        /// receive span (0 when the span carries no point-to-point
+        /// message: compute, collectives).
+        msg_id: u64,
     },
     /// An application-level phase marker (instantaneous).
     Phase {

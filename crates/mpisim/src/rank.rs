@@ -20,16 +20,28 @@ use crate::world::{MsgInfo, Posted, RecvDone, WorldInner, CTRL_BYTES, HEADER_BYT
 pub struct Request(ReqInner);
 
 enum ReqInner {
-    /// Already complete (eager sends).
-    Done(Option<MsgInfo>),
-    /// A rendezvous send in flight.
-    Send(Completion<Result<(), MpiError>>),
+    /// Already complete (eager sends); carries the send's message id.
+    Done(u64, Option<MsgInfo>),
+    /// A rendezvous send in flight (message id + delivery completion).
+    Send(u64, Completion<Result<(), MpiError>>),
     /// A receive in flight; the id (when present) lets a fault policy's
     /// timeout cancel the still-posted receive.
     Recv(Option<u64>, Completion<Result<RecvDone, MpiError>>),
     /// A receive satisfied from the unexpected queue; the copy cost is paid
     /// at wait time.
     RecvImmediate(MsgInfo, SimDuration),
+}
+
+impl Request {
+    /// The message id carried by a send request (0 for receives still in
+    /// flight — their id arrives with the envelope).
+    fn msg_id(&self) -> u64 {
+        match &self.0 {
+            ReqInner::Done(id, _) | ReqInner::Send(id, _) => *id,
+            ReqInner::Recv(..) => 0,
+            ReqInner::RecvImmediate(info, _) => info.msg_id,
+        }
+    }
 }
 
 /// Execution context handed to each rank of an MPI program.
@@ -103,12 +115,12 @@ impl RankCtx {
     pub fn compute(&self, d: SimDuration) {
         let t0 = self.proc.now();
         self.proc.advance(d);
-        self.trace(TraceKind::Compute, None, 0, t0);
+        self.trace(TraceKind::Compute, None, 0, t0, 0);
     }
 
     /// Append a trace span ending now (no-op unless tracing or an
     /// observability recorder is enabled).
-    fn trace(&self, kind: TraceKind, peer: Option<usize>, bytes: u64, start: SimTime) {
+    fn trace(&self, kind: TraceKind, peer: Option<usize>, bytes: u64, start: SimTime, msg_id: u64) {
         if let Some(rec) = &self.world.obs {
             rec.record(&desim::obs::Event::MpiSpan {
                 rank: self.rank as u64,
@@ -117,6 +129,7 @@ impl RankCtx {
                 bytes,
                 start_ns: start.as_nanos(),
                 end_ns: self.proc.now().as_nanos(),
+                msg_id,
             });
         }
         if let Some(t) = &self.world.trace {
@@ -127,6 +140,7 @@ impl RankCtx {
                 bytes,
                 start_ns: start.as_nanos(),
                 end_ns: self.proc.now().as_nanos(),
+                msg_id,
             });
         }
     }
@@ -180,7 +194,7 @@ impl RankCtx {
         let t0 = self.proc.now();
         let r = self.send_raw(dst, bytes, tag);
         if !self.in_collective {
-            self.trace(TraceKind::Send, Some(dst), bytes, t0);
+            self.trace(TraceKind::Send, Some(dst), bytes, t0, r.msg_id());
         }
         r
     }
@@ -191,17 +205,19 @@ impl RankCtx {
         self.world.stats.lock().record_pair(self.rank, dst, bytes);
         self.pay_overhead(dst);
         let s = self.proc.sched();
+        let msg_id = self.world.next_msg_id(self.rank, dst);
         if bytes <= self.world.eager_threshold {
             self.world.stats.lock().record_wire(bytes + HEADER_BYTES);
-            self.world.eager_send(&s, self.rank, dst, tag, bytes);
-            Request(ReqInner::Done(None))
+            self.world
+                .eager_send(&s, self.rank, dst, tag, bytes, msg_id);
+            Request(ReqInner::Done(msg_id, None))
         } else {
             self.world
                 .stats
                 .lock()
                 .record_wire(bytes + HEADER_BYTES + 2 * CTRL_BYTES);
-            let c = self.world.rndv_send(&s, self.rank, dst, tag, bytes);
-            Request(ReqInner::Send(c))
+            let c = self.world.rndv_send(&s, self.rank, dst, tag, bytes, msg_id);
+            Request(ReqInner::Send(msg_id, c))
         }
     }
 
@@ -306,12 +322,12 @@ impl RankCtx {
     /// receive's timing.
     pub fn try_wait(&mut self, r: Request) -> Result<Option<MsgInfo>, MpiError> {
         match r.0 {
-            ReqInner::Done(info) => Ok(info),
-            ReqInner::Send(c) => {
+            ReqInner::Done(_, info) => Ok(info),
+            ReqInner::Send(msg_id, c) => {
                 let t0 = self.proc.now();
                 let res = c.wait(&self.proc);
                 if !self.in_collective {
-                    self.trace(TraceKind::WaitSend, None, 0, t0);
+                    self.trace(TraceKind::WaitSend, None, 0, t0, msg_id);
                 }
                 res.map(|()| None)
             }
@@ -330,7 +346,13 @@ impl RankCtx {
                     self.proc.advance(done.copy);
                 }
                 if !self.in_collective {
-                    self.trace(TraceKind::Recv, Some(done.info.src), done.info.bytes, t0);
+                    self.trace(
+                        TraceKind::Recv,
+                        Some(done.info.src),
+                        done.info.bytes,
+                        t0,
+                        done.info.msg_id,
+                    );
                 }
                 Ok(Some(done.info))
             }
@@ -340,7 +362,7 @@ impl RankCtx {
                     self.proc.advance(copy);
                 }
                 if !self.in_collective {
-                    self.trace(TraceKind::Recv, Some(info.src), info.bytes, t0);
+                    self.trace(TraceKind::Recv, Some(info.src), info.bytes, t0, info.msg_id);
                 }
                 Ok(Some(info))
             }
@@ -414,7 +436,7 @@ impl RankCtx {
                 "scatter" => "scatter",
                 _ => "collective",
             });
-            self.trace(kind, None, bytes, t0);
+            self.trace(kind, None, bytes, t0, 0);
         }
         r
     }

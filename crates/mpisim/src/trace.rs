@@ -51,6 +51,9 @@ pub struct TraceEvent {
     pub start_ns: u64,
     /// Span end, nanoseconds of virtual time.
     pub end_ns: u64,
+    /// Deterministic message id linking a send span to its matching
+    /// receive span (0 when the span carries no point-to-point message).
+    pub msg_id: u64,
 }
 
 impl TraceEvent {
@@ -185,6 +188,7 @@ mod tests {
             bytes,
             start_ns: a,
             end_ns: b,
+            msg_id: 0,
         }
     }
 

@@ -46,6 +46,10 @@ pub struct MsgInfo {
     pub tag: u64,
     /// Payload bytes.
     pub bytes: u64,
+    /// Deterministic message id assigned at send time (encodes the
+    /// directed rank pair and a per-pair sequence number), pairing the
+    /// sender's and receiver's trace spans without heuristics.
+    pub msg_id: u64,
 }
 
 /// Internal receive completion: the envelope plus any deferred copy cost
@@ -83,11 +87,13 @@ enum Unexpected {
         src: usize,
         tag: u64,
         bytes: u64,
+        msg_id: u64,
     },
     RndvReq {
         src: usize,
         tag: u64,
         bytes: u64,
+        msg_id: u64,
         sender_done: Trigger<Result<(), MpiError>>,
     },
 }
@@ -123,6 +129,10 @@ pub(crate) struct WorldInner {
     /// virtual times `< until` (`SimTime::MAX` = no restart).
     failed: Vec<Mutex<Option<SimTime>>>,
     next_posted_id: AtomicU64,
+    /// Per-directed-pair message sequence counters (`src * n + dst`).
+    /// Ids are assigned at the MPI layer, before any network timing, so
+    /// they are identical with the TCP fast path on or off.
+    msg_seq: Vec<AtomicU64>,
     channels: Mutex<HashMap<(usize, usize, u32), ChannelId>>,
     pub stats: Mutex<CommStats>,
     pub records: Mutex<Vec<(usize, String, f64)>>,
@@ -175,6 +185,7 @@ impl WorldInner {
             matchers: (0..n).map(|_| Mutex::new(RankMatch::default())).collect(),
             failed: (0..n).map(|_| Mutex::new(None)).collect(),
             next_posted_id: AtomicU64::new(1),
+            msg_seq: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
             channels: Mutex::new(HashMap::new()),
             stats: Mutex::new(CommStats::default()),
             records: Mutex::new(Vec::new()),
@@ -186,6 +197,16 @@ impl WorldInner {
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.placement.len()
+    }
+
+    /// Allocate the next message id for the directed pair `src → dst`:
+    /// the pair index in the high 32 bits, a 1-based per-pair sequence
+    /// number in the low 32. Never 0, so 0 can mean "no message".
+    pub(crate) fn next_msg_id(&self, src: usize, dst: usize) -> u64 {
+        let n = self.size();
+        let pair = src * n + dst;
+        let seq = self.msg_seq[pair].fetch_add(1, Ordering::Relaxed) + 1;
+        ((pair as u64) << 32) | (seq & 0xffff_ffff)
     }
 
     /// True if the two ranks live on different sites (WAN path).
@@ -289,14 +310,23 @@ impl WorldInner {
     }
 
     /// Start an eager transmission (sender does not block).
-    pub fn eager_send(self: &Arc<Self>, s: &Sched, src: usize, dst: usize, tag: u64, bytes: u64) {
+    pub fn eager_send(
+        self: &Arc<Self>,
+        s: &Sched,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        bytes: u64,
+        msg_id: u64,
+    ) {
         let w = Arc::clone(self);
         self.data_transfer(s, src, dst, bytes, move |s2| {
-            w.deliver_eager(s2, src, dst, tag, bytes)
+            w.deliver_eager(s2, src, dst, tag, bytes, msg_id)
         });
     }
 
-    fn deliver_eager(&self, s: &Sched, src: usize, dst: usize, tag: u64, bytes: u64) {
+    #[allow(clippy::too_many_arguments)] // protocol state, deliberately flat
+    fn deliver_eager(&self, s: &Sched, src: usize, dst: usize, tag: u64, bytes: u64, msg_id: u64) {
         if self.rank_failed(dst, s.now()) {
             // The destination is dead: the message vanishes on its NIC
             // (buffered-send semantics — the sender completed long ago).
@@ -314,18 +344,28 @@ impl WorldInner {
             pr.tx.fire_from(
                 s,
                 Ok(RecvDone {
-                    info: MsgInfo { src, tag, bytes },
+                    info: MsgInfo {
+                        src,
+                        tag,
+                        bytes,
+                        msg_id,
+                    },
                     copy: SimDuration::ZERO,
                 }),
             );
         } else {
-            m.unexpected
-                .push_back(Unexpected::Eager { src, tag, bytes });
+            m.unexpected.push_back(Unexpected::Eager {
+                src,
+                tag,
+                bytes,
+                msg_id,
+            });
         }
     }
 
     /// Start a rendezvous transmission; the returned completion fires (for
     /// the sender) once the data has been delivered.
+    #[allow(clippy::too_many_arguments)] // protocol state, deliberately flat
     pub fn rndv_send(
         self: &Arc<Self>,
         s: &Sched,
@@ -333,16 +373,18 @@ impl WorldInner {
         dst: usize,
         tag: u64,
         bytes: u64,
+        msg_id: u64,
     ) -> Completion<Result<(), MpiError>> {
         let (stx, srx) = completion();
         let ch = self.channel(src, dst);
         let w = Arc::clone(self);
         self.net.transfer_then(s, ch, CTRL_BYTES, move |s2| {
-            w.deliver_rndv_req(s2, src, dst, tag, bytes, stx)
+            w.deliver_rndv_req(s2, src, dst, tag, bytes, msg_id, stx)
         });
         srx
     }
 
+    #[allow(clippy::too_many_arguments)] // protocol state, deliberately flat
     fn deliver_rndv_req(
         self: &Arc<Self>,
         s: &Sched,
@@ -350,6 +392,7 @@ impl WorldInner {
         dst: usize,
         tag: u64,
         bytes: u64,
+        msg_id: u64,
         sender_done: Trigger<Result<(), MpiError>>,
     ) {
         if self.rank_failed(dst, s.now()) {
@@ -367,12 +410,13 @@ impl WorldInner {
         {
             let pr = m.posted.remove(pos).expect("position valid");
             drop(m);
-            self.rndv_matched(s, src, dst, tag, bytes, sender_done, pr.tx);
+            self.rndv_matched(s, src, dst, tag, bytes, msg_id, sender_done, pr.tx);
         } else {
             m.unexpected.push_back(Unexpected::RndvReq {
                 src,
                 tag,
                 bytes,
+                msg_id,
                 sender_done,
             });
         }
@@ -388,6 +432,7 @@ impl WorldInner {
         dst: usize,
         tag: u64,
         bytes: u64,
+        msg_id: u64,
         sender_done: Trigger<Result<(), MpiError>>,
         recv_tx: Trigger<Result<RecvDone, MpiError>>,
     ) {
@@ -399,7 +444,12 @@ impl WorldInner {
                 recv_tx.fire_from(
                     s3,
                     Ok(RecvDone {
-                        info: MsgInfo { src, tag, bytes },
+                        info: MsgInfo {
+                            src,
+                            tag,
+                            bytes,
+                            msg_id,
+                        },
                         copy: SimDuration::ZERO,
                     }),
                 );
@@ -427,11 +477,21 @@ impl WorldInner {
             let u = m.unexpected.remove(pos).expect("position valid");
             drop(m);
             match u {
-                Unexpected::Eager { src, tag, bytes } => {
+                Unexpected::Eager {
+                    src,
+                    tag,
+                    bytes,
+                    msg_id,
+                } => {
                     // Extra copy out of the temporary MPI buffer (Fig. 4).
                     let copy = SimDuration::from_secs_f64(bytes as f64 / self.profile.copy_rate);
                     Posted::Immediate(RecvDone {
-                        info: MsgInfo { src, tag, bytes },
+                        info: MsgInfo {
+                            src,
+                            tag,
+                            bytes,
+                            msg_id,
+                        },
                         copy,
                     })
                 }
@@ -439,10 +499,11 @@ impl WorldInner {
                     src,
                     tag,
                     bytes,
+                    msg_id,
                     sender_done,
                 } => {
                     let (rtx, rrx) = completion();
-                    self.rndv_matched(s, src, me, tag, bytes, sender_done, rtx);
+                    self.rndv_matched(s, src, me, tag, bytes, msg_id, sender_done, rtx);
                     Posted::Pending { id: None, rx: rrx }
                 }
             }

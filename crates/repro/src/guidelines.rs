@@ -164,6 +164,62 @@ fn ft_loses_no_work() -> Result<String, String> {
     ))
 }
 
+/// Tentpole guideline 1 — the blame layer must *attribute* the untuned
+/// slowdown, not just observe it: on the untuned 64 MB WAN ping-pong the
+/// transfers never leave TCP's slow-start phase (cwnd pinned at the
+/// default socket-buffer window, ssthresh untouched), so their blamed
+/// slow-start share must be strictly larger than the tuned kernel's —
+/// and nonzero in both.
+fn blame_slow_start_share() -> Result<String, String> {
+    let (untuned, tuned) = crate::blame::slow_start_shares();
+    if untuned <= 0.0 {
+        return Err("untuned 64 MB WAN ping-pong blames no slow-start time at all".into());
+    }
+    if tuned <= 0.0 {
+        return Err("tuned run blames zero slow-start time (the ramp still exists)".into());
+    }
+    if untuned <= tuned {
+        return Err(format!(
+            "untuned slow-start share {:.1}% not larger than tuned {:.1}%",
+            untuned * 100.0,
+            tuned * 100.0
+        ));
+    }
+    Ok(format!(
+        "untuned blames {:.1}% of transfer time to slow start vs tuned {:.1}%",
+        untuned * 100.0,
+        tuned * 100.0
+    ))
+}
+
+/// Tentpole guideline 2 — the per-message decomposition must expose the
+/// rendezvous control round trip: at the crossover size, forced
+/// rendezvous blames at least one extra WAN RTT of handshake over forced
+/// eager.
+fn blame_rndv_handshake() -> Result<String, String> {
+    let (topo, rn, nn) = netsim::grid5000_pair(8);
+    let rtt = topo.route(rn[0], nn[0]).rtt.as_secs_f64();
+    let (eager, rndv) = crate::blame::handshake_split();
+    let extra = rndv - eager;
+    if extra < rtt {
+        return Err(format!(
+            "rendezvous handshake {:.2} ms exceeds eager {:.2} ms by only {:.2} ms \
+             (< 1 WAN RTT = {:.2} ms)",
+            rndv * 1e3,
+            eager * 1e3,
+            extra * 1e3,
+            rtt * 1e3
+        ));
+    }
+    Ok(format!(
+        "rendezvous blames {:.2} ms handshake vs eager {:.2} ms (+{:.2} ms >= RTT {:.2} ms)",
+        rndv * 1e3,
+        eager * 1e3,
+        extra * 1e3,
+        rtt * 1e3
+    ))
+}
+
 const GUIDELINES: &[Guideline] = &[
     Guideline {
         name: "eager-rendezvous-crossover",
@@ -185,14 +241,49 @@ const GUIDELINES: &[Guideline] = &[
         claim: "the fault-tolerant master reissues every work set owned by a killed worker",
         check: ft_loses_no_work,
     },
+    Guideline {
+        name: "blame-slow-start-share",
+        claim:
+            "blame attributes more slow-start time to the untuned 64 MB WAN ping-pong than tuned",
+        check: blame_slow_start_share,
+    },
+    Guideline {
+        name: "blame-rndv-handshake",
+        claim: "blame charges rendezvous >= 1 extra WAN RTT of handshake vs eager at the crossover",
+        check: blame_rndv_handshake,
+    },
 ];
 
-/// `repro guidelines`: verify every guideline; non-zero exit naming the
-/// violated ones.
-pub fn cmd_guidelines() {
+/// `repro guidelines [NAME ...]`: verify every guideline (or just the
+/// named subset); non-zero exit naming the violated ones.
+pub fn cmd_guidelines(args: &[String]) {
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(String::as_str)
+        .collect();
+    for w in &wanted {
+        if !GUIDELINES.iter().any(|g| g.name == *w) {
+            eprintln!("unknown guideline {w:?}");
+            eprintln!(
+                "known: {}",
+                GUIDELINES
+                    .iter()
+                    .map(|g| g.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
     crate::header("Performance guidelines: the paper's shapes as assertions");
     let mut failed: Vec<&str> = Vec::new();
+    let mut checked = 0usize;
     for g in GUIDELINES {
+        if !wanted.is_empty() && !wanted.contains(&g.name) {
+            continue;
+        }
+        checked += 1;
         match (g.check)() {
             Ok(detail) => {
                 println!("PASS {:<28} {}", g.name, detail);
@@ -208,5 +299,5 @@ pub fn cmd_guidelines() {
         eprintln!("\nguideline violations: {}", failed.join(", "));
         std::process::exit(1);
     }
-    println!("\nall {} guidelines hold", GUIDELINES.len());
+    println!("\nall {checked} checked guidelines hold");
 }

@@ -4,6 +4,7 @@
 
 mod ablation;
 mod analysis;
+mod blame;
 mod faults;
 mod g2;
 mod golden;
@@ -161,8 +162,9 @@ fn main() {
         }
         "cwnd" => slowstart::cmd_cwnd(),
         "faults" => faults::cmd_faults(),
+        "blame" => blame::cmd_blame(&args[1..]),
         "golden" => golden::cmd_golden(&args),
-        "guidelines" => guidelines::cmd_guidelines(),
+        "guidelines" => guidelines::cmd_guidelines(&args[1..]),
         "validate" => cmd_validate(&args[1..]),
         "all" => {
             cmd_testbed();
@@ -196,7 +198,9 @@ fn main() {
                 "usage: repro <table1|table2|table4|table5|table6|table7|\
                  fig3|fig5|fig6|fig7|fig9|fig10|fig11|fig12|fig13|testbed|ablation|g2|heterogeneity|perturbation|simri|\
                  utilization|placement|scaling|trace [BENCH]|cwnd|faults|\
-                 golden <record|check> [--dir DIR]|guidelines|\
+                 blame [pingpong|nas|ray2mesh|faults] [--trace-in FILE] \
+                 [--emit-events FILE] [--format text|json|dat]|\
+                 golden <record|check> [--dir DIR]|guidelines [NAME ...]|\
                  validate FILE [--require-event NAME]|all> \
                  [--class-a] [--dat DIR] [--trace-out FILE] [--metrics FILE]"
             );
@@ -223,6 +227,7 @@ fn cmd_validate(args: &[String]) {
         .filter_map(|(i, _)| args.get(i + 1))
         .map(String::as_str)
         .collect();
+    let required_total = required.len();
     let Some(path) = path else {
         eprintln!("usage: repro validate FILE [--require-event NAME ...]");
         std::process::exit(2);
@@ -262,6 +267,14 @@ fn cmd_validate(args: &[String]) {
         }
     }
     if !missing.is_empty() {
+        // One closing line naming every absent event, so a CI log shows
+        // the full damage without re-running per name.
+        eprintln!(
+            "{path}: {} of {} required events missing: {}",
+            missing.len(),
+            required_total,
+            missing.join(", ")
+        );
         std::process::exit(1);
     }
 }

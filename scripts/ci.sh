@@ -1,7 +1,7 @@
 #!/bin/sh
 # Staged offline CI for the whole simulator.
 #
-#     scripts/ci.sh [fmt|clippy|build|test|smoke|golden|bench|all]
+#     scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|bench|all]
 #
 # Each stage is independently runnable and timed; `all` (the default)
 # runs them in order. The workspace has zero external dependencies, so
@@ -16,6 +16,9 @@
 #   smoke   end-to-end demos produce valid traces with required events
 #   golden  digests match the recorded corpus (fast path on AND off),
 #           and the paper's performance guidelines hold
+#   blame   the wait-state/critical-path analyzer emits valid JSON and
+#           dat output, replays its own trace losslessly, and the two
+#           blame guidelines hold
 #   bench   deterministic event counts match BENCH_baseline.json
 set -eu
 cd "$(dirname "$0")/.."
@@ -75,6 +78,23 @@ stage_golden() {
     ./target/release/repro guidelines
 }
 
+stage_blame() {
+    release_bins
+    # The blame report is valid JSON, the dat series exists, and a
+    # trace-in replay of the analyzer's own event export reproduces an
+    # analysis (post-hoc path == live path).
+    ./target/release/repro blame pingpong --format json \
+        --dat target/blamedat >target/blame.json
+    ./target/release/repro validate target/blame.json
+    test -s target/blamedat/blame_pingpong.dat
+    ./target/release/repro blame pingpong \
+        --emit-events target/blame_events.jsonl >/dev/null
+    ./target/release/repro blame pingpong \
+        --trace-in target/blame_events.jsonl --format json >/dev/null
+    # The two attribution claims the layer exists to make.
+    ./target/release/repro guidelines blame-slow-start-share blame-rndv-handshake
+}
+
 stage_bench() {
     release_bins
     # `bench smoke` itself asserts exact events counts against the
@@ -96,17 +116,17 @@ run_stage() {
 }
 
 case "${1:-all}" in
-fmt | clippy | build | test | smoke | golden | bench)
+fmt | clippy | build | test | smoke | golden | blame | bench)
     run_stage "$1"
     ;;
 all)
-    for _s in fmt clippy build test smoke golden bench; do
+    for _s in fmt clippy build test smoke golden blame bench; do
         run_stage "${_s}"
     done
     echo "==> ci: all stages passed"
     ;;
 *)
-    echo "usage: scripts/ci.sh [fmt|clippy|build|test|smoke|golden|bench|all]" >&2
+    echo "usage: scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|bench|all]" >&2
     exit 2
     ;;
 esac

@@ -133,6 +133,89 @@ fn nas_cg_has_no_observer_effect() {
     check("nas-cg", run_once, &["warmup", "timed", "end"]);
 }
 
+/// The blame analyzer attached live (a [`Collector`] teed alongside the
+/// digest sink) must leave both the virtual clock and the golden digest
+/// untouched: same elapsed time, bit-identical digest value, fast path on
+/// and off — and the collected stream must actually analyze.
+#[test]
+fn live_analyzer_has_no_observer_effect() {
+    use grid_mpi_lab::desim::obs::analysis::{Analysis, Collector};
+    use grid_mpi_lab::desim::obs::digest::DigestSink;
+    use grid_mpi_lab::desim::obs::Tee;
+    use grid_mpi_lab::desim::Recorder;
+    use grid_mpi_lab::mpisim::HEADER_BYTES;
+
+    let run_once = |fast: bool, with_analyzer: bool| {
+        let (mut topo, rennes, nancy) = grid5000_pair(1);
+        topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+        let mut placement = rennes;
+        placement.extend(nancy);
+        let net = Network::new(topo);
+        net.set_bulk_fast_path(fast);
+        let digest = Arc::new(DigestSink::new());
+        let collector = Arc::new(Collector::new());
+        let recorder: Arc<dyn Recorder> = if with_analyzer {
+            Arc::new(Tee::new(vec![
+                digest.clone() as Arc<dyn Recorder>,
+                collector.clone() as Arc<dyn Recorder>,
+            ]))
+        } else {
+            digest.clone()
+        };
+        let report = MpiJob::new(net, placement, MpiImpl::Mpich2)
+            .with_tuning(Tuning::paper_tuned(MpiImpl::Mpich2))
+            .with_recorder(recorder)
+            .run(|ctx: &mut RankCtx| {
+                let peer = 1 - ctx.rank();
+                for _ in 0..3 {
+                    if ctx.rank() == 0 {
+                        ctx.send(peer, 4 << 20, 7);
+                        ctx.recv(peer, 7);
+                    } else {
+                        ctx.recv(peer, 7);
+                        ctx.send(peer, 4 << 20, 7);
+                    }
+                }
+            })
+            .unwrap();
+        (
+            report.elapsed.as_nanos(),
+            digest.value().to_string(),
+            collector.events(),
+        )
+    };
+    for fast in [false, true] {
+        let (bare_ns, bare_digest, bare_events) = run_once(fast, false);
+        let (teed_ns, teed_digest, teed_events) = run_once(fast, true);
+        assert!(bare_events.is_empty());
+        assert_eq!(
+            bare_ns, teed_ns,
+            "analyzer tee changed elapsed time (fast={fast})"
+        );
+        assert_eq!(
+            bare_digest, teed_digest,
+            "analyzer tee changed the golden digest (fast={fast})"
+        );
+        // The side channel actually fed the analyzer: spans pair up and
+        // the flow decomposition is populated.
+        let analysis = Analysis::from_events(&teed_events, HEADER_BYTES);
+        assert!(!analysis.ranks.is_empty(), "no rank profiles (fast={fast})");
+        assert!(
+            !analysis.flows.is_empty(),
+            "no flows analyzed (fast={fast})"
+        );
+        assert!(
+            !analysis.messages.is_empty(),
+            "no messages paired (fast={fast})"
+        );
+        assert!(
+            analysis.messages.iter().all(|m| m.msg_id != 0),
+            "a paired message lost its id (fast={fast})"
+        );
+        assert!(analysis.path.is_some(), "no critical path (fast={fast})");
+    }
+}
+
 /// Ray2mesh (master/worker over four sites), all probes attached.
 #[test]
 fn ray2mesh_has_no_observer_effect() {
