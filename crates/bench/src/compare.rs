@@ -56,6 +56,9 @@ pub fn parse_lines(text: &str) -> Result<Vec<BenchLine>, String> {
 pub struct Comparison {
     /// One human-readable row per compared benchmark.
     pub rows: Vec<String>,
+    /// One summary line per benchmark group (the `name` prefix before the
+    /// first `/`): count compared, median and worst wall-clock delta.
+    pub group_summaries: Vec<String>,
     /// Names present in only one of the two files.
     pub warnings: Vec<String>,
     /// Fatal diffs: exact `events` mismatches and over-threshold slowdowns.
@@ -72,9 +75,12 @@ pub fn compare(
 ) -> Result<Comparison, String> {
     let mut cmp = Comparison {
         rows: Vec::new(),
+        group_summaries: Vec::new(),
         warnings: Vec::new(),
         failures: Vec::new(),
     };
+    // (group, secs delta %) per compared benchmark, in input order.
+    let mut group_pcts: Vec<(String, Vec<f64>)> = Vec::new();
     let mut matched = 0usize;
     for n in new {
         let Some(o) = old.iter().find(|o| o.name == n.name) else {
@@ -98,6 +104,11 @@ pub fn compare(
         match (o.secs_per_iter, n.secs_per_iter) {
             (Some(os), Some(ns)) if os > 0.0 => {
                 let pct = (ns - os) / os * 100.0;
+                let group = n.name.split('/').next().unwrap_or(&n.name).to_string();
+                match group_pcts.iter_mut().find(|(g, _)| *g == group) {
+                    Some((_, v)) => v.push(pct),
+                    None => group_pcts.push((group, vec![pct])),
+                }
                 row.push_str(&format!(" secs {os:.3e} -> {ns:.3e} ({pct:+.1}%)"));
                 if pct > threshold_pct {
                     row.push_str(&format!(" [FAIL >{threshold_pct}%]"));
@@ -119,6 +130,15 @@ pub fn compare(
     }
     if matched == 0 {
         return Err("OLD and NEW share no benchmark names — nothing to compare".into());
+    }
+    for (group, mut pcts) in group_pcts {
+        pcts.sort_by(|a, b| a.total_cmp(b));
+        let median = pcts[pcts.len() / 2];
+        let worst = *pcts.last().unwrap();
+        cmp.group_summaries.push(format!(
+            "group {group}: {} compared, median {median:+.1}%, worst {worst:+.1}%",
+            pcts.len()
+        ));
     }
     Ok(cmp)
 }
@@ -163,6 +183,30 @@ mod tests {
         let cmp = compare(&old, &new, 25.0).unwrap();
         assert_eq!(cmp.failures.len(), 1);
         assert!(cmp.failures[0].contains("events changed 100 -> 101"));
+    }
+
+    #[test]
+    fn group_summary_reports_median_and_worst() {
+        let old = parse_lines(&format!(
+            "{}\n{}\n{}",
+            line("a/x", 1.0e-3, 1),
+            line("a/y", 1.0e-3, 1),
+            line("b/z", 1.0e-3, 1)
+        ))
+        .unwrap();
+        let new = parse_lines(&format!(
+            "{}\n{}\n{}",
+            line("a/x", 1.1e-3, 1),
+            line("a/y", 0.9e-3, 1),
+            line("b/z", 2.0e-3, 1)
+        ))
+        .unwrap();
+        let cmp = compare(&old, &new, 1000.0).unwrap();
+        assert_eq!(cmp.group_summaries.len(), 2);
+        assert!(cmp.group_summaries[0].starts_with("group a: 2 compared"));
+        assert!(cmp.group_summaries[0].contains("worst +10.0%"));
+        assert!(cmp.group_summaries[1].contains("group b: 1 compared"));
+        assert!(cmp.group_summaries[1].contains("worst +100.0%"));
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! Groups: `kernel`, `tcp`, `pingpong`, `collectives`, `npb`, `ray2mesh`,
 //! `fastpath`, `obs` (observability overhead), `blame` (post-hoc
 //! analyzer cost), `faults` (lossy-path and fault-tolerance overhead),
-//! `smoke` (a quick CI subset). No groups = all of them except `smoke`.
+//! `ranks` (rank-scale execution engine), `smoke` (a quick CI subset).
+//! No groups = all of them except `smoke`.
 //!
 //! The `smoke` group doubles as a regression gate: after it runs, every
 //! `smoke/*` line in the baseline file (`--baseline`, default
@@ -34,10 +35,10 @@ use std::io::Write;
 use std::sync::Arc;
 use std::time::Instant;
 
-use bench::{grid_job, pingpong_once, tuned_pair};
+use bench::{grid_job, ping_ring, pingpong_once, tuned_pair};
 use desim::{completion, Analysis, Collector, Metrics, RingSink, Sim, SimDuration, SimTime};
 use gridapps::Ray2MeshConfig;
-use mpisim::{FaultPlan, FaultPolicy, MpiImpl, MpiJob, RankCtx};
+use mpisim::{Engine, FaultPlan, FaultPolicy, MpiImpl, MpiJob, RankCtx};
 use netsim::{grid5000_four_sites, KernelConfig, Network, SockBufRequest};
 use npb::{NasBenchmark, NasClass, NasRun};
 
@@ -154,6 +155,7 @@ fn main() {
         "obs",
         "blame",
         "faults",
+        "ranks",
     ];
     let groups: Vec<&str> = if groups.is_empty() {
         all.to_vec()
@@ -177,6 +179,7 @@ fn main() {
             "obs" => group_obs(&mut h),
             "blame" => group_blame(&mut h),
             "faults" => group_faults(&mut h),
+            "ranks" => group_ranks(&mut h),
             "smoke" => group_smoke(&mut h),
             other => eprintln!("unknown group: {other}"),
         }
@@ -184,6 +187,58 @@ fn main() {
     if groups.contains(&"smoke") && baseline != "none" {
         check_smoke_baseline(baseline, &h.recorded);
     }
+}
+
+/// Rank-scale execution: the pooled continuation engine at ring widths
+/// far beyond thread-per-rank territory, a pooled-vs-threaded head-to-head
+/// on the same 512-rank workload (per-MPI-call engine overhead), and NPB
+/// EP at 1024 ranks.
+fn group_ranks(h: &mut Harness) {
+    for (ranks, rounds) in [(64usize, 8u32), (4096, 2)] {
+        h.bench(&format!("ranks/ping_ring_{ranks}"), move || {
+            black_box(ping_ring(ranks, rounds, Engine::Pooled));
+            0
+        });
+    }
+    // The same 512-rank ring on both engines; virtual times are
+    // bit-identical, so the wall-clock ratio is pure engine overhead.
+    let mut timed = [0.0f64; 2];
+    for (slot, engine) in [(0usize, Engine::Threaded), (1, Engine::Pooled)] {
+        let label = if slot == 0 { "threaded" } else { "pooled" };
+        let t0 = Instant::now();
+        let mut iters = 0u32;
+        while t0.elapsed().as_secs_f64() < TARGET_SECS || iters < 3 {
+            black_box(ping_ring(512, 8, engine));
+            iters += 1;
+            if iters >= MAX_ITERS {
+                break;
+            }
+        }
+        timed[slot] = t0.elapsed().as_secs_f64() / iters as f64;
+        h.bench(&format!("ranks/ping_ring_512_{label}"), move || {
+            black_box(ping_ring(512, 8, engine));
+            0
+        });
+    }
+    h.note(&format!(
+        "{{\"name\": \"ranks/speedup_ping_ring_512\", \"threaded_secs\": {:.6e}, \
+         \"pooled_secs\": {:.6e}, \"speedup\": {:.2}}}",
+        timed[0],
+        timed[1],
+        timed[0] / timed[1]
+    ));
+    h.bench("ranks/npb_ep_1024", || {
+        let run = NasRun::quick(NasBenchmark::Ep, NasClass::S);
+        let (net, rn, nn) = tuned_pair(8);
+        let nodes: Vec<_> = rn.into_iter().chain(nn).collect();
+        let placement: Vec<_> = (0..1024).map(|r| nodes[r % nodes.len()]).collect();
+        let report = MpiJob::new(net, placement, MpiImpl::GridMpi)
+            .with_engine(Engine::Pooled)
+            .run(run.program())
+            .expect("EP completes");
+        black_box(run.estimate(&report));
+        0
+    });
 }
 
 /// The smoke gate: every `smoke/*` entry in the baseline must match this
@@ -276,6 +331,9 @@ fn cmd_compare(args: &[String]) {
     };
     for row in &cmp.rows {
         println!("{row}");
+    }
+    for g in &cmp.group_summaries {
+        println!("{g}");
     }
     for w in &cmp.warnings {
         println!("warn: {w}");
@@ -399,11 +457,13 @@ fn group_pingpong(h: &mut Harness) {
 fn group_collectives(h: &mut Harness) {
     fn run_coll(id: MpiImpl, op: &'static str) -> f64 {
         let report = grid_job(16, id)
-            .run(move |ctx: &mut RankCtx| match op {
-                "bcast" => ctx.bcast(0, 128 << 10),
-                "allreduce" => ctx.allreduce(128 << 10),
-                "alltoall" => ctx.alltoall(64 << 10),
-                _ => unreachable!(),
+            .run(move |mut ctx: RankCtx| async move {
+                match op {
+                    "bcast" => ctx.bcast(0, 128 << 10).await,
+                    "allreduce" => ctx.allreduce(128 << 10).await,
+                    "alltoall" => ctx.alltoall(64 << 10).await,
+                    _ => unreachable!(),
+                }
             })
             .expect("collective completes");
         report.elapsed.as_secs_f64()
@@ -522,15 +582,15 @@ fn group_obs(h: &mut Harness) {
             job = job.with_recorder(rec);
         }
         let report = job
-            .run(move |ctx: &mut RankCtx| {
+            .run(move |mut ctx: RankCtx| async move {
                 const TAG: u64 = 1;
                 for _ in 0..2 {
                     if ctx.rank() == 0 {
-                        ctx.send(1, 64 << 20, TAG);
-                        ctx.recv(1, TAG);
+                        ctx.send(1, 64 << 20, TAG).await;
+                        ctx.recv(1, TAG).await;
                     } else {
-                        ctx.recv(0, TAG);
-                        ctx.send(0, 64 << 20, TAG);
+                        ctx.recv(0, TAG).await;
+                        ctx.send(0, 64 << 20, TAG).await;
                     }
                 }
             })
@@ -583,15 +643,15 @@ fn group_blame(h: &mut Harness) {
         let collector = Arc::new(Collector::new());
         grid_job(2, MpiImpl::Mpich2)
             .with_recorder(collector.clone())
-            .run(move |ctx: &mut RankCtx| {
+            .run(move |mut ctx: RankCtx| async move {
                 const TAG: u64 = 1;
                 for _ in 0..2 {
                     if ctx.rank() == 0 {
-                        ctx.send(1, 64 << 20, TAG);
-                        ctx.recv(1, TAG);
+                        ctx.send(1, 64 << 20, TAG).await;
+                        ctx.recv(1, TAG).await;
                     } else {
-                        ctx.recv(0, TAG);
-                        ctx.send(0, 64 << 20, TAG);
+                        ctx.recv(0, TAG).await;
+                        ctx.send(0, 64 << 20, TAG).await;
                     }
                 }
             })
@@ -626,12 +686,12 @@ fn group_faults(h: &mut Harness) {
             job = job.with_faults(plan);
         }
         let report = job
-            .run(move |ctx: &mut RankCtx| {
+            .run(move |mut ctx: RankCtx| async move {
                 const TAG: u64 = 1;
                 if ctx.rank() == 0 {
-                    ctx.send(1, 16 << 20, TAG);
+                    ctx.send(1, 16 << 20, TAG).await;
                 } else {
-                    ctx.recv(0, TAG);
+                    ctx.recv(0, TAG).await;
                 }
             })
             .expect("bulk transfer completes");

@@ -1,22 +1,32 @@
 //! One-shot cross-process synchronisation: a `Trigger`/`Completion` pair.
 //!
-//! A `Completion<T>` is waited on by exactly one process; the paired
-//! `Trigger<T>` is fired exactly once — either directly by another process,
-//! or at a scheduled virtual time via [`Trigger::fire_at`]. This is the
-//! primitive on which all higher-level blocking (message delivery, MPI
-//! request completion, flow completion) is built.
+//! A `Completion<T>` is waited on by exactly one actor — a thread-backed
+//! process ([`Completion::wait`]) or a continuation task
+//! ([`crate::Cx::wait`]); the paired `Trigger<T>` is fired exactly once —
+//! either directly by another actor, or at a scheduled virtual time via
+//! [`Trigger::fire_at`]. This is the primitive on which all higher-level
+//! blocking (message delivery, MPI request completion, flow completion) is
+//! built.
 
 use std::sync::Arc;
 
 use crate::sync::Mutex;
 
+use crate::exec::TaskId;
 use crate::kernel::Sched;
 use crate::process::{Proc, ProcId};
 use crate::time::SimTime;
 
+/// Who is blocked on a completion: a parked process thread or a suspended
+/// continuation task.
+enum Waiter {
+    Proc(ProcId),
+    Task(TaskId),
+}
+
 enum State<T> {
     Empty,
-    Waiting(ProcId),
+    Waiting(Waiter),
     Fired(T),
     /// Fired while a waiter was registered; value parked for pick-up.
     FiredWaking(T),
@@ -65,17 +75,19 @@ impl<T: Send + 'static> Trigger<T> {
                     *st = State::Fired(value);
                     None
                 }
-                State::Waiting(pid) => {
+                State::Waiting(w) => {
                     *st = State::FiredWaking(value);
-                    Some(pid)
+                    Some(w)
                 }
                 State::Fired(_) | State::FiredWaking(_) | State::Taken => {
                     panic!("completion fired twice")
                 }
             }
         };
-        if let Some(pid) = wake {
-            s.wake_at(s.now(), pid);
+        match wake {
+            Some(Waiter::Proc(pid)) => s.wake_at(s.now(), pid),
+            Some(Waiter::Task(tid)) => s.wake_task_at(s.now(), tid),
+            None => {}
         }
     }
 
@@ -107,6 +119,24 @@ impl<T: Send + 'static> Completion<T> {
         }
     }
 
+    /// Take the value if fired, or subscribe task `tid` for a wake-up at
+    /// fire time. The task half of [`Completion::wait`]: on `Err` the
+    /// completion is handed back so the suspended task can take the value
+    /// when re-polled.
+    pub(crate) fn take_or_subscribe(self, tid: TaskId) -> Result<T, Completion<T>> {
+        let mut st = self.shared.state.lock();
+        match std::mem::replace(&mut *st, State::Taken) {
+            State::Fired(v) | State::FiredWaking(v) => Ok(v),
+            State::Empty => {
+                *st = State::Waiting(Waiter::Task(tid));
+                drop(st);
+                Err(self)
+            }
+            State::Waiting(_) => panic!("completion waited on twice"),
+            State::Taken => panic!("completion value already taken"),
+        }
+    }
+
     /// Block this process until the trigger fires; returns the fired value.
     pub fn wait(self, p: &Proc) -> T {
         {
@@ -115,7 +145,7 @@ impl<T: Send + 'static> Completion<T> {
                 State::Fired(v) => return v,
                 State::FiredWaking(v) => return v,
                 State::Empty => {
-                    *st = State::Waiting(p.id());
+                    *st = State::Waiting(Waiter::Proc(p.id()));
                 }
                 State::Waiting(_) => panic!("completion waited on twice"),
                 State::Taken => panic!("completion value already taken"),

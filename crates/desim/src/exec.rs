@@ -1,0 +1,432 @@
+//! The execution engine behind simulated actors: thread-backed processes
+//! and pooled *continuation tasks* share one API.
+//!
+//! ## Two ways to run an actor
+//!
+//! * **Thread-backed** ([`crate::Sim::spawn`]): the actor body runs on its
+//!   own OS thread and blocks by parking that thread. Simple, but every
+//!   blocking point costs two context switches, and a large world parks
+//!   one kernel thread per actor.
+//! * **Continuation task** ([`crate::Sim::spawn_task`]): the actor body is
+//!   a `Future` compiled by rustc into a stackless state machine. Blocking
+//!   points suspend the state machine and hand control straight back to
+//!   the kernel's dispatch loop; resumption is an ordinary event pop. A
+//!   blocked task holds *no* OS thread, so a single process can host tens
+//!   of thousands of actors, and the ready path (pop event → poll task)
+//!   involves zero context switches.
+//!
+//! Both kinds are driven from the same `(virtual time, insertion
+//! sequence)` event queue, and both express blocking through the same
+//! [`Cx`] handle, so a program parameterised over `Cx` produces a
+//! bit-identical event stream under either engine — the property the
+//! golden-digest suite pins down.
+//!
+//! ## The blocking-point contract
+//!
+//! A task may suspend only through the futures returned by [`Cx`]
+//! (`advance`, `sleep_until`, `yield_now`, `wait`). Each of those
+//! registers exactly one wake-up (a timer event or a
+//! [`crate::Completion`] subscription) before returning `Pending`, so a
+//! suspended task always has exactly one pending resume and the kernel
+//! never needs a `Waker` — wake-ups travel through the event heap, which
+//! is what keeps them deterministic.
+
+use std::future::Future;
+use std::pin::{pin, Pin};
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use crate::kernel::Inner;
+use crate::process::Proc;
+use crate::time::{SimDuration, SimTime};
+use crate::{Completion, Sched};
+
+/// Identifier of a continuation task (dense index, assigned in spawn
+/// order — the task analogue of [`crate::ProcId`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskId(pub(crate) usize);
+
+impl TaskId {
+    /// The dense index of this task.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle through which a continuation task interacts with virtual time
+/// (kept internal; exposed through [`Cx`]).
+pub(crate) struct TaskCx {
+    pub(crate) inner: Arc<Inner>,
+    pub(crate) id: TaskId,
+    pub(crate) name: Arc<str>,
+}
+
+/// Execution context of a simulated actor: either a thread-backed
+/// [`Proc`] or a pooled continuation task.
+///
+/// `Cx` is the engine-neutral face of the kernel. Its blocking operations
+/// return futures; under a thread-backed actor those futures complete the
+/// blocking *synchronously inside a single `poll`* (parking the thread
+/// exactly as [`Proc`]'s own methods do), while under a task they suspend
+/// the state machine. Either way the sequence of events pushed onto the
+/// kernel heap is identical, which makes the two engines bit-compatible.
+pub struct Cx(pub(crate) CxKind);
+
+pub(crate) enum CxKind {
+    Thread(Proc),
+    Task(TaskCx),
+}
+
+impl Cx {
+    /// Wrap a thread-backed process handle.
+    pub fn from_proc(p: Proc) -> Cx {
+        Cx(CxKind::Thread(p))
+    }
+
+    pub(crate) fn for_task(inner: Arc<Inner>, id: TaskId, name: Arc<str>) -> Cx {
+        Cx(CxKind::Task(TaskCx { inner, id, name }))
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        match &self.0 {
+            CxKind::Thread(p) => p.now(),
+            CxKind::Task(t) => t.inner.shared.lock().now,
+        }
+    }
+
+    /// This actor's name.
+    pub fn name(&self) -> &str {
+        match &self.0 {
+            CxKind::Thread(p) => p.name(),
+            CxKind::Task(t) => &t.name,
+        }
+    }
+
+    /// A non-blocking scheduling handle usable from kernel callbacks.
+    pub fn sched(&self) -> Sched {
+        match &self.0 {
+            CxKind::Thread(p) => p.sched(),
+            CxKind::Task(t) => Sched {
+                inner: Arc::clone(&t.inner),
+            },
+        }
+    }
+
+    /// Let `d` of virtual time pass. Equivalent to [`Proc::advance`]:
+    /// a zero duration still yields to other events at the same instant.
+    pub fn advance(&self, d: SimDuration) -> Sleep<'_> {
+        Sleep {
+            cx: self,
+            target: SleepTarget::After(d),
+            suspended: false,
+        }
+    }
+
+    /// Block until virtual time `at` (clamped to now if already past).
+    pub fn sleep_until(&self, at: SimTime) -> Sleep<'_> {
+        Sleep {
+            cx: self,
+            target: SleepTarget::Until(at),
+            suspended: false,
+        }
+    }
+
+    /// Relinquish the run token so other events at the current instant run
+    /// before this actor continues.
+    pub fn yield_now(&self) -> Sleep<'_> {
+        Sleep {
+            cx: self,
+            target: SleepTarget::After(SimDuration::ZERO),
+            suspended: false,
+        }
+    }
+
+    /// Block until `c` fires; resolves to the fired value. The completion
+    /// analogue of [`Completion::wait`], usable under either engine.
+    pub fn wait<T: Send + 'static>(&self, c: Completion<T>) -> Wait<'_, T> {
+        Wait {
+            cx: self,
+            c: Some(c),
+        }
+    }
+}
+
+enum SleepTarget {
+    After(SimDuration),
+    Until(SimTime),
+}
+
+/// Future returned by [`Cx::advance`] / [`Cx::sleep_until`] /
+/// [`Cx::yield_now`].
+#[must_use = "futures do nothing unless awaited"]
+pub struct Sleep<'a> {
+    cx: &'a Cx,
+    target: SleepTarget,
+    suspended: bool,
+}
+
+impl Future for Sleep<'_> {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _: &mut Context<'_>) -> Poll<()> {
+        let this = &mut *self;
+        if this.suspended {
+            return Poll::Ready(());
+        }
+        match &this.cx.0 {
+            CxKind::Thread(p) => {
+                match this.target {
+                    SleepTarget::After(d) => p.advance(d),
+                    SleepTarget::Until(at) => p.sleep_until(at),
+                }
+                Poll::Ready(())
+            }
+            CxKind::Task(t) => {
+                let at = {
+                    let g = t.inner.shared.lock();
+                    match this.target {
+                        SleepTarget::After(d) => g.now + d,
+                        SleepTarget::Until(at) => at,
+                    }
+                };
+                let s = Sched {
+                    inner: Arc::clone(&t.inner),
+                };
+                s.wake_task_at(at, t.id);
+                this.suspended = true;
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Future returned by [`Cx::wait`].
+#[must_use = "futures do nothing unless awaited"]
+pub struct Wait<'a, T> {
+    cx: &'a Cx,
+    c: Option<Completion<T>>,
+}
+
+impl<T: Send + 'static> Future for Wait<'_, T> {
+    type Output = T;
+
+    fn poll(mut self: Pin<&mut Self>, _: &mut Context<'_>) -> Poll<T> {
+        let this = &mut *self;
+        let c = this.c.take().expect("completion future polled after ready");
+        match &this.cx.0 {
+            CxKind::Thread(p) => Poll::Ready(c.wait(p)),
+            CxKind::Task(t) => match c.take_or_subscribe(t.id) {
+                Ok(v) => Poll::Ready(v),
+                Err(c) => {
+                    this.c = Some(c);
+                    Poll::Pending
+                }
+            },
+        }
+    }
+}
+
+/// Drive a future to completion in a single synchronous poll — the
+/// thread-backed engine's adapter. Every [`Cx`] blocking point under a
+/// thread-backed actor blocks *inside* `poll`, so the future must resolve
+/// on the first poll; a `Pending` here means the future suspended through
+/// something other than its thread-backed `Cx`, which is a programming
+/// error.
+pub fn run_sync<F: Future>(fut: F) -> F::Output {
+    let mut fut = pin!(fut);
+    match fut.as_mut().poll(&mut Context::from_waker(Waker::noop())) {
+        Poll::Ready(v) => v,
+        Poll::Pending => {
+            panic!("run_sync future suspended; thread-backed actors must block through their Cx")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sim, SimDuration};
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn task_advances_clock() {
+        let sim = Sim::new();
+        sim.spawn_task("t", |cx| async move {
+            cx.advance(SimDuration::from_millis(10)).await;
+            cx.advance(SimDuration::from_millis(5)).await;
+        });
+        assert_eq!(sim.run().unwrap().as_millis(), 15);
+    }
+
+    #[test]
+    fn task_completion_handoff() {
+        let sim = Sim::new();
+        let (tx, rx) = crate::completion::<u64>();
+        sim.spawn_task("producer", |cx| async move {
+            cx.advance(SimDuration::from_millis(3)).await;
+            tx.fire_from(&cx.sched(), 17);
+        });
+        sim.spawn_task("consumer", |cx| async move {
+            let v = cx.wait(rx).await;
+            assert_eq!(v, 17);
+            assert_eq!(cx.now().as_millis(), 3);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn tasks_and_threads_interleave_deterministically() {
+        fn trace() -> Vec<(u64, String)> {
+            let log = Arc::new(StdMutex::new(Vec::new()));
+            let sim = Sim::new();
+            for i in 0..4usize {
+                let log = Arc::clone(&log);
+                if i % 2 == 0 {
+                    sim.spawn(format!("p{i}"), move |p| {
+                        for k in 0..8u64 {
+                            p.advance(SimDuration::from_nanos((i as u64 + 1) * 13 + k));
+                            log.lock()
+                                .unwrap()
+                                .push((p.now().as_nanos(), format!("p{i}")));
+                        }
+                    });
+                } else {
+                    sim.spawn_task(format!("t{i}"), move |cx| async move {
+                        for k in 0..8u64 {
+                            cx.advance(SimDuration::from_nanos((i as u64 + 1) * 13 + k))
+                                .await;
+                            log.lock()
+                                .unwrap()
+                                .push((cx.now().as_nanos(), format!("t{i}")));
+                        }
+                    });
+                }
+            }
+            sim.run().unwrap();
+            let v = log.lock().unwrap().clone();
+            v
+        }
+        let a = trace();
+        assert_eq!(a, trace());
+        let times: Vec<u64> = a.iter().map(|(t, _)| *t).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "interleaving must be time-ordered");
+    }
+
+    #[test]
+    fn task_engine_matches_thread_engine_trace() {
+        fn run(threaded: bool) -> Vec<(u64, usize)> {
+            let log = Arc::new(StdMutex::new(Vec::new()));
+            let sim = Sim::new();
+            for i in 0..6usize {
+                let log = Arc::clone(&log);
+                let body = move |now: u64| (now, i);
+                if threaded {
+                    sim.spawn(format!("a{i}"), move |p| {
+                        for k in 0..10u64 {
+                            p.advance(SimDuration::from_nanos((i as u64 + 1) * 7 + k));
+                            log.lock().unwrap().push(body(p.now().as_nanos()));
+                        }
+                    });
+                } else {
+                    sim.spawn_task(format!("a{i}"), move |cx| async move {
+                        for k in 0..10u64 {
+                            cx.advance(SimDuration::from_nanos((i as u64 + 1) * 7 + k))
+                                .await;
+                            log.lock().unwrap().push(body(cx.now().as_nanos()));
+                        }
+                    });
+                }
+            }
+            sim.run().unwrap();
+            let v = log.lock().unwrap().clone();
+            v
+        }
+        assert_eq!(run(true), run(false), "engines must interleave identically");
+    }
+
+    #[test]
+    fn task_panic_is_reported() {
+        let sim = Sim::new();
+        sim.spawn_task("bad", |cx| async move {
+            cx.advance(SimDuration::from_millis(1)).await;
+            panic!("task boom");
+        });
+        match sim.run() {
+            Err(crate::SimError::ProcessPanicked(m)) => assert!(m.contains("task boom")),
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn task_deadlock_is_detected_with_name() {
+        let sim = Sim::new();
+        let (_tx, rx) = crate::completion::<()>();
+        sim.spawn_task("stuck-task", |cx| async move {
+            cx.wait(rx).await;
+        });
+        match sim.run() {
+            Err(crate::SimError::Deadlock(names)) => {
+                assert_eq!(names, vec!["stuck-task".to_string()])
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn yield_now_interleaves_tasks_in_spawn_order() {
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let sim = Sim::new();
+        for name in ["a", "b"] {
+            let log = Arc::clone(&log);
+            sim.spawn_task(name, move |cx| async move {
+                for i in 0..3 {
+                    log.lock().unwrap().push(format!("{name}{i}"));
+                    cx.yield_now().await;
+                }
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec!["a0", "b0", "a1", "b1", "a2", "b2"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn run_sync_drives_thread_style_future() {
+        let sim = Sim::new();
+        let (tx, rx) = crate::completion::<u32>();
+        sim.spawn("fire", move |p| {
+            p.advance(SimDuration::from_millis(2));
+            tx.fire(&p, 9);
+        });
+        sim.spawn("wait", move |p| {
+            let cx = Cx::from_proc(p);
+            let v = run_sync(async { cx.wait(rx).await });
+            assert_eq!(v, 9);
+            assert_eq!(cx.now().as_millis(), 2);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn ten_thousand_tasks_one_process() {
+        let sim = Sim::new();
+        let counter = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        for i in 0..10_000usize {
+            let counter = Arc::clone(&counter);
+            sim.spawn_task(format!("t{i}"), move |cx| async move {
+                cx.advance(SimDuration::from_nanos(i as u64 + 1)).await;
+                counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 10_000);
+    }
+}

@@ -13,12 +13,16 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::future::Future;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 use std::thread;
 
 use crate::sync::{Condvar, Mutex};
 
+use crate::exec::TaskId;
 use crate::process::{Proc, ProcId};
 use crate::time::{SimDuration, SimTime};
 
@@ -87,10 +91,17 @@ impl Sched {
         let at = at.max(g.now);
         g.push(at, EventKind::Wake(pid));
     }
+
+    pub(crate) fn wake_task_at(&self, at: SimTime, tid: TaskId) {
+        let mut g = self.inner.shared.lock();
+        let at = at.max(g.now);
+        g.push(at, EventKind::TaskWake(tid));
+    }
 }
 
 pub(crate) enum EventKind {
     Wake(ProcId),
+    TaskWake(TaskId),
     Call(Box<dyn FnOnce(&Sched) + Send>),
 }
 
@@ -141,6 +152,14 @@ impl Gate {
 
     pub(crate) fn unpark(&self) {
         let mut g = self.runnable.lock();
+        // A gate carries exactly one signal: every blocked entity has exactly
+        // one pending wake-up. Signalling an already-runnable gate means two
+        // wake events were scheduled for the same park — a lost-wakeup bug
+        // that would otherwise silently desynchronise the run token.
+        debug_assert!(
+            !*g,
+            "gate signalled twice: the target was already runnable (double wake)"
+        );
         *g = true;
         self.cv.notify_one();
     }
@@ -155,12 +174,23 @@ pub(crate) struct ProcSlot {
     pub(crate) blocked: Mutex<bool>,
 }
 
+/// A pooled continuation task: a stackless state machine driven inline by
+/// whichever thread holds the run token. `fut` is `None` while the task is
+/// being polled and after it completes.
+pub(crate) struct TaskSlot {
+    pub(crate) name: Arc<str>,
+    pub(crate) fut: Option<Pin<Box<dyn Future<Output = ()> + Send>>>,
+}
+
 pub(crate) struct Shared {
     heap: BinaryHeap<Reverse<Event>>,
     pub(crate) now: SimTime,
     seq: u64,
     pub(crate) live: usize,
     pub(crate) procs: Vec<Arc<ProcSlot>>,
+    pub(crate) tasks: Vec<TaskSlot>,
+    /// Continuation tasks spawned but not yet completed.
+    pub(crate) task_live: usize,
     pub(crate) failure: Option<SimError>,
     pub(crate) limit: SimTime,
     /// Events dispatched so far (wakes and callbacks), for throughput
@@ -205,6 +235,8 @@ impl Sim {
                     seq: 0,
                     live: 0,
                     procs: Vec::new(),
+                    tasks: Vec::new(),
+                    task_live: 0,
                     failure: None,
                     limit: SimTime::MAX,
                     events: 0,
@@ -223,6 +255,22 @@ impl Sim {
         F: FnOnce(Proc) + Send + 'static,
     {
         spawn_process(&self.inner, name.into(), body)
+    }
+
+    /// Spawn a pooled continuation task. `f` receives this task's
+    /// [`crate::Cx`] and returns the task body as a future; the body runs as
+    /// a stackless state machine polled inline by whichever thread holds the
+    /// run token, so a blocked task occupies no OS thread. It becomes
+    /// runnable at the current virtual time, exactly like [`Sim::spawn`].
+    ///
+    /// The body may suspend only through its `Cx` (see
+    /// [`crate::exec`] for the blocking-point contract).
+    pub fn spawn_task<F, Fut>(&self, name: impl Into<String>, f: F) -> TaskId
+    where
+        F: FnOnce(crate::exec::Cx) -> Fut,
+        Fut: Future<Output = ()> + Send + 'static,
+    {
+        spawn_task(&self.inner, name.into(), f)
     }
 
     /// Like [`Sim::run`], but fail with [`SimError::TimeLimitExceeded`] if
@@ -253,7 +301,7 @@ impl Sim {
     pub fn run_counted(self) -> Result<RunStats, SimError> {
         let done = {
             let g = self.inner.shared.lock();
-            if g.live == 0 && g.heap.is_empty() {
+            if g.live == 0 && g.task_live == 0 && g.heap.is_empty() {
                 Some((
                     RunStats {
                         end: g.now,
@@ -349,6 +397,36 @@ where
     id
 }
 
+/// Register a continuation task: allocate its slot and push its first wake
+/// *before* constructing the body, so the task's initial wake occupies the
+/// same event-queue position a thread-backed process's would — the spawn
+/// sequence is engine-independent. Safe against the wake being dispatched
+/// before the future is stored: dispatching requires the run token, which
+/// the spawning context holds (or, before [`Sim::run`], nobody does).
+pub(crate) fn spawn_task<F, Fut>(inner: &Arc<Inner>, name: String, f: F) -> TaskId
+where
+    F: FnOnce(crate::exec::Cx) -> Fut,
+    Fut: Future<Output = ()> + Send + 'static,
+{
+    let name: Arc<str> = name.into();
+    let id = {
+        let mut g = inner.shared.lock();
+        let id = TaskId(g.tasks.len());
+        g.tasks.push(TaskSlot {
+            name: Arc::clone(&name),
+            fut: None,
+        });
+        g.task_live += 1;
+        let now = g.now;
+        g.push(now, EventKind::TaskWake(id));
+        id
+    };
+    let cx = crate::exec::Cx::for_task(Arc::clone(inner), id, name);
+    let fut = f(cx);
+    inner.shared.lock().tasks[id.0].fut = Some(Box::pin(fut));
+    id
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -395,9 +473,10 @@ pub(crate) fn dispatch(
         *slot.blocked.lock() = true;
     }
     loop {
-        if guard.live == 0 {
-            // All processes done: ignore any trailing timer/callback events
-            // (e.g. pending TCP window rounds) and end the simulation.
+        if guard.live == 0 && guard.task_live == 0 {
+            // All processes and tasks done: ignore any trailing
+            // timer/callback events (e.g. pending TCP window rounds) and end
+            // the simulation.
             drop(guard);
             inner.main_gate.unpark();
             break;
@@ -432,6 +511,42 @@ pub(crate) fn dispatch(
                         target.gate.unpark();
                         break;
                     }
+                    EventKind::TaskWake(tid) => {
+                        // Poll the task inline on this thread — the pooled
+                        // engine's ready path: no park/unpark, no context
+                        // switch. The future is taken out of its slot for
+                        // the duration of the poll so the task body can lock
+                        // `shared` (to push events) without aliasing it.
+                        let mut fut = guard.tasks[tid.0]
+                            .fut
+                            .take()
+                            .expect("task woken while running or after completion (double wake)");
+                        drop(guard);
+                        let poll = catch_unwind(AssertUnwindSafe(|| {
+                            fut.as_mut().poll(&mut Context::from_waker(Waker::noop()))
+                        }));
+                        guard = inner.shared.lock();
+                        match poll {
+                            Ok(Poll::Pending) => {
+                                // Suspended at a blocking point; its wake-up
+                                // (timer event or completion subscription) is
+                                // already registered.
+                                guard.tasks[tid.0].fut = Some(fut);
+                            }
+                            Ok(Poll::Ready(())) => {
+                                guard.task_live -= 1;
+                            }
+                            Err(payload) => {
+                                guard.task_live -= 1;
+                                let msg = panic_message(payload);
+                                if guard.failure.is_none() {
+                                    guard.failure = Some(SimError::ProcessPanicked(msg));
+                                }
+                                // Fail fast, as with a thread-backed panic.
+                                guard.heap.clear();
+                            }
+                        }
+                    }
                     EventKind::Call(f) => {
                         drop(guard);
                         f(&Sched {
@@ -442,13 +557,22 @@ pub(crate) fn dispatch(
                 }
             }
             None => {
-                if guard.live > 0 && guard.failure.is_none() {
-                    let blocked: Vec<String> = guard
+                if (guard.live > 0 || guard.task_live > 0) && guard.failure.is_none() {
+                    let mut blocked: Vec<String> = guard
                         .procs
                         .iter()
                         .filter(|s| *s.blocked.lock())
                         .map(|s| s.name.clone())
                         .collect();
+                    // Every live task with a stored future is suspended at a
+                    // blocking point whose wake-up never arrived.
+                    blocked.extend(
+                        guard
+                            .tasks
+                            .iter()
+                            .filter(|t| t.fut.is_some())
+                            .map(|t| t.name.to_string()),
+                    );
                     guard.failure = Some(SimError::Deadlock(blocked));
                 }
                 drop(guard);
@@ -585,6 +709,18 @@ mod tests {
             .run_until(SimTime::from_nanos(1_000_000_000))
             .expect("finishes before the limit");
         assert_eq!(end.as_millis(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn gate_double_signal_panics() {
+        let gate = Gate::new();
+        gate.unpark();
+        // A second signal before the target parks is a double wake; the
+        // debug assert must turn it into a panic instead of silently
+        // coalescing the two wake-ups.
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| gate.unpark()));
+        assert!(err.is_err(), "double unpark must panic in debug builds");
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! ```
 
 mod completion;
+pub mod exec;
 pub mod fault;
 mod kernel;
 pub mod obs;
@@ -45,6 +46,7 @@ pub mod sync;
 mod time;
 
 pub use completion::{completion, Completion, Trigger};
+pub use exec::{run_sync, Cx, TaskId};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use kernel::{RunStats, Sched, Sim, SimError};
 pub use obs::analysis::{Analysis, Collector, CriticalPath, FlowBlame, MessageBlame, RankProfile};

@@ -79,11 +79,15 @@ impl Ray2MeshConfig {
     /// `compute_secs`, `merge_secs`, `total_secs`.
     pub fn program(&self) -> impl MpiProgram + use<> {
         let cfg = self.clone();
-        move |ctx: &mut RankCtx| {
-            if ctx.rank() == 0 {
-                master(ctx, &cfg);
-            } else {
-                slave(ctx, &cfg);
+        move |mut ctx: RankCtx| {
+            let cfg = cfg.clone();
+            async move {
+                let ctx = &mut ctx;
+                if ctx.rank() == 0 {
+                    master(ctx, &cfg).await;
+                } else {
+                    slave(ctx, &cfg).await;
+                }
             }
         }
     }
@@ -107,50 +111,54 @@ impl Ray2MeshConfig {
             "fault-tolerant ray2mesh needs a receive timeout to detect deaths"
         );
         let cfg = self.clone();
-        move |ctx: &mut RankCtx| {
-            ctx.set_fault_policy(policy);
-            if ctx.rank() == 0 {
-                master_ft(ctx, &cfg);
-            } else {
-                slave_ft(ctx, &cfg);
+        move |mut ctx: RankCtx| {
+            let cfg = cfg.clone();
+            async move {
+                let ctx = &mut ctx;
+                ctx.set_fault_policy(policy);
+                if ctx.rank() == 0 {
+                    master_ft(ctx, &cfg).await;
+                } else {
+                    slave_ft(ctx, &cfg).await;
+                }
             }
         }
     }
 }
 
-fn master(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
+async fn master(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
     ctx.phase("trace");
     let t0 = ctx.now();
     let slaves = ctx.size() - 1;
     let sets = cfg.total_rays / cfg.rays_per_set;
     for _ in 0..sets {
-        let req = ctx.recv_any(TAG_REQ);
-        ctx.send(req.src, cfg.set_bytes, TAG_SET);
+        let req = ctx.recv_any(TAG_REQ).await;
+        ctx.send(req.src, cfg.set_bytes, TAG_SET).await;
     }
     for _ in 0..slaves {
-        let req = ctx.recv_any(TAG_REQ);
-        ctx.send(req.src, 1, TAG_STOP);
+        let req = ctx.recv_any(TAG_REQ).await;
+        ctx.send(req.src, 1, TAG_STOP).await;
     }
     let t_compute = ctx.now();
     ctx.record("compute_secs", t_compute.since(t0).as_secs_f64());
     // The master does not hold a submesh; it waits for the merge to finish
     // and gathers the final pieces (write phase).
-    ctx.barrier();
+    ctx.barrier().await;
     ctx.phase("merge");
     let t_merge_start = ctx.now();
-    ctx.barrier();
+    ctx.barrier().await;
     let t_merge = ctx.now();
     ctx.record("merge_secs", t_merge.since(t_merge_start).as_secs_f64());
     ctx.phase("write");
     for _ in 0..slaves {
-        ctx.recv_any(TAG_WRITE);
+        ctx.recv_any(TAG_WRITE).await;
     }
     // Mesh write-out.
-    ctx.compute_gflop(4.0);
+    ctx.compute_gflop(4.0).await;
     ctx.record("total_secs", ctx.now().since(t0).as_secs_f64());
 }
 
-fn master_ft(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
+async fn master_ft(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
     ctx.phase("trace");
     let t0 = ctx.now();
     let sets = cfg.total_rays / cfg.rays_per_set;
@@ -181,7 +189,7 @@ fn master_ft(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
         if active.is_empty() {
             break;
         }
-        let req = match ctx.try_recv_any(TAG_REQ) {
+        let req = match ctx.try_recv_any(TAG_REQ).await {
             Ok(req) => req,
             Err(MpiError::Timeout { .. }) => continue, // re-scan for deaths
             Err(_) => break,                           // master itself was killed
@@ -191,12 +199,12 @@ fn master_ft(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
             completed += 1;
         }
         if issued < sets {
-            if ctx.try_send(w, cfg.set_bytes, TAG_SET).is_ok() {
+            if ctx.try_send(w, cfg.set_bytes, TAG_SET).await.is_ok() {
                 outstanding.insert(w);
                 issued += 1;
             }
         } else {
-            let _ = ctx.try_send(w, 1, TAG_STOP);
+            let _ = ctx.try_send(w, 1, TAG_STOP).await;
             active.remove(&w);
             survivors.insert(w);
         }
@@ -210,7 +218,7 @@ fn master_ft(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
     ctx.phase("write");
     let mut awaiting = survivors;
     while !awaiting.is_empty() {
-        match ctx.try_recv_any(TAG_WRITE) {
+        match ctx.try_recv_any(TAG_WRITE).await {
             Ok(info) => {
                 awaiting.remove(&info.src);
             }
@@ -220,20 +228,21 @@ fn master_ft(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
             Err(_) => break,
         }
     }
-    ctx.compute_gflop(4.0);
+    ctx.compute_gflop(4.0).await;
     ctx.record("total_secs", ctx.now().since(t0).as_secs_f64());
 }
 
-fn slave_ft(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
+async fn slave_ft(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
     ctx.phase("trace");
     let mut rays = 0u64;
     loop {
-        if ctx.try_send(0, cfg.request_bytes, TAG_REQ).is_err() {
+        if ctx.try_send(0, cfg.request_bytes, TAG_REQ).await.is_err() {
             return; // this worker (or the master) is gone
         }
-        match ctx.try_recv_sel(Some(0), None) {
+        match ctx.try_recv_sel(Some(0), None).await {
             Ok(reply) if reply.tag == TAG_SET => {
-                ctx.compute_gflop(cfg.rays_per_set as f64 * cfg.gflop_per_ray);
+                ctx.compute_gflop(cfg.rays_per_set as f64 * cfg.gflop_per_ray)
+                    .await;
                 rays += cfg.rays_per_set;
             }
             Ok(_) => break, // TAG_STOP
@@ -242,18 +251,19 @@ fn slave_ft(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
     }
     ctx.record("rays", rays as f64);
     ctx.phase("write");
-    let _ = ctx.try_send(0, cfg.write_bytes, TAG_WRITE);
+    let _ = ctx.try_send(0, cfg.write_bytes, TAG_WRITE).await;
 }
 
-fn slave(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
+async fn slave(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
     ctx.phase("trace");
     let mut rays = 0u64;
     loop {
-        ctx.send(0, cfg.request_bytes, TAG_REQ);
-        let reply = ctx.recv_sel(Some(0), None);
+        ctx.send(0, cfg.request_bytes, TAG_REQ).await;
+        let reply = ctx.recv_sel(Some(0), None).await;
         match reply.tag {
             TAG_SET => {
-                ctx.compute_gflop(cfg.rays_per_set as f64 * cfg.gflop_per_ray);
+                ctx.compute_gflop(cfg.rays_per_set as f64 * cfg.gflop_per_ray)
+                    .await;
                 rays += cfg.rays_per_set;
             }
             TAG_STOP => break,
@@ -261,7 +271,7 @@ fn slave(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
         }
     }
     ctx.record("rays", rays as f64);
-    ctx.barrier();
+    ctx.barrier().await;
     ctx.phase("merge");
     // Merge: exchange submesh contributions with every other slave.
     let slaves = ctx.size() - 1;
@@ -273,14 +283,14 @@ fn slave(ctx: &mut RankCtx, cfg: &Ray2MeshConfig) {
     }
     for peer in 1..ctx.size() {
         if peer != ctx.rank() {
-            reqs.push(ctx.isend(peer, cfg.merge_bytes_per_pair, TAG_MERGE));
+            reqs.push(ctx.isend(peer, cfg.merge_bytes_per_pair, TAG_MERGE).await);
         }
     }
-    ctx.waitall(reqs);
+    ctx.waitall(reqs).await;
     // Fold received contributions into the local submesh.
-    ctx.compute_gflop(cfg.merge_gflop);
-    ctx.barrier();
+    ctx.compute_gflop(cfg.merge_gflop).await;
+    ctx.barrier().await;
     ctx.phase("write");
     // Write phase: upload the submesh to the master.
-    ctx.send(0, cfg.write_bytes, TAG_WRITE);
+    ctx.send(0, cfg.write_bytes, TAG_WRITE).await;
 }

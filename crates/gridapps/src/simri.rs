@@ -51,41 +51,46 @@ impl SimriConfig {
     /// Records on every slave: `compute_secs`. On rank 0: `total_secs`.
     pub fn program(&self) -> impl MpiProgram + use<> {
         let cfg = self.clone();
-        move |ctx: &mut RankCtx| {
-            let slaves = ctx.size() - 1;
-            assert!(slaves > 0, "simri needs at least one slave");
-            let vectors_each = cfg.vectors() / slaves as u64;
-            let chunk_bytes = vectors_each * cfg.bytes_per_vector;
-            let t0 = ctx.now();
-            if ctx.rank() == 0 {
-                let mut reqs = Vec::new();
-                for s in 1..ctx.size() {
-                    reqs.push(ctx.isend(s, chunk_bytes, TAG_WORK));
+        move |mut ctx: RankCtx| {
+            let cfg = cfg.clone();
+            async move {
+                let ctx = &mut ctx;
+                let slaves = ctx.size() - 1;
+                assert!(slaves > 0, "simri needs at least one slave");
+                let vectors_each = cfg.vectors() / slaves as u64;
+                let chunk_bytes = vectors_each * cfg.bytes_per_vector;
+                let t0 = ctx.now();
+                if ctx.rank() == 0 {
+                    let mut reqs = Vec::new();
+                    for s in 1..ctx.size() {
+                        reqs.push(ctx.isend(s, chunk_bytes, TAG_WORK).await);
+                    }
+                    ctx.waitall(reqs).await;
+                } else {
+                    ctx.recv(0, TAG_WORK).await;
                 }
-                ctx.waitall(reqs);
-            } else {
-                ctx.recv(0, TAG_WORK);
-            }
-            // The MRI sequence: per step an RF-pulse broadcast, the
-            // magnetisation computation, and the signal reduction.
-            let step_gflop = vectors_each as f64 * cfg.gflop_per_vector / cfg.sequence_steps as f64;
-            let t_comp = ctx.now();
-            for _ in 0..cfg.sequence_steps {
-                ctx.bcast(0, 1024);
+                // The MRI sequence: per step an RF-pulse broadcast, the
+                // magnetisation computation, and the signal reduction.
+                let step_gflop =
+                    vectors_each as f64 * cfg.gflop_per_vector / cfg.sequence_steps as f64;
+                let t_comp = ctx.now();
+                for _ in 0..cfg.sequence_steps {
+                    ctx.bcast(0, 1024).await;
+                    if ctx.rank() != 0 {
+                        // The master does not compute (paper §2.2.2).
+                        ctx.compute_gflop(step_gflop).await;
+                    }
+                    ctx.reduce(0, 1024).await;
+                }
                 if ctx.rank() != 0 {
-                    // The master does not compute (paper §2.2.2).
-                    ctx.compute_gflop(step_gflop);
+                    ctx.record("compute_secs", ctx.now().since(t_comp).as_secs_f64());
+                    ctx.send(0, chunk_bytes, TAG_RESULT).await;
+                } else {
+                    for _ in 1..ctx.size() {
+                        ctx.recv_any(TAG_RESULT).await;
+                    }
+                    ctx.record("total_secs", ctx.now().since(t0).as_secs_f64());
                 }
-                ctx.reduce(0, 1024);
-            }
-            if ctx.rank() != 0 {
-                ctx.record("compute_secs", ctx.now().since(t_comp).as_secs_f64());
-                ctx.send(0, chunk_bytes, TAG_RESULT);
-            } else {
-                for _ in 1..ctx.size() {
-                    ctx.recv_any(TAG_RESULT);
-                }
-                ctx.record("total_secs", ctx.now().since(t0).as_secs_f64());
             }
         }
     }

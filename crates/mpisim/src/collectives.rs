@@ -30,22 +30,28 @@ fn prev_pow2(n: usize) -> usize {
 }
 
 /// Dissemination barrier: ⌈log₂ p⌉ rounds of 1-byte messages.
-pub(crate) fn barrier(ctx: &mut RankCtx, tag: u64) {
+pub(crate) async fn barrier(ctx: &mut RankCtx, tag: u64) {
     let p = ctx.size();
     let r = ctx.rank();
     let mut k = 1;
     while k < p {
         let to = (r + k) % p;
         let from = (r + p - k) % p;
-        let req = ctx.send_raw(to, 1, tag);
-        ctx.recv(from, tag);
-        ctx.wait(req);
+        let req = ctx.send_raw(to, 1, tag).await;
+        ctx.recv(from, tag).await;
+        ctx.wait(req).await;
         k <<= 1;
     }
 }
 
 /// Binomial-tree broadcast over an arbitrary rank subgroup.
-fn subgroup_binomial_bcast(ctx: &mut RankCtx, group: &[usize], root: usize, bytes: u64, tag: u64) {
+async fn subgroup_binomial_bcast(
+    ctx: &mut RankCtx,
+    group: &[usize],
+    root: usize,
+    bytes: u64,
+    tag: u64,
+) {
     let p = group.len();
     if p <= 1 {
         return;
@@ -63,7 +69,7 @@ fn subgroup_binomial_bcast(ctx: &mut RankCtx, group: &[usize], root: usize, byte
     let mut mask = 1usize;
     while mask < p {
         if vrank & mask != 0 {
-            ctx.recv(real(vrank - mask), tag);
+            ctx.recv(real(vrank - mask), tag).await;
             break;
         }
         mask <<= 1;
@@ -72,17 +78,23 @@ fn subgroup_binomial_bcast(ctx: &mut RankCtx, group: &[usize], root: usize, byte
     let mut reqs = Vec::new();
     while mask > 0 {
         if vrank + mask < p {
-            reqs.push(ctx.send_raw(real(vrank + mask), bytes, tag));
+            reqs.push(ctx.send_raw(real(vrank + mask), bytes, tag).await);
         }
         mask >>= 1;
     }
     for r in reqs {
-        ctx.wait(r);
+        ctx.wait(r).await;
     }
 }
 
 /// Binomial-tree reduce over an arbitrary rank subgroup.
-fn subgroup_binomial_reduce(ctx: &mut RankCtx, group: &[usize], root: usize, bytes: u64, tag: u64) {
+async fn subgroup_binomial_reduce(
+    ctx: &mut RankCtx,
+    group: &[usize],
+    root: usize,
+    bytes: u64,
+    tag: u64,
+) {
     let p = group.len();
     if p <= 1 {
         return;
@@ -100,12 +112,12 @@ fn subgroup_binomial_reduce(ctx: &mut RankCtx, group: &[usize], root: usize, byt
     let mut mask = 1usize;
     while mask < p {
         if vrank & mask != 0 {
-            let req = ctx.send_raw(real(vrank - mask), bytes, tag);
-            ctx.wait(req);
+            let req = ctx.send_raw(real(vrank - mask), bytes, tag).await;
+            ctx.wait(req).await;
             break;
         }
         if vrank + mask < p {
-            ctx.recv(real(vrank + mask), tag);
+            ctx.recv(real(vrank + mask), tag).await;
         }
         mask <<= 1;
     }
@@ -113,7 +125,7 @@ fn subgroup_binomial_reduce(ctx: &mut RankCtx, group: &[usize], root: usize, byt
 
 /// Ring allgather over a subgroup: `steps = |group| - 1` rounds of
 /// `chunk` bytes to the right neighbour.
-fn subgroup_ring_allgather(ctx: &mut RankCtx, group: &[usize], chunk: u64, tag: u64) {
+async fn subgroup_ring_allgather(ctx: &mut RankCtx, group: &[usize], chunk: u64, tag: u64) {
     let p = group.len();
     if p <= 1 {
         return;
@@ -126,41 +138,46 @@ fn subgroup_ring_allgather(ctx: &mut RankCtx, group: &[usize], chunk: u64, tag: 
     let left = group[(me + p - 1) % p];
     for _ in 0..p - 1 {
         let rr = ctx.irecv(left, tag);
-        let sr = ctx.send_raw(right, chunk, tag);
-        ctx.wait(rr);
-        ctx.wait(sr);
+        let sr = ctx.send_raw(right, chunk, tag).await;
+        ctx.wait(rr).await;
+        ctx.wait(sr).await;
     }
 }
 
 /// Binomial bcast over an explicit subgroup (sub-communicator surface).
-pub(crate) fn subgroup_bcast(
+pub(crate) async fn subgroup_bcast(
     ctx: &mut RankCtx,
     group: &[usize],
     root: usize,
     bytes: u64,
     tag: u64,
 ) {
-    subgroup_binomial_bcast(ctx, group, root, bytes, tag);
+    subgroup_binomial_bcast(ctx, group, root, bytes, tag).await;
 }
 
 /// Binomial reduce over an explicit subgroup (sub-communicator surface).
-pub(crate) fn subgroup_reduce(
+pub(crate) async fn subgroup_reduce(
     ctx: &mut RankCtx,
     group: &[usize],
     root: usize,
     bytes: u64,
     tag: u64,
 ) {
-    subgroup_binomial_reduce(ctx, group, root, bytes, tag);
+    subgroup_binomial_reduce(ctx, group, root, bytes, tag).await;
 }
 
 /// Ring allgather over an explicit subgroup (sub-communicator surface).
-pub(crate) fn subgroup_allgather(ctx: &mut RankCtx, group: &[usize], bytes_each: u64, tag: u64) {
-    subgroup_ring_allgather(ctx, group, bytes_each, tag);
+pub(crate) async fn subgroup_allgather(
+    ctx: &mut RankCtx,
+    group: &[usize],
+    bytes_each: u64,
+    tag: u64,
+) {
+    subgroup_ring_allgather(ctx, group, bytes_each, tag).await;
 }
 
 /// Dissemination barrier over an explicit subgroup.
-pub(crate) fn subgroup_barrier(ctx: &mut RankCtx, group: &[usize], tag: u64) {
+pub(crate) async fn subgroup_barrier(ctx: &mut RankCtx, group: &[usize], tag: u64) {
     let p = group.len();
     if p <= 1 {
         return;
@@ -173,16 +190,16 @@ pub(crate) fn subgroup_barrier(ctx: &mut RankCtx, group: &[usize], tag: u64) {
     while k < p {
         let to = group[(me + k) % p];
         let from = group[(me + p - k) % p];
-        let req = ctx.send_raw(to, 1, tag);
-        ctx.recv(from, tag);
-        ctx.wait(req);
+        let req = ctx.send_raw(to, 1, tag).await;
+        ctx.recv(from, tag).await;
+        ctx.wait(req).await;
         k <<= 1;
     }
 }
 
 /// Recursive-doubling allreduce over an explicit subgroup (non-power-of-two
 /// sizes fold into the nearest power of two).
-pub(crate) fn subgroup_allreduce(ctx: &mut RankCtx, group: &[usize], bytes: u64, tag: u64) {
+pub(crate) async fn subgroup_allreduce(ctx: &mut RankCtx, group: &[usize], bytes: u64, tag: u64) {
     let p = group.len();
     if p <= 1 {
         return;
@@ -195,28 +212,28 @@ pub(crate) fn subgroup_allreduce(ctx: &mut RankCtx, group: &[usize], bytes: u64,
     let extra = p - p2;
     if me >= p2 {
         let peer = group[me - p2];
-        let req = ctx.send_raw(peer, bytes, tag);
-        ctx.wait(req);
-        ctx.recv(peer, tag);
+        let req = ctx.send_raw(peer, bytes, tag).await;
+        ctx.wait(req).await;
+        ctx.recv(peer, tag).await;
         return;
     }
     if me < extra {
-        ctx.recv(group[me + p2], tag);
+        ctx.recv(group[me + p2], tag).await;
     }
     let mut mask = 1;
     while mask < p2 {
         let partner = group[me ^ mask];
-        ctx.sendrecv(partner, bytes, partner, tag);
+        ctx.sendrecv(partner, bytes, partner, tag).await;
         mask <<= 1;
     }
     if me < extra {
-        let req = ctx.send_raw(group[me + p2], bytes, tag);
-        ctx.wait(req);
+        let req = ctx.send_raw(group[me + p2], bytes, tag).await;
+        ctx.wait(req).await;
     }
 }
 
 /// `MPI_Bcast` dispatch by implementation profile.
-pub(crate) fn bcast(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64) {
+pub(crate) async fn bcast(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64) {
     use crate::profile::BcastAlgo;
     let p = ctx.size();
     if p <= 1 {
@@ -225,24 +242,24 @@ pub(crate) fn bcast(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64) {
     let suite = ctx.world().profile.collectives;
     let all: Vec<usize> = (0..p).collect();
     match suite.bcast {
-        BcastAlgo::Binomial => subgroup_binomial_bcast(ctx, &all, root, bytes, tag),
+        BcastAlgo::Binomial => subgroup_binomial_bcast(ctx, &all, root, bytes, tag).await,
         BcastAlgo::ScatterAllgather => {
             if bytes >= suite.large_threshold && p.is_power_of_two() && p > 2 {
-                scatter_allgather_bcast(ctx, root, bytes, tag);
+                scatter_allgather_bcast(ctx, root, bytes, tag).await;
             } else {
-                subgroup_binomial_bcast(ctx, &all, root, bytes, tag);
+                subgroup_binomial_bcast(ctx, &all, root, bytes, tag).await;
             }
         }
         BcastAlgo::GridAware => {
             let multi_site = ctx.world().site_groups.len() > 1;
             if multi_site && bytes >= suite.large_threshold {
-                grid_bcast(ctx, root, bytes, tag);
+                grid_bcast(ctx, root, bytes, tag).await;
             } else if multi_site {
                 // Topology-aware small-message bcast: site leaders first
                 // (one WAN hop), then intra-site trees.
-                grid_small_bcast(ctx, root, bytes, tag);
+                grid_small_bcast(ctx, root, bytes, tag).await;
             } else {
-                subgroup_binomial_bcast(ctx, &all, root, bytes, tag);
+                subgroup_binomial_bcast(ctx, &all, root, bytes, tag).await;
             }
         }
     }
@@ -250,7 +267,7 @@ pub(crate) fn bcast(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64) {
 
 /// Van de Geijn: binomial scatter + ring allgather, oblivious to sites.
 /// Requires power-of-two world size (callers fall back otherwise).
-fn scatter_allgather_bcast(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64) {
+async fn scatter_allgather_bcast(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64) {
     let p = ctx.size();
     let rank = ctx.rank();
     let vrank = (rank + p - root) % p;
@@ -260,10 +277,12 @@ fn scatter_allgather_bcast(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64)
     let mut mask = p >> 1;
     while mask >= 1 {
         if vrank.is_multiple_of(mask << 1) {
-            let req = ctx.send_raw(real(vrank + mask), bytes * mask as u64 / p as u64, tag);
-            ctx.wait(req);
+            let req = ctx
+                .send_raw(real(vrank + mask), bytes * mask as u64 / p as u64, tag)
+                .await;
+            ctx.wait(req).await;
         } else if vrank % (mask << 1) == mask {
-            ctx.recv(real(vrank - mask), tag);
+            ctx.recv(real(vrank - mask), tag).await;
         }
         if mask == 1 {
             break;
@@ -277,15 +296,15 @@ fn scatter_allgather_bcast(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64)
     let left = real((vrank + p - 1) % p);
     for _ in 0..p - 1 {
         let rr = ctx.irecv(left, tag);
-        let sr = ctx.send_raw(right, chunk, tag);
-        ctx.wait(rr);
-        ctx.wait(sr);
+        let sr = ctx.send_raw(right, chunk, tag).await;
+        ctx.wait(rr).await;
+        ctx.wait(sr).await;
     }
 }
 
 /// GridMPI small-message bcast: root → remote site leaders (parallel WAN),
 /// then intra-site binomial trees.
-fn grid_small_bcast(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64) {
+async fn grid_small_bcast(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64) {
     let groups = ctx.world().site_groups.clone();
     let rank_site = ctx.world().rank_site.clone();
     let rank = ctx.rank();
@@ -298,13 +317,13 @@ fn grid_small_bcast(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64) {
             continue;
         }
         if rank == root {
-            reqs.push(ctx.send_raw(group[0], bytes, tag));
+            reqs.push(ctx.send_raw(group[0], bytes, tag).await);
         } else if rank == group[0] {
-            ctx.recv(root, tag);
+            ctx.recv(root, tag).await;
         }
     }
     for r in reqs {
-        ctx.wait(r);
+        ctx.wait(r).await;
     }
     // Intra-site trees.
     let local_root = if my_site == root_site {
@@ -313,13 +332,13 @@ fn grid_small_bcast(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64) {
         groups[my_site][0]
     };
     let group = groups[my_site].clone();
-    subgroup_binomial_bcast(ctx, &group, local_root, bytes, tag);
+    subgroup_binomial_bcast(ctx, &group, local_root, bytes, tag).await;
 }
 
 /// GridMPI large-message bcast: intra-site bcast at the root site, then
 /// chunk-parallel inter-site transfers over multiple node pairs, then
 /// intra-site allgather at each remote site (Matsuda, Cluster'06).
-fn grid_bcast(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64) {
+async fn grid_bcast(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64) {
     let groups = ctx.world().site_groups.clone();
     let rank_site = ctx.world().rank_site.clone();
     let rank = ctx.rank();
@@ -329,7 +348,7 @@ fn grid_bcast(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64) {
 
     // Phase A: full data everywhere in the root site (cheap, LAN).
     if my_site == root_site {
-        subgroup_binomial_bcast(ctx, &root_group, root, bytes, tag);
+        subgroup_binomial_bcast(ctx, &root_group, root, bytes, tag).await;
     }
 
     // Phase B: for each remote site, min(|root site|, |site|) parallel WAN
@@ -344,19 +363,19 @@ fn grid_bcast(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64) {
         if my_site == root_site {
             if let Some(i) = root_group.iter().position(|&g| g == rank) {
                 if i < m {
-                    reqs.push(ctx.send_raw(group[i], chunk, tag));
+                    reqs.push(ctx.send_raw(group[i], chunk, tag).await);
                 }
             }
         } else if my_site == si {
             if let Some(i) = group.iter().position(|&g| g == rank) {
                 if i < m {
-                    ctx.recv(root_group[i], tag);
+                    ctx.recv(root_group[i], tag).await;
                 }
             }
         }
     }
     for r in reqs {
-        ctx.wait(r);
+        ctx.wait(r).await;
     }
 
     // Phase C: reassemble inside each remote site.
@@ -367,7 +386,7 @@ fn grid_bcast(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64) {
         let me_pos = group.iter().position(|&g| g == rank).expect("in group");
         if me_pos < m {
             let holders: Vec<usize> = group[..m].to_vec();
-            subgroup_ring_allgather(ctx, &holders, chunk, tag);
+            subgroup_ring_allgather(ctx, &holders, chunk, tag).await;
         }
         // Ranks beyond the chunk holders get the full payload from the
         // local leader.
@@ -375,26 +394,26 @@ fn grid_bcast(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64) {
             if me_pos == 0 {
                 let mut reqs = Vec::new();
                 for &g in &group[m..] {
-                    reqs.push(ctx.send_raw(g, bytes, tag));
+                    reqs.push(ctx.send_raw(g, bytes, tag).await);
                 }
                 for r in reqs {
-                    ctx.wait(r);
+                    ctx.wait(r).await;
                 }
             } else if me_pos >= m {
-                ctx.recv(group[0], tag);
+                ctx.recv(group[0], tag).await;
             }
         }
     }
 }
 
 /// Global binomial reduce to `root`.
-pub(crate) fn reduce(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64) {
+pub(crate) async fn reduce(ctx: &mut RankCtx, root: usize, bytes: u64, tag: u64) {
     let all: Vec<usize> = (0..ctx.size()).collect();
-    subgroup_binomial_reduce(ctx, &all, root, bytes, tag);
+    subgroup_binomial_reduce(ctx, &all, root, bytes, tag).await;
 }
 
 /// `MPI_Allreduce` dispatch by implementation profile.
-pub(crate) fn allreduce(ctx: &mut RankCtx, bytes: u64, tag: u64) {
+pub(crate) async fn allreduce(ctx: &mut RankCtx, bytes: u64, tag: u64) {
     use crate::profile::AllreduceAlgo;
     let p = ctx.size();
     if p <= 1 {
@@ -402,68 +421,68 @@ pub(crate) fn allreduce(ctx: &mut RankCtx, bytes: u64, tag: u64) {
     }
     let suite = ctx.world().profile.collectives;
     match suite.allreduce {
-        AllreduceAlgo::RecursiveDoubling => recursive_doubling_allreduce(ctx, bytes, tag),
+        AllreduceAlgo::RecursiveDoubling => recursive_doubling_allreduce(ctx, bytes, tag).await,
         AllreduceAlgo::Rabenseifner => {
             if bytes >= suite.large_threshold && p.is_power_of_two() && p > 2 {
-                rabenseifner_allreduce(ctx, bytes, tag);
+                rabenseifner_allreduce(ctx, bytes, tag).await;
             } else {
-                recursive_doubling_allreduce(ctx, bytes, tag);
+                recursive_doubling_allreduce(ctx, bytes, tag).await;
             }
         }
         AllreduceAlgo::GridAware => {
             // The GridMPI optimisation targets large payloads; small
             // reductions keep the default butterfly (Matsuda 2006).
             if ctx.world().site_groups.len() > 1 && bytes >= suite.large_threshold {
-                grid_allreduce(ctx, bytes, tag);
+                grid_allreduce(ctx, bytes, tag).await;
             } else {
-                recursive_doubling_allreduce(ctx, bytes, tag);
+                recursive_doubling_allreduce(ctx, bytes, tag).await;
             }
         }
     }
 }
 
-fn recursive_doubling_allreduce(ctx: &mut RankCtx, bytes: u64, tag: u64) {
+async fn recursive_doubling_allreduce(ctx: &mut RankCtx, bytes: u64, tag: u64) {
     let p = ctx.size();
     let rank = ctx.rank();
     let p2 = prev_pow2(p);
     let extra = p - p2;
     if rank >= p2 {
         // Fold into the power-of-two core, then collect the result.
-        let req = ctx.send_raw(rank - p2, bytes, tag);
-        ctx.wait(req);
-        ctx.recv(rank - p2, tag);
+        let req = ctx.send_raw(rank - p2, bytes, tag).await;
+        ctx.wait(req).await;
+        ctx.recv(rank - p2, tag).await;
         return;
     }
     if rank < extra {
-        ctx.recv(rank + p2, tag);
+        ctx.recv(rank + p2, tag).await;
     }
     let mut mask = 1;
     while mask < p2 {
         let partner = rank ^ mask;
-        ctx.sendrecv(partner, bytes, partner, tag);
+        ctx.sendrecv(partner, bytes, partner, tag).await;
         mask <<= 1;
     }
     if rank < extra {
-        let req = ctx.send_raw(rank + p2, bytes, tag);
-        ctx.wait(req);
+        let req = ctx.send_raw(rank + p2, bytes, tag).await;
+        ctx.wait(req).await;
     }
 }
 
 /// Rabenseifner: reduce-scatter (recursive halving) + allgather (recursive
 /// doubling). Power-of-two world sizes only.
-fn rabenseifner_allreduce(ctx: &mut RankCtx, bytes: u64, tag: u64) {
+async fn rabenseifner_allreduce(ctx: &mut RankCtx, bytes: u64, tag: u64) {
     let p = ctx.size();
     let rank = ctx.rank();
     let lg = p.trailing_zeros();
     for k in 0..lg {
         let partner = rank ^ (1 << k);
         let size = (bytes >> (k + 1)).max(1);
-        ctx.sendrecv(partner, size, partner, tag);
+        ctx.sendrecv(partner, size, partner, tag).await;
     }
     for k in (0..lg).rev() {
         let partner = rank ^ (1 << k);
         let size = (bytes >> (k + 1)).max(1);
-        ctx.sendrecv(partner, size, partner, tag);
+        ctx.sendrecv(partner, size, partner, tag).await;
     }
 }
 
@@ -472,7 +491,7 @@ fn rabenseifner_allreduce(ctx: &mut RankCtx, bytes: u64, tag: u64) {
 /// only the owned chunk with the counterpart rank of every other site
 /// (parallel WAN streams), then allgather within the site. Falls back to
 /// a leader-based tree for irregular layouts or tiny payloads.
-fn grid_allreduce(ctx: &mut RankCtx, bytes: u64, tag: u64) {
+async fn grid_allreduce(ctx: &mut RankCtx, bytes: u64, tag: u64) {
     let groups = ctx.world().site_groups.clone();
     let rank_site = ctx.world().rank_site.clone();
     let rank = ctx.rank();
@@ -485,24 +504,24 @@ fn grid_allreduce(ctx: &mut RankCtx, bytes: u64, tag: u64) {
         // Leader-based: intra-site reduce, leader exchange, intra-site
         // bcast.
         let leader = group[0];
-        subgroup_binomial_reduce(ctx, &group, leader, bytes, tag);
+        subgroup_binomial_reduce(ctx, &group, leader, bytes, tag).await;
         if rank == leader {
             let mut reqs = Vec::new();
             for (si, g) in groups.iter().enumerate() {
                 if si != my_site {
-                    reqs.push(ctx.send_raw(g[0], bytes, tag));
+                    reqs.push(ctx.send_raw(g[0], bytes, tag).await);
                 }
             }
             for (si, g) in groups.iter().enumerate() {
                 if si != my_site {
-                    ctx.recv(g[0], tag);
+                    ctx.recv(g[0], tag).await;
                 }
             }
             for r in reqs {
-                ctx.wait(r);
+                ctx.wait(r).await;
             }
         }
-        subgroup_binomial_bcast(ctx, &group, leader, bytes, tag);
+        subgroup_binomial_bcast(ctx, &group, leader, bytes, tag).await;
         return;
     }
 
@@ -512,7 +531,7 @@ fn grid_allreduce(ctx: &mut RankCtx, bytes: u64, tag: u64) {
     for j in 0..lg {
         let partner = group[pos ^ (1 << j)];
         let size = (bytes >> (j + 1)).max(1);
-        ctx.sendrecv(partner, size, partner, tag);
+        ctx.sendrecv(partner, size, partner, tag).await;
     }
     let chunk = (bytes / k as u64).max(1);
     // Phase B: chunk exchange with the counterpart rank of each remote
@@ -525,23 +544,23 @@ fn grid_allreduce(ctx: &mut RankCtx, bytes: u64, tag: u64) {
     }
     for (si, g) in groups.iter().enumerate() {
         if si != my_site {
-            reqs.push(ctx.send_raw(g[pos], chunk, tag));
+            reqs.push(ctx.send_raw(g[pos], chunk, tag).await);
         }
     }
-    ctx.waitall(reqs);
+    ctx.waitall(reqs).await;
     // Phase C: intra-site allgather of the reduced chunks.
-    subgroup_ring_allgather(ctx, &group, chunk, tag);
+    subgroup_ring_allgather(ctx, &group, chunk, tag).await;
 }
 
 /// Ring allgather over the whole world.
-pub(crate) fn ring_allgather(ctx: &mut RankCtx, bytes_each: u64, tag: u64) {
+pub(crate) async fn ring_allgather(ctx: &mut RankCtx, bytes_each: u64, tag: u64) {
     let all: Vec<usize> = (0..ctx.size()).collect();
-    subgroup_ring_allgather(ctx, &all, bytes_each, tag);
+    subgroup_ring_allgather(ctx, &all, bytes_each, tag).await;
 }
 
 /// Pairwise-exchange alltoall(v): `p - 1` rounds; in round `k` rank `r`
 /// sends to `r + k` and receives from `r - k`.
-pub(crate) fn alltoallv(ctx: &mut RankCtx, send_sizes: &[u64], tag: u64) {
+pub(crate) async fn alltoallv(ctx: &mut RankCtx, send_sizes: &[u64], tag: u64) {
     let p = ctx.size();
     let r = ctx.rank();
     if p <= 1 {
@@ -555,43 +574,43 @@ pub(crate) fn alltoallv(ctx: &mut RankCtx, send_sizes: &[u64], tag: u64) {
     let mut sends = Vec::with_capacity(p - 1);
     for k in 1..p {
         let to = (r + k) % p;
-        sends.push(ctx.send_raw(to, send_sizes[to].max(1), tag));
+        sends.push(ctx.send_raw(to, send_sizes[to].max(1), tag).await);
     }
-    ctx.waitall(recvs);
-    ctx.waitall(sends);
+    ctx.waitall(recvs).await;
+    ctx.waitall(sends).await;
 }
 
 /// Linear gather to `root`.
-pub(crate) fn gather(ctx: &mut RankCtx, root: usize, bytes_each: u64, tag: u64) {
+pub(crate) async fn gather(ctx: &mut RankCtx, root: usize, bytes_each: u64, tag: u64) {
     let p = ctx.size();
     let r = ctx.rank();
     if r == root {
         for k in 0..p {
             if k != root {
-                ctx.recv(k, tag);
+                ctx.recv(k, tag).await;
             }
         }
     } else {
-        let req = ctx.send_raw(root, bytes_each, tag);
-        ctx.wait(req);
+        let req = ctx.send_raw(root, bytes_each, tag).await;
+        ctx.wait(req).await;
     }
 }
 
 /// Linear scatter from `root`.
-pub(crate) fn scatter(ctx: &mut RankCtx, root: usize, bytes_each: u64, tag: u64) {
+pub(crate) async fn scatter(ctx: &mut RankCtx, root: usize, bytes_each: u64, tag: u64) {
     let p = ctx.size();
     let r = ctx.rank();
     if r == root {
         let mut reqs = Vec::new();
         for k in 0..p {
             if k != root {
-                reqs.push(ctx.send_raw(k, bytes_each, tag));
+                reqs.push(ctx.send_raw(k, bytes_each, tag).await);
             }
         }
         for req in reqs {
-            ctx.wait(req);
+            ctx.wait(req).await;
         }
     } else {
-        ctx.recv(root, tag);
+        ctx.recv(root, tag).await;
     }
 }

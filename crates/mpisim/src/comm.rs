@@ -63,44 +63,49 @@ impl RankCtx {
 
     /// Binomial broadcast within a sub-communicator from communicator
     /// root index `root`.
-    pub fn comm_bcast(&mut self, comm: &SubComm, root: usize, bytes: u64) {
+    pub async fn comm_bcast(&mut self, comm: &SubComm, root: usize, bytes: u64) {
         let group = comm.ranks.clone();
         let root_world = comm.world_rank(root);
-        self.coll_on("comm_bcast", bytes, |ctx, tag| {
-            collectives::subgroup_bcast(ctx, &group, root_world, bytes, tag);
-        });
+        self.coll_on("comm_bcast", bytes, async |ctx, tag| {
+            collectives::subgroup_bcast(ctx, &group, root_world, bytes, tag).await;
+        })
+        .await;
     }
 
     /// Binomial reduce within a sub-communicator to root index `root`.
-    pub fn comm_reduce(&mut self, comm: &SubComm, root: usize, bytes: u64) {
+    pub async fn comm_reduce(&mut self, comm: &SubComm, root: usize, bytes: u64) {
         let group = comm.ranks.clone();
         let root_world = comm.world_rank(root);
-        self.coll_on("comm_reduce", bytes, |ctx, tag| {
-            collectives::subgroup_reduce(ctx, &group, root_world, bytes, tag);
-        });
+        self.coll_on("comm_reduce", bytes, async |ctx, tag| {
+            collectives::subgroup_reduce(ctx, &group, root_world, bytes, tag).await;
+        })
+        .await;
     }
 
     /// Recursive-doubling allreduce within a sub-communicator.
-    pub fn comm_allreduce(&mut self, comm: &SubComm, bytes: u64) {
+    pub async fn comm_allreduce(&mut self, comm: &SubComm, bytes: u64) {
         let group = comm.ranks.clone();
-        self.coll_on("comm_allreduce", bytes, |ctx, tag| {
-            collectives::subgroup_allreduce(ctx, &group, bytes, tag);
-        });
+        self.coll_on("comm_allreduce", bytes, async |ctx, tag| {
+            collectives::subgroup_allreduce(ctx, &group, bytes, tag).await;
+        })
+        .await;
     }
 
     /// Ring allgather within a sub-communicator (`bytes_each` per member).
-    pub fn comm_allgather(&mut self, comm: &SubComm, bytes_each: u64) {
+    pub async fn comm_allgather(&mut self, comm: &SubComm, bytes_each: u64) {
         let group = comm.ranks.clone();
-        self.coll_on("comm_allgather", bytes_each, |ctx, tag| {
-            collectives::subgroup_allgather(ctx, &group, bytes_each, tag);
-        });
+        self.coll_on("comm_allgather", bytes_each, async |ctx, tag| {
+            collectives::subgroup_allgather(ctx, &group, bytes_each, tag).await;
+        })
+        .await;
     }
 
     /// Dissemination barrier within a sub-communicator.
-    pub fn comm_barrier(&mut self, comm: &SubComm) {
+    pub async fn comm_barrier(&mut self, comm: &SubComm) {
         let group = comm.ranks.clone();
-        self.coll_on("comm_barrier", 0, |ctx, tag| {
-            collectives::subgroup_barrier(ctx, &group, tag);
-        });
+        self.coll_on("comm_barrier", 0, async |ctx, tag| {
+            collectives::subgroup_barrier(ctx, &group, tag).await;
+        })
+        .await;
     }
 }

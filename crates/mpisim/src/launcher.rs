@@ -1,10 +1,12 @@
 //! The `mpirun` analogue: place ranks on nodes, apply a profile and
 //! tuning, execute an SPMD program, and collect the run report.
 
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
 
 use desim::fault::{FaultKind, FaultPlan};
-use desim::{Sim, SimDuration, SimError, SimTime};
+use desim::{Cx, Sim, SimDuration, SimError, SimTime};
 
 use netsim::{Network, NodeId};
 
@@ -13,18 +15,56 @@ use crate::rank::RankCtx;
 use crate::stats::CommStats;
 use crate::world::WorldInner;
 
-/// An MPI program: SPMD body run by every rank.
-pub trait MpiProgram: Send + Sync + 'static {
-    /// The per-rank body.
-    fn run(&self, ctx: &mut RankCtx);
+/// How simulated ranks execute.
+///
+/// Both engines drive the same rank programs through the same event queue
+/// and produce bit-identical event streams and virtual times (the golden
+/// digest suite pins this); they differ only in host-side mechanics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Engine {
+    /// One parked OS thread per rank; every blocking MPI call costs two
+    /// context switches. Kept as the determinism oracle while the pooled
+    /// engine is new; caps worlds at a few thousand ranks.
+    Threaded,
+    /// Ranks are stackless continuations multiplexed onto the kernel's
+    /// dispatch loop: no thread per rank, no context switch per call.
+    /// Scales to tens of thousands of ranks in one process. The default.
+    Pooled,
 }
 
-impl<F> MpiProgram for F
+impl Engine {
+    /// The default engine, honouring the `MPISIM_ENGINE` environment
+    /// variable (`threaded` or `pooled`; anything else — including unset —
+    /// means pooled).
+    pub fn from_env() -> Engine {
+        match std::env::var("MPISIM_ENGINE").as_deref() {
+            Ok("threaded") => Engine::Threaded,
+            _ => Engine::Pooled,
+        }
+    }
+}
+
+/// An MPI program: SPMD body run by every rank. Implemented automatically
+/// for async closures taking the rank's [`RankCtx`] by value:
+///
+/// ```ignore
+/// job.run(|mut ctx: RankCtx| async move {
+///     ctx.barrier().await;
+/// })
+/// ```
+pub trait MpiProgram: Send + Sync + 'static {
+    /// The per-rank body, as a boxed future (the engine decides how to
+    /// drive it).
+    fn run(&self, ctx: RankCtx) -> Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+}
+
+impl<F, Fut> MpiProgram for F
 where
-    F: Fn(&mut RankCtx) + Send + Sync + 'static,
+    F: Fn(RankCtx) -> Fut + Send + Sync + 'static,
+    Fut: Future<Output = ()> + Send + 'static,
 {
-    fn run(&self, ctx: &mut RankCtx) {
-        self(ctx)
+    fn run(&self, ctx: RankCtx) -> Pin<Box<dyn Future<Output = ()> + Send + 'static>> {
+        Box::pin(self(ctx))
     }
 }
 
@@ -51,6 +91,8 @@ pub struct MpiJob {
     /// timed link flaps, NIC stalls, and rank kills. `None` (and the empty
     /// plan) leave every run bit-identical to a fault-free one.
     pub faults: Option<FaultPlan>,
+    /// Rank execution engine (defaults to [`Engine::from_env`]).
+    pub engine: Engine,
 }
 
 impl MpiJob {
@@ -65,7 +107,15 @@ impl MpiJob {
             recorder: None,
             deadline: None,
             faults: None,
+            engine: Engine::from_env(),
         }
+    }
+
+    /// Select the rank execution engine explicitly (tests comparing the
+    /// two engines use this; everyone else keeps the default).
+    pub fn with_engine(mut self, engine: Engine) -> MpiJob {
+        self.engine = engine;
+        self
     }
 
     /// Apply tuning overrides.
@@ -171,18 +221,34 @@ impl MpiJob {
                 // workload are inert.
             });
         }
+        let engine = self.engine;
         let mut finish_times = Vec::new();
         for rank in 0..n {
             let world = Arc::clone(&world);
             let program = Arc::clone(&program);
             let (tx, rx) = desim::completion::<SimTime>();
             finish_times.push(rx);
-            sim.spawn(format!("rank{rank}"), move |p| {
-                let mut ctx = RankCtx::new(rank, p, world);
-                program.run(&mut ctx);
-                let now = ctx.now();
-                tx.fire(ctx.proc(), now);
-            });
+            match engine {
+                Engine::Pooled => {
+                    sim.spawn_task(format!("rank{rank}"), move |cx| async move {
+                        let sched = cx.sched();
+                        let ctx = RankCtx::new(rank, cx, world);
+                        program.run(ctx).await;
+                        tx.fire_from(&sched, sched.now());
+                    });
+                }
+                Engine::Threaded => {
+                    sim.spawn(format!("rank{rank}"), move |p| {
+                        let cx = Cx::from_proc(p);
+                        let sched = cx.sched();
+                        let ctx = RankCtx::new(rank, cx, world);
+                        // A thread-backed rank blocks inside poll, so the
+                        // whole program future resolves in one call.
+                        desim::run_sync(program.run(ctx));
+                        tx.fire_from(&sched, sched.now());
+                    });
+                }
+            }
         }
         let end = match deadline {
             Some(limit) => sim.run_until(limit)?,

@@ -23,14 +23,14 @@
 //!     MpiImpl::Mpich2,
 //! );
 //! let report = job
-//!     .run(|ctx: &mut mpisim::RankCtx| {
+//!     .run(|mut ctx: mpisim::RankCtx| async move {
 //!         const TAG: u64 = 1;
 //!         if ctx.rank() == 0 {
-//!             ctx.send(1, 1, TAG);
-//!             ctx.recv(1, TAG);
+//!             ctx.send(1, 1, TAG).await;
+//!             ctx.recv(1, TAG).await;
 //!         } else {
-//!             ctx.recv(0, TAG);
-//!             ctx.send(0, 1, TAG);
+//!             ctx.recv(0, TAG).await;
+//!             ctx.send(0, 1, TAG).await;
 //!         }
 //!     })
 //!     .unwrap();
@@ -52,7 +52,7 @@ mod world;
 pub use comm::SubComm;
 pub use desim::fault::{FaultEvent, FaultKind, FaultPlan};
 pub use error::{FaultPolicy, MpiError};
-pub use launcher::{MpiJob, MpiProgram, RunReport};
+pub use launcher::{Engine, MpiJob, MpiProgram, RunReport};
 pub use profile::{
     AllreduceAlgo, BcastAlgo, CollectiveSuite, ImplProfile, MpiImpl, SocketPolicy, Tuning,
 };

@@ -6,10 +6,17 @@
 //! (`barrier`, `bcast`, `reduce`, `allreduce`, `allgather`, `alltoall`,
 //! `alltoallv`, `gather`, `scatter`). Payloads are sizes, not data — the
 //! simulator models time, not values.
+//!
+//! Rank programs are `async`: every potentially blocking operation
+//! returns a future, and the engine decides how a suspended rank waits —
+//! parked on its own OS thread (threaded engine) or as a pooled
+//! continuation polled inline by the kernel (pooled engine, the default).
+//! The two engines produce bit-identical event streams; see
+//! `desim::exec` for the blocking-point contract.
 
 use std::sync::Arc;
 
-use desim::{Completion, Proc, SimDuration, SimTime};
+use desim::{Completion, Cx, SimDuration, SimTime};
 
 use crate::collectives;
 use crate::error::{FaultPolicy, MpiError};
@@ -48,7 +55,7 @@ impl Request {
 pub struct RankCtx {
     rank: usize,
     size: usize,
-    proc: Proc,
+    cx: Cx,
     world: Arc<WorldInner>,
     gflops: f64,
     pub(crate) coll_seq: u64,
@@ -57,12 +64,12 @@ pub struct RankCtx {
 }
 
 impl RankCtx {
-    pub(crate) fn new(rank: usize, proc: Proc, world: Arc<WorldInner>) -> RankCtx {
+    pub(crate) fn new(rank: usize, cx: Cx, world: Arc<WorldInner>) -> RankCtx {
         let gflops = world.net.cpu_gflops(world.placement[rank]);
         RankCtx {
             rank,
             size: world.size(),
-            proc,
+            cx,
             world,
             gflops,
             coll_seq: 0,
@@ -83,12 +90,12 @@ impl RankCtx {
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.proc.now()
+        self.cx.now()
     }
 
-    /// The underlying simulation process handle.
-    pub fn proc(&self) -> &Proc {
-        &self.proc
+    /// The underlying execution context handle.
+    pub fn cx(&self) -> &Cx {
+        &self.cx
     }
 
     /// The node's compute rate in Gflop/s (heterogeneous across sites).
@@ -107,14 +114,15 @@ impl RankCtx {
     }
 
     /// Model `gflop` billion floating-point operations of local compute.
-    pub fn compute_gflop(&self, gflop: f64) {
-        self.compute(SimDuration::from_secs_f64(gflop / self.gflops));
+    pub async fn compute_gflop(&self, gflop: f64) {
+        self.compute(SimDuration::from_secs_f64(gflop / self.gflops))
+            .await;
     }
 
     /// Model a fixed amount of local compute time.
-    pub fn compute(&self, d: SimDuration) {
-        let t0 = self.proc.now();
-        self.proc.advance(d);
+    pub async fn compute(&self, d: SimDuration) {
+        let t0 = self.cx.now();
+        self.cx.advance(d).await;
         self.trace(TraceKind::Compute, None, 0, t0, 0);
     }
 
@@ -128,7 +136,7 @@ impl RankCtx {
                 peer: peer.map(|p| p as i64).unwrap_or(-1),
                 bytes,
                 start_ns: start.as_nanos(),
-                end_ns: self.proc.now().as_nanos(),
+                end_ns: self.cx.now().as_nanos(),
                 msg_id,
             });
         }
@@ -139,7 +147,7 @@ impl RankCtx {
                 peer,
                 bytes,
                 start_ns: start.as_nanos(),
-                end_ns: self.proc.now().as_nanos(),
+                end_ns: self.cx.now().as_nanos(),
                 msg_id,
             });
         }
@@ -150,7 +158,7 @@ impl RankCtx {
     /// trace's fault track. No-op without a recorder; never affects
     /// timing either way.
     pub fn emit_fault(&self, kind: &'static str, subject: u64, info: f64) {
-        let s = self.proc.sched();
+        let s = self.cx.sched();
         self.world.emit_fault(&s, kind, subject, info);
     }
 
@@ -162,7 +170,7 @@ impl RankCtx {
             rec.record(&desim::obs::Event::Phase {
                 rank: self.rank as u64,
                 name,
-                t_ns: self.proc.now().as_nanos(),
+                t_ns: self.cx.now().as_nanos(),
             });
         }
     }
@@ -175,24 +183,25 @@ impl RankCtx {
             .push((self.rank, key.into(), value));
     }
 
-    fn pay_overhead(&self, peer: usize) {
-        self.proc.advance(self.world.overhead(self.rank, peer));
+    async fn pay_overhead(&self, peer: usize) {
+        self.cx.advance(self.world.overhead(self.rank, peer)).await;
     }
 
     /// Blocking standard-mode send (`MPI_Send`): eager messages buffer and
     /// return, rendezvous messages block until delivered.
-    pub fn send(&mut self, dst: usize, bytes: u64, tag: u64) {
-        let r = self.isend(dst, bytes, tag);
-        self.wait(r);
+    pub async fn send(&mut self, dst: usize, bytes: u64, tag: u64) {
+        let r = self.isend(dst, bytes, tag).await;
+        self.wait(r).await;
     }
 
-    /// Nonblocking send (`MPI_Isend`).
-    pub fn isend(&mut self, dst: usize, bytes: u64, tag: u64) -> Request {
+    /// Nonblocking send (`MPI_Isend`). Async only for the per-message
+    /// software overhead; the transfer itself never blocks the caller.
+    pub async fn isend(&mut self, dst: usize, bytes: u64, tag: u64) -> Request {
         if !self.in_collective {
             self.world.stats.lock().record_p2p(bytes);
         }
-        let t0 = self.proc.now();
-        let r = self.send_raw(dst, bytes, tag);
+        let t0 = self.cx.now();
+        let r = self.send_raw(dst, bytes, tag).await;
         if !self.in_collective {
             self.trace(TraceKind::Send, Some(dst), bytes, t0, r.msg_id());
         }
@@ -201,10 +210,10 @@ impl RankCtx {
 
     /// Internal send without application-level statistics (collective
     /// steps).
-    pub(crate) fn send_raw(&mut self, dst: usize, bytes: u64, tag: u64) -> Request {
+    pub(crate) async fn send_raw(&mut self, dst: usize, bytes: u64, tag: u64) -> Request {
         self.world.stats.lock().record_pair(self.rank, dst, bytes);
-        self.pay_overhead(dst);
-        let s = self.proc.sched();
+        self.pay_overhead(dst).await;
+        let s = self.cx.sched();
         let msg_id = self.world.next_msg_id(self.rank, dst);
         if bytes <= self.world.eager_threshold {
             self.world.stats.lock().record_wire(bytes + HEADER_BYTES);
@@ -222,19 +231,19 @@ impl RankCtx {
     }
 
     /// Blocking receive from a specific source and tag (`MPI_Recv`).
-    pub fn recv(&mut self, src: usize, tag: u64) -> MsgInfo {
-        self.recv_sel(Some(src), Some(tag))
+    pub async fn recv(&mut self, src: usize, tag: u64) -> MsgInfo {
+        self.recv_sel(Some(src), Some(tag)).await
     }
 
     /// Blocking receive from any source (`MPI_ANY_SOURCE`).
-    pub fn recv_any(&mut self, tag: u64) -> MsgInfo {
-        self.recv_sel(None, Some(tag))
+    pub async fn recv_any(&mut self, tag: u64) -> MsgInfo {
+        self.recv_sel(None, Some(tag)).await
     }
 
     /// Blocking receive with full wildcard control.
-    pub fn recv_sel(&mut self, src: Option<usize>, tag: Option<u64>) -> MsgInfo {
+    pub async fn recv_sel(&mut self, src: Option<usize>, tag: Option<u64>) -> MsgInfo {
         let r = self.irecv_sel(src, tag);
-        self.wait(r).expect("receive yields a message")
+        self.wait(r).await.expect("receive yields a message")
     }
 
     /// Nonblocking receive (`MPI_Irecv`).
@@ -244,7 +253,7 @@ impl RankCtx {
 
     /// Nonblocking receive with wildcards.
     pub fn irecv_sel(&mut self, src: Option<usize>, tag: Option<u64>) -> Request {
-        let s = self.proc.sched();
+        let s = self.cx.sched();
         match self.world.post_recv(&s, self.rank, src, tag) {
             Posted::Immediate(done) => Request(ReqInner::RecvImmediate(done.info, done.copy)),
             Posted::Pending { id, rx } => Request(ReqInner::Recv(id, rx)),
@@ -267,49 +276,49 @@ impl RankCtx {
     /// True if `rank` is currently inside a failure window (perfect
     /// failure detector).
     pub fn peer_failed(&self, rank: usize) -> bool {
-        self.world.rank_failed(rank, self.proc.now())
+        self.world.rank_failed(rank, self.cx.now())
     }
 
     /// Fallible blocking send: retries per the fault policy while the
     /// peer is down, then reports [`MpiError::PeerFailed`]. Detects the
     /// caller's own death between attempts.
-    pub fn try_send(&mut self, dst: usize, bytes: u64, tag: u64) -> Result<(), MpiError> {
+    pub async fn try_send(&mut self, dst: usize, bytes: u64, tag: u64) -> Result<(), MpiError> {
         let mut attempt = 0u32;
         loop {
             if self.peer_failed(self.rank) {
                 return Err(MpiError::SelfFailed);
             }
             if !self.peer_failed(dst) {
-                let r = self.isend(dst, bytes, tag);
-                return self.try_wait(r).map(|_| ());
+                let r = self.isend(dst, bytes, tag).await;
+                return self.try_wait(r).await.map(|_| ());
             }
             if attempt >= self.policy.retries {
                 return Err(MpiError::PeerFailed { rank: dst });
             }
-            self.proc.advance(self.policy.backoff(attempt));
+            self.cx.advance(self.policy.backoff(attempt)).await;
             attempt += 1;
         }
     }
 
     /// Fallible blocking receive from a specific source and tag.
-    pub fn try_recv(&mut self, src: usize, tag: u64) -> Result<MsgInfo, MpiError> {
-        self.try_recv_sel(Some(src), Some(tag))
+    pub async fn try_recv(&mut self, src: usize, tag: u64) -> Result<MsgInfo, MpiError> {
+        self.try_recv_sel(Some(src), Some(tag)).await
     }
 
     /// Fallible blocking receive from any source.
-    pub fn try_recv_any(&mut self, tag: u64) -> Result<MsgInfo, MpiError> {
-        self.try_recv_sel(None, Some(tag))
+    pub async fn try_recv_any(&mut self, tag: u64) -> Result<MsgInfo, MpiError> {
+        self.try_recv_sel(None, Some(tag)).await
     }
 
     /// Fallible blocking receive with wildcards. Honors the policy's
     /// `recv_timeout`.
-    pub fn try_recv_sel(
+    pub async fn try_recv_sel(
         &mut self,
         src: Option<usize>,
         tag: Option<u64>,
     ) -> Result<MsgInfo, MpiError> {
         let r = self.irecv_sel(src, tag);
-        match self.try_wait(r)? {
+        match self.try_wait(r).await? {
             Some(info) => Ok(info),
             None => unreachable!("receive requests always carry an envelope"),
         }
@@ -320,30 +329,30 @@ impl RankCtx {
     /// arms a one-shot cancellation timer; the timer finds nothing to do
     /// when the message wins the race, so it never disturbs a successful
     /// receive's timing.
-    pub fn try_wait(&mut self, r: Request) -> Result<Option<MsgInfo>, MpiError> {
+    pub async fn try_wait(&mut self, r: Request) -> Result<Option<MsgInfo>, MpiError> {
         match r.0 {
             ReqInner::Done(_, info) => Ok(info),
             ReqInner::Send(msg_id, c) => {
-                let t0 = self.proc.now();
-                let res = c.wait(&self.proc);
+                let t0 = self.cx.now();
+                let res = self.cx.wait(c).await;
                 if !self.in_collective {
                     self.trace(TraceKind::WaitSend, None, 0, t0, msg_id);
                 }
                 res.map(|()| None)
             }
             ReqInner::Recv(id, c) => {
-                let t0 = self.proc.now();
+                let t0 = self.cx.now();
                 if let (Some(timeout), Some(id)) = (self.policy.recv_timeout, id) {
                     let w = Arc::clone(&self.world);
                     let me = self.rank;
-                    let s = self.proc.sched();
-                    s.call_at(self.proc.now() + timeout, move |s2| {
+                    let s = self.cx.sched();
+                    s.call_at(self.cx.now() + timeout, move |s2| {
                         w.cancel_posted(s2, me, id, timeout);
                     });
                 }
-                let done = c.wait(&self.proc)?;
+                let done = self.cx.wait(c).await?;
                 if !done.copy.is_zero() {
-                    self.proc.advance(done.copy);
+                    self.cx.advance(done.copy).await;
                 }
                 if !self.in_collective {
                     self.trace(
@@ -357,9 +366,9 @@ impl RankCtx {
                 Ok(Some(done.info))
             }
             ReqInner::RecvImmediate(info, copy) => {
-                let t0 = self.proc.now();
+                let t0 = self.cx.now();
                 if !copy.is_zero() {
-                    self.proc.advance(copy);
+                    self.cx.advance(copy).await;
                 }
                 if !self.in_collective {
                     self.trace(TraceKind::Recv, Some(info.src), info.bytes, t0, info.msg_id);
@@ -371,11 +380,14 @@ impl RankCtx {
 
     /// Fallible `MPI_Waitall`: first failure wins; remaining requests are
     /// still waited on (so no completion is leaked mid-collective).
-    pub fn try_waitall(&mut self, rs: Vec<Request>) -> Result<Vec<Option<MsgInfo>>, MpiError> {
+    pub async fn try_waitall(
+        &mut self,
+        rs: Vec<Request>,
+    ) -> Result<Vec<Option<MsgInfo>>, MpiError> {
         let mut out = Vec::with_capacity(rs.len());
         let mut first_err = None;
         for r in rs {
-            match self.try_wait(r) {
+            match self.try_wait(r).await {
                 Ok(info) => out.push(info),
                 Err(e) => first_err = first_err.or(Some(e)),
             }
@@ -389,39 +401,54 @@ impl RankCtx {
     /// Complete a request (`MPI_Wait`). Returns the envelope for receives.
     /// Panics on injected faults — use [`RankCtx::try_wait`] in
     /// fault-tolerant programs.
-    pub fn wait(&mut self, r: Request) -> Option<MsgInfo> {
+    pub async fn wait(&mut self, r: Request) -> Option<MsgInfo> {
         self.try_wait(r)
+            .await
             .unwrap_or_else(|e| panic!("MPI operation failed: {e}"))
     }
 
     /// Complete a set of requests (`MPI_Waitall`).
-    pub fn waitall(&mut self, rs: Vec<Request>) -> Vec<Option<MsgInfo>> {
-        rs.into_iter().map(|r| self.wait(r)).collect()
+    pub async fn waitall(&mut self, rs: Vec<Request>) -> Vec<Option<MsgInfo>> {
+        let mut out = Vec::with_capacity(rs.len());
+        for r in rs {
+            out.push(self.wait(r).await);
+        }
+        out
     }
 
     /// Simultaneous send and receive (`MPI_Sendrecv`).
-    pub fn sendrecv(&mut self, dst: usize, send_bytes: u64, src: usize, tag: u64) -> MsgInfo {
+    pub async fn sendrecv(&mut self, dst: usize, send_bytes: u64, src: usize, tag: u64) -> MsgInfo {
         let rr = self.irecv(src, tag);
-        let sr = self.isend(dst, send_bytes, tag);
-        let info = self.wait(rr).expect("sendrecv receives");
-        self.wait(sr);
+        let sr = self.isend(dst, send_bytes, tag).await;
+        let info = self.wait(rr).await.expect("sendrecv receives");
+        self.wait(sr).await;
         info
     }
 
     // ----- collectives (delegate to `collectives`) -----
 
     /// Shared collective prologue/epilogue for sub-communicator operations.
-    pub(crate) fn coll_on(&mut self, op: &str, bytes: u64, f: impl FnOnce(&mut RankCtx, u64)) {
-        self.coll(op, bytes, f)
+    pub(crate) async fn coll_on(
+        &mut self,
+        op: &str,
+        bytes: u64,
+        f: impl AsyncFnOnce(&mut RankCtx, u64),
+    ) {
+        self.coll(op, bytes, f).await
     }
 
-    fn coll<R>(&mut self, op: &str, bytes: u64, f: impl FnOnce(&mut RankCtx, u64) -> R) -> R {
+    async fn coll<R>(
+        &mut self,
+        op: &str,
+        bytes: u64,
+        f: impl AsyncFnOnce(&mut RankCtx, u64) -> R,
+    ) -> R {
         self.world.stats.lock().record_collective(op, bytes);
         self.coll_seq += 1;
         let tag = collectives::coll_tag(self.coll_seq);
         let was = std::mem::replace(&mut self.in_collective, true);
-        let t0 = self.proc.now();
-        let r = f(self, tag);
+        let t0 = self.cx.now();
+        let r = f(self, tag).await;
         self.in_collective = was;
         if !was {
             let kind = TraceKind::Collective(match op {
@@ -442,66 +469,74 @@ impl RankCtx {
     }
 
     /// `MPI_Barrier` (dissemination algorithm).
-    pub fn barrier(&mut self) {
-        self.coll("barrier", 0, collectives::barrier);
+    pub async fn barrier(&mut self) {
+        self.coll("barrier", 0, collectives::barrier).await;
     }
 
     /// `MPI_Bcast` of `bytes` from `root` (algorithm per implementation).
-    pub fn bcast(&mut self, root: usize, bytes: u64) {
-        self.coll("bcast", bytes, |c, tag| {
-            collectives::bcast(c, root, bytes, tag)
-        });
+    pub async fn bcast(&mut self, root: usize, bytes: u64) {
+        self.coll("bcast", bytes, async |c, tag| {
+            collectives::bcast(c, root, bytes, tag).await
+        })
+        .await;
     }
 
     /// `MPI_Reduce` of `bytes` to `root` (binomial tree).
-    pub fn reduce(&mut self, root: usize, bytes: u64) {
-        self.coll("reduce", bytes, |c, tag| {
-            collectives::reduce(c, root, bytes, tag)
-        });
+    pub async fn reduce(&mut self, root: usize, bytes: u64) {
+        self.coll("reduce", bytes, async |c, tag| {
+            collectives::reduce(c, root, bytes, tag).await
+        })
+        .await;
     }
 
     /// `MPI_Allreduce` of `bytes` (algorithm per implementation).
-    pub fn allreduce(&mut self, bytes: u64) {
-        self.coll("allreduce", bytes, |c, tag| {
-            collectives::allreduce(c, bytes, tag)
-        });
+    pub async fn allreduce(&mut self, bytes: u64) {
+        self.coll("allreduce", bytes, async |c, tag| {
+            collectives::allreduce(c, bytes, tag).await
+        })
+        .await;
     }
 
     /// `MPI_Allgather` with `bytes_each` contributed per rank (ring).
-    pub fn allgather(&mut self, bytes_each: u64) {
-        self.coll("allgather", bytes_each, |c, tag| {
-            collectives::ring_allgather(c, bytes_each, tag)
-        });
+    pub async fn allgather(&mut self, bytes_each: u64) {
+        self.coll("allgather", bytes_each, async |c, tag| {
+            collectives::ring_allgather(c, bytes_each, tag).await
+        })
+        .await;
     }
 
     /// `MPI_Alltoall` with `bytes_per_pair` exchanged between every pair.
-    pub fn alltoall(&mut self, bytes_per_pair: u64) {
-        self.coll("alltoall", bytes_per_pair, |c, tag| {
+    pub async fn alltoall(&mut self, bytes_per_pair: u64) {
+        self.coll("alltoall", bytes_per_pair, async |c, tag| {
             let sizes = vec![bytes_per_pair; c.size()];
-            collectives::alltoallv(c, &sizes, tag)
-        });
+            collectives::alltoallv(c, &sizes, tag).await
+        })
+        .await;
     }
 
     /// `MPI_Alltoallv`: `send_sizes[d]` bytes go to rank `d`.
-    pub fn alltoallv(&mut self, send_sizes: &[u64]) {
+    pub async fn alltoallv(&mut self, send_sizes: &[u64]) {
         let total: u64 = send_sizes.iter().sum();
         let sizes = send_sizes.to_vec();
-        self.coll("alltoallv", total, move |c, tag| {
-            collectives::alltoallv(c, &sizes, tag)
-        });
+        self.coll("alltoallv", total, async move |c, tag| {
+            collectives::alltoallv(c, &sizes, tag).await
+        })
+        .await;
     }
 
     /// `MPI_Gather` of `bytes_each` per rank to `root` (linear).
-    pub fn gather(&mut self, root: usize, bytes_each: u64) {
-        self.coll("gather", bytes_each, |c, tag| {
-            collectives::gather(c, root, bytes_each, tag)
-        });
+    pub async fn gather(&mut self, root: usize, bytes_each: u64) {
+        self.coll("gather", bytes_each, async |c, tag| {
+            collectives::gather(c, root, bytes_each, tag).await
+        })
+        .await;
     }
 
     /// `MPI_Scatter` of `bytes_each` per rank from `root` (linear).
-    pub fn scatter(&mut self, root: usize, bytes_each: u64) {
-        self.coll("scatter", bytes_each, |c, tag| {
-            collectives::scatter(c, root, bytes_each, tag)
-        });
+    pub async fn scatter(&mut self, root: usize, bytes_each: u64) {
+        self.coll("scatter", bytes_each, async |c, tag| {
+            collectives::scatter(c, root, bytes_each, tag).await
+        })
+        .await;
     }
 }

@@ -129,10 +129,12 @@ pub(crate) struct WorldInner {
     /// virtual times `< until` (`SimTime::MAX` = no restart).
     failed: Vec<Mutex<Option<SimTime>>>,
     next_posted_id: AtomicU64,
-    /// Per-directed-pair message sequence counters (`src * n + dst`).
+    /// Per-directed-pair message sequence counters, keyed `(src, dst)` and
+    /// created on first use — dense `n × n` storage would cost O(n²) memory
+    /// at rank scale while real traffic touches only O(active pairs).
     /// Ids are assigned at the MPI layer, before any network timing, so
     /// they are identical with the TCP fast path on or off.
-    msg_seq: Vec<AtomicU64>,
+    msg_seq: Mutex<HashMap<(usize, usize), u64>>,
     channels: Mutex<HashMap<(usize, usize, u32), ChannelId>>,
     pub stats: Mutex<CommStats>,
     pub records: Mutex<Vec<(usize, String, f64)>>,
@@ -185,7 +187,7 @@ impl WorldInner {
             matchers: (0..n).map(|_| Mutex::new(RankMatch::default())).collect(),
             failed: (0..n).map(|_| Mutex::new(None)).collect(),
             next_posted_id: AtomicU64::new(1),
-            msg_seq: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+            msg_seq: Mutex::new(HashMap::new()),
             channels: Mutex::new(HashMap::new()),
             stats: Mutex::new(CommStats::default()),
             records: Mutex::new(Vec::new()),
@@ -203,10 +205,11 @@ impl WorldInner {
     /// the pair index in the high 32 bits, a 1-based per-pair sequence
     /// number in the low 32. Never 0, so 0 can mean "no message".
     pub(crate) fn next_msg_id(&self, src: usize, dst: usize) -> u64 {
-        let n = self.size();
-        let pair = src * n + dst;
-        let seq = self.msg_seq[pair].fetch_add(1, Ordering::Relaxed) + 1;
-        ((pair as u64) << 32) | (seq & 0xffff_ffff)
+        let pair = src * self.size() + dst;
+        let mut g = self.msg_seq.lock();
+        let seq = g.entry((src, dst)).or_insert(0);
+        *seq += 1;
+        ((pair as u64) << 32) | (*seq & 0xffff_ffff)
     }
 
     /// True if the two ranks live on different sites (WAN path).

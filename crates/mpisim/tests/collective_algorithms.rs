@@ -26,9 +26,9 @@ fn bcast_secs(algo: BcastAlgo, bytes: u64, split: bool) -> f64 {
     let report = MpiJob::new(net, placement, MpiImpl::GridMpi)
         .with_profile(profile)
         .with_tuning(Tuning::none())
-        .run(move |ctx: &mut RankCtx| {
+        .run(move |mut ctx: RankCtx| async move {
             for _ in 0..5 {
-                ctx.bcast(0, bytes);
+                ctx.bcast(0, bytes).await;
             }
         })
         .expect("bcast completes");
@@ -42,9 +42,9 @@ fn allreduce_secs(algo: AllreduceAlgo, bytes: u64, split: bool) -> f64 {
     let report = MpiJob::new(net, placement, MpiImpl::GridMpi)
         .with_profile(profile)
         .with_tuning(Tuning::none())
-        .run(move |ctx: &mut RankCtx| {
+        .run(move |mut ctx: RankCtx| async move {
             for _ in 0..5 {
-                ctx.allreduce(bytes);
+                ctx.allreduce(bytes).await;
             }
         })
         .expect("allreduce completes");
@@ -112,9 +112,9 @@ fn barrier_scales_logarithmically() {
     fn barrier_secs(ranks: usize) -> f64 {
         let (net, placement) = testbed(false);
         let report = MpiJob::new(net, placement[..ranks].to_vec(), MpiImpl::Mpich2)
-            .run(|ctx: &mut RankCtx| {
+            .run(|mut ctx: RankCtx| async move {
                 for _ in 0..10 {
-                    ctx.barrier();
+                    ctx.barrier().await;
                 }
             })
             .expect("barrier completes");
@@ -136,15 +136,15 @@ fn g2_parallel_streams_speed_up_large_messages_on_small_buffers() {
         topo.set_kernel_all(KernelConfig::untuned_2007());
         let report = MpiJob::new(Network::new(topo), vec![rn[0], nn[0]], profile.impl_id)
             .with_profile(profile)
-            .run(|ctx: &mut RankCtx| {
+            .run(|mut ctx: RankCtx| async move {
                 const TAG: u64 = 1;
                 let bytes = 8 << 20;
                 if ctx.rank() == 0 {
-                    ctx.send(1, bytes, TAG);
-                    ctx.recv(1, 2);
+                    ctx.send(1, bytes, TAG).await;
+                    ctx.recv(1, 2).await;
                 } else {
-                    ctx.recv(0, TAG);
-                    ctx.send(0, 1, 2);
+                    ctx.recv(0, TAG).await;
+                    ctx.send(0, 1, 2).await;
                 }
             })
             .expect("transfer completes");
@@ -184,14 +184,14 @@ fn fast_lan_shortcuts_intra_site_traffic() {
     let run = |profile: ImplProfile| -> f64 {
         let report = MpiJob::new(net.clone(), vec![a, b], profile.impl_id)
             .with_profile(profile)
-            .run(|ctx: &mut RankCtx| {
+            .run(|mut ctx: RankCtx| async move {
                 const TAG: u64 = 1;
                 if ctx.rank() == 0 {
-                    ctx.send(1, 1 << 20, TAG);
-                    ctx.recv(1, 2);
+                    ctx.send(1, 1 << 20, TAG).await;
+                    ctx.recv(1, 2).await;
                 } else {
-                    ctx.recv(0, TAG);
-                    ctx.send(0, 1, 2);
+                    ctx.recv(0, TAG).await;
+                    ctx.send(0, 1, 2).await;
                 }
             })
             .expect("fabric run completes");

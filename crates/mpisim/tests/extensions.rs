@@ -18,14 +18,14 @@ fn tracing_captures_all_activity_kinds() {
     let (net, placement) = grid(1);
     let report = MpiJob::new(net, placement, MpiImpl::Mpich2)
         .with_tracing()
-        .run(|ctx: &mut RankCtx| {
-            ctx.compute_gflop(0.1);
+        .run(|mut ctx: RankCtx| async move {
+            ctx.compute_gflop(0.1).await;
             if ctx.rank() == 0 {
-                ctx.send(1, 1000, 7);
+                ctx.send(1, 1000, 7).await;
             } else {
-                ctx.recv(0, 7);
+                ctx.recv(0, 7).await;
             }
-            ctx.barrier();
+            ctx.barrier().await;
         })
         .unwrap();
     assert!(!report.trace.is_empty());
@@ -50,8 +50,8 @@ fn tracing_captures_all_activity_kinds() {
 fn tracing_off_leaves_report_empty() {
     let (net, placement) = grid(1);
     let report = MpiJob::new(net, placement, MpiImpl::Mpich2)
-        .run(|ctx: &mut RankCtx| {
-            ctx.barrier();
+        .run(|mut ctx: RankCtx| async move {
+            ctx.barrier().await;
         })
         .unwrap();
     assert!(report.trace.is_empty());
@@ -61,12 +61,12 @@ fn tracing_off_leaves_report_empty() {
 fn pair_bytes_matrix_is_complete_and_directed() {
     let (net, placement) = grid(2);
     let report = MpiJob::new(net, placement, MpiImpl::Mpich2)
-        .run(|ctx: &mut RankCtx| {
+        .run(|mut ctx: RankCtx| async move {
             if ctx.rank() == 0 {
-                ctx.send(2, 5000, 1);
-                ctx.send(3, 111, 1);
+                ctx.send(2, 5000, 1).await;
+                ctx.send(3, 111, 1).await;
             } else if ctx.rank() == 2 || ctx.rank() == 3 {
-                ctx.recv(0, 1);
+                ctx.recv(0, 1).await;
             }
         })
         .unwrap();
@@ -81,15 +81,15 @@ fn extended_profiles_run_the_same_programs() {
     for id in [MpiImpl::MpichG2, MpiImpl::MpichVmi] {
         let (net, placement) = grid(2);
         let report = MpiJob::new(net, placement, id)
-            .run(|ctx: &mut RankCtx| {
-                ctx.bcast(0, 64 << 10);
-                ctx.allreduce(4096);
+            .run(|mut ctx: RankCtx| async move {
+                ctx.bcast(0, 64 << 10).await;
+                ctx.allreduce(4096).await;
                 if ctx.rank() == 0 {
-                    ctx.send(3, 2 << 20, 5);
+                    ctx.send(3, 2 << 20, 5).await;
                 } else if ctx.rank() == 3 {
-                    ctx.recv(0, 5);
+                    ctx.recv(0, 5).await;
                 }
-                ctx.barrier();
+                ctx.barrier().await;
             })
             .unwrap();
         assert!(report.clean, "{id:?}");
@@ -105,14 +105,14 @@ fn g2_striping_preserves_message_semantics() {
     profile.eager_threshold = u64::MAX;
     let report = MpiJob::new(net, placement, MpiImpl::MpichG2)
         .with_profile(profile)
-        .run(|ctx: &mut RankCtx| {
+        .run(|mut ctx: RankCtx| async move {
             if ctx.rank() == 0 {
-                ctx.send(1, 4 << 20, 9);
-                ctx.send(1, 100, 9);
+                ctx.send(1, 4 << 20, 9).await;
+                ctx.send(1, 100, 9).await;
             } else {
-                let a = ctx.recv(0, 9);
+                let a = ctx.recv(0, 9).await;
                 assert_eq!(a.bytes, 4 << 20);
-                let b = ctx.recv(0, 9);
+                let b = ctx.recv(0, 9).await;
                 assert_eq!(b.bytes, 100);
             }
         })
@@ -126,9 +126,9 @@ fn deadline_aborts_runaway_runs() {
     let (net, placement) = grid(1);
     let err = MpiJob::new(net, placement, MpiImpl::Mpich2)
         .with_deadline(SimTime::from_nanos(1_000_000_000))
-        .run(|ctx: &mut RankCtx| {
+        .run(|ctx: RankCtx| async move {
             // 10 virtual seconds of compute: must hit the 1 s deadline.
-            ctx.compute_gflop(ctx.gflops() * 10.0);
+            ctx.compute_gflop(ctx.gflops() * 10.0).await;
         })
         .unwrap_err();
     assert!(matches!(err, SimError::TimeLimitExceeded(_)), "{err}");
@@ -140,8 +140,8 @@ fn deadline_is_inert_when_met() {
     let (net, placement) = grid(1);
     let report = MpiJob::new(net, placement, MpiImpl::Mpich2)
         .with_deadline(SimTime::from_nanos(10_000_000_000))
-        .run(|ctx: &mut RankCtx| {
-            ctx.barrier();
+        .run(|mut ctx: RankCtx| async move {
+            ctx.barrier().await;
         })
         .unwrap();
     assert!(report.clean);

@@ -23,14 +23,14 @@ fn recv_timeout_fires_at_the_deadline() {
     let (net, nodes) = cluster(2);
     let timeout = SimDuration::from_millis(250);
     MpiJob::new(net, nodes, MpiImpl::Mpich2)
-        .run(move |ctx: &mut RankCtx| {
+        .run(move |mut ctx: RankCtx| async move {
             if ctx.rank() == 0 {
                 ctx.set_fault_policy(FaultPolicy {
                     recv_timeout: Some(timeout),
                     ..FaultPolicy::none()
                 });
                 let t0 = ctx.now();
-                match ctx.try_recv(1, TAG) {
+                match ctx.try_recv(1, TAG).await {
                     Err(MpiError::Timeout { waited, .. }) => {
                         assert_eq!(waited, timeout);
                         assert_eq!(ctx.now().since(t0), timeout, "timeout fired off-schedule");
@@ -50,13 +50,13 @@ fn successful_recv_is_undisturbed_by_an_armed_timeout() {
     let run = |policy: FaultPolicy| {
         let (net, nodes) = (net.clone(), nodes.clone());
         MpiJob::new(net, nodes, MpiImpl::Mpich2)
-            .run(move |ctx: &mut RankCtx| {
+            .run(move |mut ctx: RankCtx| async move {
                 if ctx.rank() == 0 {
                     ctx.set_fault_policy(policy);
-                    let m = ctx.try_recv(1, TAG).expect("message arrives in time");
+                    let m = ctx.try_recv(1, TAG).await.expect("message arrives in time");
                     assert_eq!(m.bytes, 4096);
                 } else {
-                    ctx.send(0, 4096, TAG);
+                    ctx.send(0, 4096, TAG).await;
                 }
             })
             .unwrap()
@@ -77,18 +77,18 @@ fn kill_surfaces_as_self_failed_and_peer_failed() {
     let plan = FaultPlan::new().kill_rank(1, SimTime::from_nanos(1_000_000));
     MpiJob::new(net, nodes, MpiImpl::Mpich2)
         .with_faults(plan)
-        .run(|ctx: &mut RankCtx| {
+        .run(|mut ctx: RankCtx| async move {
             if ctx.rank() == 0 {
                 // Give the kill time to land, then talk to the corpse.
-                ctx.compute(SimDuration::from_millis(10));
+                ctx.compute(SimDuration::from_millis(10)).await;
                 assert!(ctx.peer_failed(1));
-                match ctx.try_send(1, 1 << 20, TAG) {
+                match ctx.try_send(1, 1 << 20, TAG).await {
                     Err(MpiError::PeerFailed { rank: 1 }) => {}
                     other => panic!("expected PeerFailed, got {other:?}"),
                 }
             } else {
                 // Blocked in a posted receive when the kill fires.
-                match ctx.try_recv(0, TAG) {
+                match ctx.try_recv(0, TAG).await {
                     Err(MpiError::SelfFailed) => {}
                     other => panic!("expected SelfFailed, got {other:?}"),
                 }
@@ -108,7 +108,7 @@ fn transient_failure_heals_through_the_retry_policy() {
     );
     MpiJob::new(net, nodes, MpiImpl::Mpich2)
         .with_faults(plan)
-        .run(|ctx: &mut RankCtx| {
+        .run(|mut ctx: RankCtx| async move {
             if ctx.rank() == 0 {
                 ctx.set_fault_policy(FaultPolicy {
                     retries: 5,
@@ -116,19 +116,20 @@ fn transient_failure_heals_through_the_retry_policy() {
                     ..FaultPolicy::none()
                 });
                 // Land inside the failure window, then retry through it.
-                ctx.compute(SimDuration::from_millis(2));
+                ctx.compute(SimDuration::from_millis(2)).await;
                 assert!(ctx.peer_failed(1));
                 ctx.try_send(1, 1 << 20, TAG)
+                    .await
                     .expect("send succeeds once the peer restarts");
             } else {
                 // Dies while posted, recovers, receives after restart.
-                match ctx.try_recv(0, TAG) {
+                match ctx.try_recv(0, TAG).await {
                     Err(MpiError::SelfFailed) => {}
                     other => panic!("expected SelfFailed first, got {other:?}"),
                 }
-                ctx.compute(SimDuration::from_millis(10)); // past the window
+                ctx.compute(SimDuration::from_millis(10)).await; // past the window
                 assert!(!ctx.peer_failed(ctx.rank()));
-                let m = ctx.try_recv(0, TAG).expect("delivery after restart");
+                let m = ctx.try_recv(0, TAG).await.expect("delivery after restart");
                 assert_eq!(m.bytes, 1 << 20);
             }
         })
@@ -143,19 +144,19 @@ fn wildcard_receives_survive_other_ranks_deaths() {
     let plan = FaultPlan::new().kill_rank(2, SimTime::from_nanos(1_000_000));
     MpiJob::new(net, nodes, MpiImpl::Mpich2)
         .with_faults(plan)
-        .run(|ctx: &mut RankCtx| {
+        .run(|mut ctx: RankCtx| async move {
             match ctx.rank() {
                 0 => {
-                    let m = ctx.try_recv_any(TAG).expect("rank 1 still delivers");
+                    let m = ctx.try_recv_any(TAG).await.expect("rank 1 still delivers");
                     assert_eq!(m.src, 1);
                 }
                 1 => {
-                    ctx.compute(SimDuration::from_millis(5));
-                    ctx.send(0, 512, TAG);
+                    ctx.compute(SimDuration::from_millis(5)).await;
+                    ctx.send(0, 512, TAG).await;
                 }
                 _ => {
                     // Rank 2 idles until the kill reaps it; nothing posted.
-                    match ctx.try_recv(0, TAG) {
+                    match ctx.try_recv(0, TAG).await {
                         Err(MpiError::SelfFailed) => {}
                         other => panic!("expected SelfFailed, got {other:?}"),
                     }

@@ -35,11 +35,11 @@ fn job(net: Network, placement: Vec<netsim::NodeId>, id: MpiImpl) -> MpiJob {
 fn blocking_send_recv_transfers_envelope() {
     let (net, nodes) = cluster(2);
     let report = job(net, nodes, MpiImpl::Mpich2)
-        .run(|ctx: &mut RankCtx| {
+        .run(|mut ctx: RankCtx| async move {
             if ctx.rank() == 0 {
-                ctx.send(1, 1234, TAG);
+                ctx.send(1, 1234, TAG).await;
             } else {
-                let m = ctx.recv(0, TAG);
+                let m = ctx.recv(0, TAG).await;
                 assert_eq!(m.src, 0);
                 assert_eq!(m.bytes, 1234);
                 assert_eq!(m.tag, TAG);
@@ -56,14 +56,14 @@ fn messages_do_not_overtake_on_one_pair() {
     // first even though a small one follows immediately.
     let (net, nodes) = cluster(2);
     job(net, nodes, MpiImpl::Mpich2)
-        .run(|ctx: &mut RankCtx| {
+        .run(|mut ctx: RankCtx| async move {
             if ctx.rank() == 0 {
-                let r1 = ctx.isend(1, 100_000, TAG);
-                let r2 = ctx.isend(1, 10, TAG);
-                ctx.waitall(vec![r1, r2]);
+                let r1 = ctx.isend(1, 100_000, TAG).await;
+                let r2 = ctx.isend(1, 10, TAG).await;
+                ctx.waitall(vec![r1, r2]).await;
             } else {
-                let a = ctx.recv(0, TAG);
-                let b = ctx.recv(0, TAG);
+                let a = ctx.recv(0, TAG).await;
+                let b = ctx.recv(0, TAG).await;
                 assert_eq!(a.bytes, 100_000, "big message was sent first");
                 assert_eq!(b.bytes, 10);
             }
@@ -75,15 +75,15 @@ fn messages_do_not_overtake_on_one_pair() {
 fn tag_selection_matches_out_of_order() {
     let (net, nodes) = cluster(2);
     job(net, nodes, MpiImpl::Mpich2)
-        .run(|ctx: &mut RankCtx| {
+        .run(|mut ctx: RankCtx| async move {
             if ctx.rank() == 0 {
-                ctx.send(1, 11, 1);
-                ctx.send(1, 22, 2);
+                ctx.send(1, 11, 1).await;
+                ctx.send(1, 22, 2).await;
             } else {
                 // Receive the tag-2 message first although tag-1 arrived
                 // earlier (it waits in the unexpected queue).
-                let b = ctx.recv(0, 2);
-                let a = ctx.recv(0, 1);
+                let b = ctx.recv(0, 2).await;
+                let a = ctx.recv(0, 1).await;
                 assert_eq!(b.bytes, 22);
                 assert_eq!(a.bytes, 11);
             }
@@ -95,16 +95,16 @@ fn tag_selection_matches_out_of_order() {
 fn wildcard_source_receives_from_all() {
     let (net, nodes) = cluster(4);
     job(net, nodes, MpiImpl::Mpich2)
-        .run(|ctx: &mut RankCtx| {
+        .run(|mut ctx: RankCtx| async move {
             if ctx.rank() == 0 {
                 let mut seen = [false; 4];
                 for _ in 0..3 {
-                    let m = ctx.recv_any(TAG);
+                    let m = ctx.recv_any(TAG).await;
                     assert!(!seen[m.src], "duplicate source {}", m.src);
                     seen[m.src] = true;
                 }
             } else {
-                ctx.send(0, 64, TAG);
+                ctx.send(0, 64, TAG).await;
             }
         })
         .unwrap();
@@ -122,22 +122,22 @@ fn rendezvous_costs_an_extra_round_trip() {
             socket_buffer: None,
         };
         let report = j
-            .run(|ctx: &mut RankCtx| {
+            .run(|mut ctx: RankCtx| async move {
                 let bytes = 300 * 1024; // above MPICH2's 256 kB default
                 if ctx.rank() == 0 {
                     // Warm the window, then measure.
                     for _ in 0..3 {
-                        ctx.send(1, bytes, TAG);
-                        ctx.recv(1, TAG);
+                        ctx.send(1, bytes, TAG).await;
+                        ctx.recv(1, TAG).await;
                     }
                     let t0 = ctx.now();
-                    ctx.send(1, bytes, TAG);
-                    ctx.recv(1, TAG);
+                    ctx.send(1, bytes, TAG).await;
+                    ctx.recv(1, TAG).await;
                     ctx.record("rt", ctx.now().since(t0).as_secs_f64());
                 } else {
                     for _ in 0..4 {
-                        ctx.recv(0, TAG);
-                        ctx.send(0, bytes, TAG);
+                        ctx.recv(0, TAG).await;
+                        ctx.send(0, bytes, TAG).await;
                     }
                 }
             })
@@ -160,20 +160,20 @@ fn unexpected_message_pays_copy_cost() {
     fn recv_time(post_late: bool) -> f64 {
         let (net, nodes) = cluster(2);
         let report = job(net, nodes, MpiImpl::Mpich2)
-            .run(move |ctx: &mut RankCtx| {
+            .run(move |mut ctx: RankCtx| async move {
                 let bytes = 100 << 10;
                 if ctx.rank() == 0 {
-                    ctx.send(1, bytes, TAG);
+                    ctx.send(1, bytes, TAG).await;
                 } else {
                     if post_late {
                         // Let the message arrive first.
-                        ctx.compute(SimDuration::from_millis(5));
+                        ctx.compute(SimDuration::from_millis(5)).await;
                         let t0 = ctx.now();
-                        ctx.recv(0, TAG);
+                        ctx.recv(0, TAG).await;
                         ctx.record("t", ctx.now().since(t0).as_secs_f64());
                     } else {
                         let t0 = ctx.now();
-                        ctx.recv(0, TAG);
+                        ctx.recv(0, TAG).await;
                         // Subtract nothing: the transfer itself dominates;
                         // report end-to-end.
                         ctx.record("t", ctx.now().since(t0).as_secs_f64());
@@ -196,12 +196,12 @@ fn unexpected_message_pays_copy_cost() {
 fn sendrecv_is_deadlock_free_in_a_ring() {
     let (net, nodes) = cluster(8);
     job(net, nodes, MpiImpl::Mpich2)
-        .run(|ctx: &mut RankCtx| {
+        .run(|mut ctx: RankCtx| async move {
             let p = ctx.size();
             let right = (ctx.rank() + 1) % p;
             let left = (ctx.rank() + p - 1) % p;
             for _ in 0..4 {
-                let m = ctx.sendrecv(right, 32 << 10, left, TAG);
+                let m = ctx.sendrecv(right, 32 << 10, left, TAG).await;
                 assert_eq!(m.src, left);
             }
         })
@@ -212,11 +212,12 @@ fn sendrecv_is_deadlock_free_in_a_ring() {
 fn barrier_synchronises_all_ranks() {
     let (net, nodes) = cluster(8);
     let report = job(net, nodes, MpiImpl::Mpich2)
-        .run(|ctx: &mut RankCtx| {
+        .run(|mut ctx: RankCtx| async move {
             // Rank r computes r ms, then a barrier: everyone must leave the
             // barrier no earlier than the slowest rank's 7 ms.
-            ctx.compute(SimDuration::from_millis(ctx.rank() as u64));
-            ctx.barrier();
+            ctx.compute(SimDuration::from_millis(ctx.rank() as u64))
+                .await;
+            ctx.barrier().await;
             ctx.record("after", ctx.now().as_secs_f64());
         })
         .unwrap();
@@ -232,8 +233,8 @@ fn bcast_reaches_every_rank_for_all_impls() {
             let (net, nodes) = grid(n.div_ceil(2), true);
             let placement = nodes[..n].to_vec();
             let report = job(net, placement, id)
-                .run(move |ctx: &mut RankCtx| {
-                    ctx.bcast(0, 128 << 10);
+                .run(move |mut ctx: RankCtx| async move {
+                    ctx.bcast(0, 128 << 10).await;
                     ctx.record("done", ctx.now().as_secs_f64());
                 })
                 .unwrap();
@@ -250,10 +251,10 @@ fn allreduce_completes_for_all_impls_and_sizes() {
             let (net, nodes) = grid(8, true);
             let placement = nodes[..n].to_vec();
             let report = job(net, placement, id)
-                .run(move |ctx: &mut RankCtx| {
-                    ctx.allreduce(8);
-                    ctx.allreduce(1 << 20);
-                    ctx.barrier();
+                .run(move |mut ctx: RankCtx| async move {
+                    ctx.allreduce(8).await;
+                    ctx.allreduce(1 << 20).await;
+                    ctx.barrier().await;
                 })
                 .unwrap();
             assert!(report.clean, "{id:?} n={n}");
@@ -265,14 +266,14 @@ fn allreduce_completes_for_all_impls_and_sizes() {
 fn alltoall_and_gather_complete() {
     let (net, nodes) = cluster(8);
     let report = job(net, nodes, MpiImpl::OpenMpi)
-        .run(|ctx: &mut RankCtx| {
-            ctx.alltoall(64 << 10);
+        .run(|mut ctx: RankCtx| async move {
+            ctx.alltoall(64 << 10).await;
             let sizes: Vec<u64> = (0..ctx.size() as u64).map(|d| (d + 1) * 1000).collect();
-            ctx.alltoallv(&sizes);
-            ctx.gather(0, 32 << 10);
-            ctx.scatter(0, 32 << 10);
-            ctx.allgather(16 << 10);
-            ctx.barrier();
+            ctx.alltoallv(&sizes).await;
+            ctx.gather(0, 32 << 10).await;
+            ctx.scatter(0, 32 << 10).await;
+            ctx.allgather(16 << 10).await;
+            ctx.barrier().await;
         })
         .unwrap();
     assert!(report.clean);
@@ -289,9 +290,9 @@ fn gridmpi_collectives_beat_oblivious_ones_on_the_grid() {
         let (net, placement) = grid(8, true);
         let report = job(net, placement, id)
             .with_tuning(Tuning::paper_tuned(id))
-            .run(|ctx: &mut RankCtx| {
+            .run(|mut ctx: RankCtx| async move {
                 for _ in 0..5 {
-                    ctx.bcast(0, 128 << 10);
+                    ctx.bcast(0, 128 << 10).await;
                 }
             })
             .unwrap();
@@ -311,15 +312,15 @@ fn grid_latency_dominates_small_messages() {
     // of µs on the cluster.
     let (net, placement) = grid(1, false);
     let report = job(net, placement, MpiImpl::Mpich2)
-        .run(|ctx: &mut RankCtx| {
+        .run(|mut ctx: RankCtx| async move {
             if ctx.rank() == 0 {
                 let t0 = ctx.now();
-                ctx.send(1, 1, TAG);
-                ctx.recv(1, TAG);
+                ctx.send(1, 1, TAG).await;
+                ctx.recv(1, TAG).await;
                 ctx.record("rtt", ctx.now().since(t0).as_secs_f64());
             } else {
-                ctx.recv(0, TAG);
-                ctx.send(0, 1, TAG);
+                ctx.recv(0, TAG).await;
+                ctx.send(0, 1, TAG).await;
             }
         })
         .unwrap();
@@ -334,8 +335,9 @@ fn grid_latency_dominates_small_messages() {
 fn per_rank_times_and_records_are_reported() {
     let (net, nodes) = cluster(3);
     let report = job(net, nodes, MpiImpl::Mpich2)
-        .run(|ctx: &mut RankCtx| {
-            ctx.compute(SimDuration::from_millis(1 + ctx.rank() as u64));
+        .run(|ctx: RankCtx| async move {
+            ctx.compute(SimDuration::from_millis(1 + ctx.rank() as u64))
+                .await;
             ctx.record("x", ctx.rank() as f64);
         })
         .unwrap();
@@ -349,9 +351,9 @@ fn compute_rate_scales_with_cpu() {
     // Rennes (2.2 Gflop/s) computes the same work faster than Nancy (2.0).
     let (net, placement) = grid(1, false);
     let report = job(net, placement, MpiImpl::Mpich2)
-        .run(|ctx: &mut RankCtx| {
+        .run(|ctx: RankCtx| async move {
             let t0 = ctx.now();
-            ctx.compute_gflop(10.0);
+            ctx.compute_gflop(10.0).await;
             ctx.record("t", ctx.now().since(t0).as_secs_f64());
         })
         .unwrap();

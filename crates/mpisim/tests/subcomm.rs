@@ -16,7 +16,7 @@ fn grid_8_8() -> (Network, Vec<NodeId>) {
 fn comm_split_groups_by_color() {
     let (net, placement) = grid_8_8();
     MpiJob::new(net, placement, MpiImpl::Mpich2)
-        .run(|ctx: &mut RankCtx| {
+        .run(|ctx: RankCtx| async move {
             let parity = ctx.comm_split(|r| (r % 2) as u64);
             assert_eq!(parity.size(), 8);
             assert_eq!(parity.world_rank(parity.rank()), ctx.rank());
@@ -31,7 +31,7 @@ fn comm_split_groups_by_color() {
 fn comm_site_matches_topology() {
     let (net, placement) = grid_8_8();
     MpiJob::new(net, placement, MpiImpl::Mpich2)
-        .run(|ctx: &mut RankCtx| {
+        .run(|ctx: RankCtx| async move {
             let site = ctx.comm_site();
             assert_eq!(site.size(), 8);
             let my_site = ctx.site_of_rank(ctx.rank());
@@ -48,14 +48,14 @@ fn site_local_collectives_avoid_the_wan() {
     // WAN one-way), while a world bcast pays the WAN.
     let (net, placement) = grid_8_8();
     let report = MpiJob::new(net, placement, MpiImpl::MpichMadeleine)
-        .run(|ctx: &mut RankCtx| {
+        .run(|mut ctx: RankCtx| async move {
             let site = ctx.comm_site();
             let t0 = ctx.now();
-            ctx.comm_bcast(&site, 0, 1 << 20);
+            ctx.comm_bcast(&site, 0, 1 << 20).await;
             ctx.record("local", ctx.now().since(t0).as_secs_f64());
-            ctx.barrier();
+            ctx.barrier().await;
             let t1 = ctx.now();
-            ctx.bcast(0, 1 << 20);
+            ctx.bcast(0, 1 << 20).await;
             ctx.record("world", ctx.now().since(t1).as_secs_f64());
         })
         .unwrap();
@@ -85,18 +85,18 @@ fn site_local_collectives_avoid_the_wan() {
 fn subcomm_collectives_complete_cleanly() {
     let (net, placement) = grid_8_8();
     let report = MpiJob::new(net, placement, MpiImpl::GridMpi)
-        .run(|ctx: &mut RankCtx| {
+        .run(|mut ctx: RankCtx| async move {
             let site = ctx.comm_site();
-            ctx.comm_barrier(&site);
-            ctx.comm_allreduce(&site, 4096);
-            ctx.comm_allgather(&site, 1024);
-            ctx.comm_reduce(&site, 0, 64 << 10);
-            ctx.comm_bcast(&site, 0, 64 << 10);
+            ctx.comm_barrier(&site).await;
+            ctx.comm_allreduce(&site, 4096).await;
+            ctx.comm_allgather(&site, 1024).await;
+            ctx.comm_reduce(&site, 0, 64 << 10).await;
+            ctx.comm_bcast(&site, 0, 64 << 10).await;
             // Odd split exercises the non-power-of-two fold.
             let thirds = ctx.comm_split(|r| (r % 3) as u64);
-            ctx.comm_allreduce(&thirds, 10_000);
-            ctx.comm_barrier(&thirds);
-            ctx.barrier();
+            ctx.comm_allreduce(&thirds, 10_000).await;
+            ctx.comm_barrier(&thirds).await;
+            ctx.barrier().await;
         })
         .unwrap();
     assert!(report.clean);
@@ -108,21 +108,21 @@ fn hierarchical_allreduce_via_subcomms_matches_builtin_shape() {
     // → site bcast) should be competitive with the built-in GridAware one.
     let (net, placement) = grid_8_8();
     let report = MpiJob::new(net, placement, MpiImpl::GridMpi)
-        .run(|ctx: &mut RankCtx| {
+        .run(|mut ctx: RankCtx| async move {
             let bytes = 256 << 10;
             let site = ctx.comm_site();
             let t0 = ctx.now();
             // Hand-rolled hierarchy.
-            ctx.comm_reduce(&site, 0, bytes);
+            ctx.comm_reduce(&site, 0, bytes).await;
             if site.rank() == 0 {
                 let peer = if ctx.rank() == 0 { 8 } else { 0 };
-                ctx.sendrecv(peer, bytes, peer, 77);
+                ctx.sendrecv(peer, bytes, peer, 77).await;
             }
-            ctx.comm_bcast(&site, 0, bytes);
+            ctx.comm_bcast(&site, 0, bytes).await;
             ctx.record("manual", ctx.now().since(t0).as_secs_f64());
-            ctx.barrier();
+            ctx.barrier().await;
             let t1 = ctx.now();
-            ctx.allreduce(bytes);
+            ctx.allreduce(bytes).await;
             ctx.record("builtin", ctx.now().since(t1).as_secs_f64());
         })
         .unwrap();

@@ -103,7 +103,7 @@ fn sp_params(class: NasClass) -> Params {
 
 const TAG: u64 = 500;
 
-fn run_adi(ctx: &mut RankCtx, prm: Params, full_iters: u32, warmup: u32, timed: u32) {
+async fn run_adi(ctx: &mut RankCtx, prm: Params, full_iters: u32, warmup: u32, timed: u32) {
     let p = ctx.size();
     let me = ctx.rank();
     let (rows, cols) = grid2d(p);
@@ -127,41 +127,41 @@ fn run_adi(ctx: &mut RankCtx, prm: Params, full_iters: u32, warmup: u32, timed: 
     // All faces of one round are posted at once (the ADI solvers overlap
     // their neighbour exchanges), so a round costs one WAN latency, not
     // four.
-    let exchange = |ctx: &mut RankCtx, nbrs: &[(usize, usize)], bytes: u64, tag: u64| {
+    let exchange = async |ctx: &mut RankCtx, nbrs: &[(usize, usize)], bytes: u64, tag: u64| {
         let mut reqs = Vec::with_capacity(4 * nbrs.len());
         for &(plus, minus) in nbrs {
             reqs.push(ctx.irecv(minus, tag));
             reqs.push(ctx.irecv(plus, tag));
         }
         for &(plus, minus) in nbrs {
-            reqs.push(ctx.isend(plus, bytes, tag));
-            reqs.push(ctx.isend(minus, bytes, tag));
+            reqs.push(ctx.isend(plus, bytes, tag).await);
+            reqs.push(ctx.isend(minus, bytes, tag).await);
         }
-        ctx.waitall(reqs);
+        ctx.waitall(reqs).await;
     };
-    timed_loop(ctx, warmup, timed, |ctx, _| {
+    timed_loop!(ctx, warmup, timed, |_i| {
         // copy_faces + forward substitutions: big faces both ways on both
         // torus dimensions, interleaved with compute thirds.
         for r in 0..prm.big_rounds {
             if r == 0 || r == prm.big_rounds / 2 {
-                ctx.compute_gflop(gflop_iter * 0.4);
+                ctx.compute_gflop(gflop_iter * 0.4).await;
             }
-            exchange(ctx, &nbrs, prm.big_bytes, TAG);
+            exchange(ctx, &nbrs, prm.big_bytes, TAG).await;
         }
         // Back substitutions: medium blocks.
-        ctx.compute_gflop(gflop_iter * 0.2);
+        ctx.compute_gflop(gflop_iter * 0.2).await;
         for _ in 0..prm.med_rounds {
-            exchange(ctx, &nbrs, prm.med_bytes, TAG + 1);
+            exchange(ctx, &nbrs, prm.med_bytes, TAG + 1).await;
         }
     });
 }
 
-pub(crate) fn run_bt(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
+pub(crate) async fn run_bt(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
     let full = crate::run::NasRun::new(crate::run::NasBenchmark::Bt, class).full_iterations();
-    run_adi(ctx, bt_params(class), full, warmup, timed);
+    run_adi(ctx, bt_params(class), full, warmup, timed).await;
 }
 
-pub(crate) fn run_sp(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
+pub(crate) async fn run_sp(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
     let full = crate::run::NasRun::new(crate::run::NasBenchmark::Sp, class).full_iterations();
-    run_adi(ctx, sp_params(class), full, warmup, timed);
+    run_adi(ctx, sp_params(class), full, warmup, timed).await;
 }

@@ -51,7 +51,7 @@ fn params(class: NasClass) -> Params {
 
 const TAG: u64 = 200;
 
-pub(crate) fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
+pub(crate) async fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
     let prm = params(class);
     let p = ctx.size();
     let me = ctx.rank();
@@ -68,18 +68,18 @@ pub(crate) fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
     let full_iters = crate::run::NasRun::new(crate::run::NasBenchmark::Cg, class).full_iterations();
     let gflop_per_inner = prm.total_gflop / (full_iters as f64 * prm.inner as f64 * p as f64);
 
-    timed_loop(ctx, warmup, timed, |ctx, _| {
+    timed_loop!(ctx, warmup, timed, |_i| {
         for _ in 0..prm.inner {
-            ctx.compute_gflop(gflop_per_inner);
+            ctx.compute_gflop(gflop_per_inner).await;
             // Mat-vec transpose exchange.
             if transpose != me {
-                ctx.sendrecv(transpose, seg_bytes, transpose, TAG);
+                ctx.sendrecv(transpose, seg_bytes, transpose, TAG).await;
             }
             // Partial-sum reduction along the processor row.
             let mut k = 1;
             while k < cols {
                 let partner = rank2d(row, col ^ k, cols);
-                ctx.sendrecv(partner, seg_bytes, partner, TAG + 1);
+                ctx.sendrecv(partner, seg_bytes, partner, TAG + 1).await;
                 k <<= 1;
             }
             // Dot-product reduction (rho): an 8 B butterfly. (The second
@@ -89,11 +89,11 @@ pub(crate) fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
             let mut k = 1;
             while k < p {
                 let partner = me ^ k;
-                ctx.sendrecv(partner, 8, partner, TAG + 2);
+                ctx.sendrecv(partner, 8, partner, TAG + 2).await;
                 k <<= 1;
             }
         }
         // Residual norm at the end of the outer iteration.
-        ctx.allreduce(8);
+        ctx.allreduce(8).await;
     });
 }

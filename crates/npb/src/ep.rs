@@ -22,22 +22,22 @@ fn total_gflop(class: NasClass) -> f64 {
 
 const TAG: u64 = 100;
 
-pub(crate) fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
+pub(crate) async fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
     let p = ctx.size() as f64;
     let work = total_gflop(class) / p;
-    timed_loop(ctx, warmup, timed, |ctx, _| {
-        ctx.compute_gflop(work);
+    timed_loop!(ctx, warmup, timed, |_i| {
+        ctx.compute_gflop(work).await;
         // sx, sy sums and the 10-bin deviate counts (80 B).
-        ctx.allreduce(8);
-        ctx.allreduce(8);
-        ctx.allreduce(80);
+        ctx.allreduce(8).await;
+        ctx.allreduce(8).await;
+        ctx.allreduce(80).await;
     });
     // Verification gather of per-rank counts.
     if ctx.rank() == 0 {
         for src in 1..ctx.size() {
-            ctx.recv(src, TAG);
+            ctx.recv(src, TAG).await;
         }
     } else {
-        ctx.send(0, 80, TAG);
+        ctx.send(0, 80, TAG).await;
     }
 }

@@ -49,26 +49,26 @@ fn params(class: NasClass) -> Params {
     }
 }
 
-pub(crate) fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
+pub(crate) async fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
     let prm = params(class);
     let p = ctx.size() as f64;
     let full = crate::run::NasRun::new(crate::run::NasBenchmark::Ft, class).full_iterations();
     let gflop_iter = prm.total_gflop / (full as f64 * p);
 
     // Setup: initial condition broadcast.
-    ctx.bcast(0, prm.bcast_bytes);
-    ctx.bcast(0, 64);
+    ctx.bcast(0, prm.bcast_bytes).await;
+    ctx.bcast(0, 64).await;
 
-    timed_loop(ctx, warmup, timed, |ctx, _| {
+    timed_loop!(ctx, warmup, timed, |_i| {
         // Evolve + local FFTs.
-        ctx.compute_gflop(gflop_iter * 0.7);
+        ctx.compute_gflop(gflop_iter * 0.7).await;
         // Distributed transpose traffic (the paper's measured bcast
         // profile).
         for _ in 0..prm.bcasts_per_iter {
-            ctx.bcast(0, prm.bcast_bytes);
+            ctx.bcast(0, prm.bcast_bytes).await;
         }
         // Checksum reduction.
-        ctx.compute_gflop(gflop_iter * 0.3);
-        ctx.allreduce(16);
+        ctx.compute_gflop(gflop_iter * 0.3).await;
+        ctx.allreduce(16).await;
     });
 }

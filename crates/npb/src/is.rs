@@ -41,26 +41,26 @@ fn params(class: NasClass) -> Params {
     }
 }
 
-pub(crate) fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
+pub(crate) async fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
     let prm = params(class);
     let p = ctx.size() as u64;
     let full = crate::run::NasRun::new(crate::run::NasBenchmark::Is, class).full_iterations();
     let gflop_iter = prm.total_gflop / (full as f64 * p as f64);
     let per_pair = (prm.total_keys * 4 / (p * p)).max(1);
 
-    timed_loop(ctx, warmup, timed, |ctx, _| {
+    timed_loop!(ctx, warmup, timed, |_i| {
         // Local bucket count.
-        ctx.compute_gflop(gflop_iter * 0.5);
+        ctx.compute_gflop(gflop_iter * 0.5).await;
         // Global histogram.
-        ctx.allreduce(1024);
+        ctx.allreduce(1024).await;
         // Send counts.
-        ctx.alltoall(4 * p);
+        ctx.alltoall(4 * p).await;
         // Key redistribution.
         let sizes = vec![per_pair; ctx.size()];
-        ctx.alltoallv(&sizes);
+        ctx.alltoallv(&sizes).await;
         // Local ranking of received keys.
-        ctx.compute_gflop(gflop_iter * 0.5);
+        ctx.compute_gflop(gflop_iter * 0.5).await;
     });
     // Full verification at the end.
-    ctx.allreduce(8);
+    ctx.allreduce(8).await;
 }

@@ -45,7 +45,7 @@ fn params(class: NasClass) -> Params {
 
 const TAG: u64 = 400;
 
-pub(crate) fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
+pub(crate) async fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
     let prm = params(class);
     let p = ctx.size();
     let me = ctx.rank();
@@ -60,42 +60,42 @@ pub(crate) fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
     let gflop_iter = prm.total_gflop / (full_iters as f64 * p as f64);
     let plane_gflop = gflop_iter * 0.8 / (2.0 * prm.n as f64);
 
-    timed_loop(ctx, warmup, timed, |ctx, _| {
+    timed_loop!(ctx, warmup, timed, |_i| {
         // RHS assembly (no communication).
-        ctx.compute_gflop(gflop_iter * 0.2);
+        ctx.compute_gflop(gflop_iter * 0.2).await;
         // Lower-triangular sweep: wavefront from the north-west corner.
         for _k in 0..prm.n {
             if let Some(n) = north {
-                ctx.recv(n, TAG);
+                ctx.recv(n, TAG).await;
             }
             if let Some(w) = west {
-                ctx.recv(w, TAG + 1);
+                ctx.recv(w, TAG + 1).await;
             }
-            ctx.compute_gflop(plane_gflop);
+            ctx.compute_gflop(plane_gflop).await;
             if let Some(s) = south {
-                ctx.send(s, msg, TAG);
+                ctx.send(s, msg, TAG).await;
             }
             if let Some(e) = east {
-                ctx.send(e, msg, TAG + 1);
+                ctx.send(e, msg, TAG + 1).await;
             }
         }
         // Upper-triangular sweep: wavefront from the south-east corner.
         for _k in 0..prm.n {
             if let Some(s) = south {
-                ctx.recv(s, TAG + 2);
+                ctx.recv(s, TAG + 2).await;
             }
             if let Some(e) = east {
-                ctx.recv(e, TAG + 3);
+                ctx.recv(e, TAG + 3).await;
             }
-            ctx.compute_gflop(plane_gflop);
+            ctx.compute_gflop(plane_gflop).await;
             if let Some(n) = north {
-                ctx.send(n, msg, TAG + 2);
+                ctx.send(n, msg, TAG + 2).await;
             }
             if let Some(w) = west {
-                ctx.send(w, msg, TAG + 3);
+                ctx.send(w, msg, TAG + 3).await;
             }
         }
         // Residual norms (5 components).
-        ctx.allreduce(40);
+        ctx.allreduce(40).await;
     });
 }

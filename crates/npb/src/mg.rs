@@ -41,7 +41,7 @@ fn params(class: NasClass) -> Params {
 
 const TAG: u64 = 300;
 
-pub(crate) fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
+pub(crate) async fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
     let prm = params(class);
     let p = ctx.size();
     let me = ctx.rank();
@@ -74,7 +74,7 @@ pub(crate) fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
     ];
     let pdims = [px as u64, py as u64, pz as u64];
 
-    let halo = |ctx: &mut RankCtx, level: u32| {
+    let halo = async |ctx: &mut RankCtx, level: u32| {
         let n_k = (prm.n >> level).max(4);
         // Local extents at this level.
         let lx = (n_k / pdims[0]).max(1);
@@ -83,26 +83,26 @@ pub(crate) fn run(ctx: &mut RankCtx, class: NasClass, warmup: u32, timed: u32) {
         let faces = [ly * lz * 8, lx * lz * 8, lx * ly * 8];
         for (d, &(pd, plus, minus)) in nbrs.iter().enumerate() {
             if pd > 1 {
-                ctx.sendrecv(plus, faces[d], minus, TAG + d as u64);
-                ctx.sendrecv(minus, faces[d], plus, TAG + d as u64);
+                ctx.sendrecv(plus, faces[d], minus, TAG + d as u64).await;
+                ctx.sendrecv(minus, faces[d], plus, TAG + d as u64).await;
             }
         }
     };
 
-    timed_loop(ctx, warmup, timed, |ctx, _| {
+    timed_loop!(ctx, warmup, timed, |_i| {
         // Down sweep: restrict.
         for k in 0..levels {
             let vol = ((prm.n >> k) as f64).powi(3);
-            ctx.compute_gflop(gflop_iter * 0.5 * vol / total_vol);
-            halo(ctx, k);
+            ctx.compute_gflop(gflop_iter * 0.5 * vol / total_vol).await;
+            halo(ctx, k).await;
         }
         // Up sweep: prolongate + smooth.
         for k in (0..levels).rev() {
             let vol = ((prm.n >> k) as f64).powi(3);
-            ctx.compute_gflop(gflop_iter * 0.5 * vol / total_vol);
-            halo(ctx, k);
+            ctx.compute_gflop(gflop_iter * 0.5 * vol / total_vol).await;
+            halo(ctx, k).await;
         }
         // Residual norm.
-        ctx.allreduce(8);
+        ctx.allreduce(8).await;
     });
 }

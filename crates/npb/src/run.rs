@@ -169,17 +169,18 @@ impl NasRun {
     /// The SPMD program realising this run.
     pub fn program(&self) -> impl MpiProgram + use<> {
         let run = *self;
-        move |ctx: &mut RankCtx| {
+        move |mut ctx: RankCtx| async move {
+            let ctx = &mut ctx;
             let (warmup, timed, class) = (run.warmup, run.timed, run.class);
             match run.bench {
-                NasBenchmark::Ep => crate::ep::run(ctx, class, warmup, timed),
-                NasBenchmark::Cg => crate::cg::run(ctx, class, warmup, timed),
-                NasBenchmark::Mg => crate::mg::run(ctx, class, warmup, timed),
-                NasBenchmark::Lu => crate::lu::run(ctx, class, warmup, timed),
-                NasBenchmark::Sp => crate::bt_sp::run_sp(ctx, class, warmup, timed),
-                NasBenchmark::Bt => crate::bt_sp::run_bt(ctx, class, warmup, timed),
-                NasBenchmark::Is => crate::is::run(ctx, class, warmup, timed),
-                NasBenchmark::Ft => crate::ft::run(ctx, class, warmup, timed),
+                NasBenchmark::Ep => crate::ep::run(ctx, class, warmup, timed).await,
+                NasBenchmark::Cg => crate::cg::run(ctx, class, warmup, timed).await,
+                NasBenchmark::Mg => crate::mg::run(ctx, class, warmup, timed).await,
+                NasBenchmark::Lu => crate::lu::run(ctx, class, warmup, timed).await,
+                NasBenchmark::Sp => crate::bt_sp::run_sp(ctx, class, warmup, timed).await,
+                NasBenchmark::Bt => crate::bt_sp::run_bt(ctx, class, warmup, timed).await,
+                NasBenchmark::Is => crate::is::run(ctx, class, warmup, timed).await,
+                NasBenchmark::Ft => crate::ft::run(ctx, class, warmup, timed).await,
             }
         }
     }
@@ -197,24 +198,31 @@ impl NasRun {
 
 /// Shared measurement scaffold: barrier; warmup; barrier; timed window;
 /// barrier; record `timed_secs`.
-pub(crate) fn timed_loop(
-    ctx: &mut RankCtx,
-    warmup: u32,
-    timed: u32,
-    mut body: impl FnMut(&mut RankCtx, u32),
-) {
-    ctx.barrier();
-    ctx.phase("warmup");
-    for i in 0..warmup {
-        body(ctx, i);
-    }
-    ctx.barrier();
-    ctx.phase("timed");
-    let t0 = ctx.now();
-    for i in 0..timed {
-        body(ctx, warmup + i);
-    }
-    ctx.barrier();
-    ctx.phase("end");
-    ctx.record("timed_secs", ctx.now().since(t0).as_secs_f64());
+///
+/// A macro rather than an async fn taking an `AsyncFnMut` body: the
+/// lending future of an `AsyncFnMut` is higher-ranked over the
+/// `&mut RankCtx` borrow and the trait solver cannot prove it `Send`
+/// ("implementation of `Send` is not general enough"), which the
+/// `MpiProgram` boxing requires. Inlining the body keeps every await on
+/// concrete types. `$i` is the global iteration index (warmup included).
+macro_rules! timed_loop {
+    ($ctx:ident, $warmup:expr, $timed:expr, |$i:ident| $body:block) => {{
+        $ctx.barrier().await;
+        $ctx.phase("warmup");
+        for $i in 0..$warmup {
+            $body
+        }
+        $ctx.barrier().await;
+        $ctx.phase("timed");
+        let t0 = $ctx.now();
+        for $i in 0..$timed {
+            let $i = $warmup + $i;
+            $body
+        }
+        $ctx.barrier().await;
+        $ctx.phase("end");
+        let timed_secs = $ctx.now().since(t0).as_secs_f64();
+        $ctx.record("timed_secs", timed_secs);
+    }};
 }
+pub(crate) use timed_loop;

@@ -24,10 +24,10 @@
 //! // Profile a ring exchange on a cluster...
 //! let (topo, rennes, nancy) = grid5000_pair(2);
 //! let report = MpiJob::new(Network::new(topo.clone()), rennes.clone(), MpiImpl::Mpich2)
-//!     .run(|ctx: &mut RankCtx| {
+//!     .run(|mut ctx: RankCtx| async move {
 //!         let right = (ctx.rank() + 1) % ctx.size();
 //!         let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
-//!         ctx.sendrecv(right, 1 << 20, left, 0);
+//!         ctx.sendrecv(right, 1 << 20, left, 0).await;
 //!     })
 //!     .unwrap();
 //! let profile = CommProfile::from_stats(2, &report.stats);

@@ -36,19 +36,19 @@ fn ramp_time_to_500(
     let bytes = 1u64 << 20;
     let report = MpiJob::new(Network::new(topo), vec![rn[0], nn[0]], profile.impl_id)
         .with_profile(profile)
-        .run(move |ctx: &mut RankCtx| {
+        .run(move |mut ctx: RankCtx| async move {
             const TAG: u64 = 1;
             for _ in 0..200 {
                 if ctx.rank() == 0 {
                     let t0 = ctx.now();
-                    ctx.send(1, bytes, TAG);
-                    ctx.recv(1, TAG);
+                    ctx.send(1, bytes, TAG).await;
+                    ctx.recv(1, TAG).await;
                     let ow = ctx.now().since(t0).as_secs_f64() / 2.0;
                     ctx.record("t", ctx.now().as_secs_f64());
                     ctx.record("bw", bytes as f64 * 8.0 / ow / 1e6);
                 } else {
-                    ctx.recv(0, TAG);
-                    ctx.send(0, bytes, TAG);
+                    ctx.recv(0, TAG).await;
+                    ctx.send(0, bytes, TAG).await;
                 }
             }
         })
@@ -117,9 +117,9 @@ pub fn cmd_ablation() {
             };
             let report = MpiJob::new(net, placement, MpiImpl::GridMpi)
                 .with_profile(profile)
-                .run(|ctx: &mut RankCtx| {
+                .run(|mut ctx: RankCtx| async move {
                     for _ in 0..10 {
-                        ctx.bcast(0, 128 << 10);
+                        ctx.bcast(0, 128 << 10).await;
                     }
                 })
                 .expect("bcast ablation completes");
@@ -144,17 +144,17 @@ pub fn cmd_ablation() {
         let report = MpiJob::new(Network::new(topo), vec![rn[0], nn[0]], MpiImpl::OpenMpi)
             .with_profile(profile)
             .with_tuning(Tuning::paper_tuned(MpiImpl::OpenMpi))
-            .run(move |ctx: &mut RankCtx| {
+            .run(move |mut ctx: RankCtx| async move {
                 const TAG: u64 = 1;
                 for _ in 0..8 {
                     if ctx.rank() == 0 {
                         let t0 = ctx.now();
-                        ctx.send(1, bytes, TAG);
-                        ctx.recv(1, TAG);
+                        ctx.send(1, bytes, TAG).await;
+                        ctx.recv(1, TAG).await;
                         ctx.record("ow", ctx.now().since(t0).as_secs_f64() / 2.0);
                     } else {
-                        ctx.recv(0, TAG);
-                        ctx.send(0, bytes, TAG);
+                        ctx.recv(0, TAG).await;
+                        ctx.send(0, bytes, TAG).await;
                     }
                 }
             })

@@ -60,15 +60,15 @@ fn run_section(
 
 /// The ping-pong program every comparison uses.
 fn pingpong_program(bytes: u64, iters: u32) -> impl MpiProgram {
-    move |ctx: &mut RankCtx| {
+    move |mut ctx: RankCtx| async move {
         const TAG: u64 = 1;
         for _ in 0..iters {
             if ctx.rank() == 0 {
-                ctx.send(1, bytes, TAG);
-                ctx.recv(1, TAG);
+                ctx.send(1, bytes, TAG).await;
+                ctx.recv(1, TAG).await;
             } else {
-                ctx.recv(0, TAG);
-                ctx.send(0, bytes, TAG);
+                ctx.recv(0, TAG).await;
+                ctx.send(0, bytes, TAG).await;
             }
         }
     }
@@ -186,12 +186,12 @@ fn sections_for(scenario: &str) -> Vec<Section> {
             "16 MB WAN transfer with seeded 1e-3 segment loss".into(),
             Scenario::pair(Scope::Grid, TuningLevel::TcpTuned, MpiImpl::Mpich2)
                 .faults(FaultPlan::new().with_seed(42).with_wan_loss(1e-3)),
-            |ctx: &mut RankCtx| {
+            |mut ctx: RankCtx| async move {
                 const TAG: u64 = 7;
                 if ctx.rank() == 0 {
-                    ctx.send(1, 16 << 20, TAG);
+                    ctx.send(1, 16 << 20, TAG).await;
                 } else {
-                    ctx.recv(0, TAG);
+                    ctx.recv(0, TAG).await;
                 }
             },
         )],

@@ -60,12 +60,12 @@ fn goodput_run(rtt: SimDuration, loss: f64) -> (f64, f64) {
     let plan = FaultPlan::new().with_seed(42).with_wan_loss(loss);
     let report = Scenario::custom(net, vec![a, b], MpiImpl::Mpich2)
         .faults(plan)
-        .run(move |ctx: &mut RankCtx| {
+        .run(move |mut ctx: RankCtx| async move {
             const TAG: u64 = 7;
             if ctx.rank() == 0 {
-                ctx.send(1, BULK, TAG);
+                ctx.send(1, BULK, TAG).await;
             } else {
-                ctx.recv(0, TAG);
+                ctx.recv(0, TAG).await;
             }
         })
         .expect("loss-sweep transfer completes");

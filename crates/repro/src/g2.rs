@@ -13,17 +13,17 @@ fn pingpong_mbps(id: MpiImpl, level: TuningLevel, bytes: u64) -> f64 {
     let (net, a, b) = pair_endpoints(Scope::Grid, level.kernel(Some(id)));
     let report = MpiJob::new(net, vec![a, b], id)
         .with_tuning(level.tuning(id))
-        .run(move |ctx: &mut RankCtx| {
+        .run(move |mut ctx: RankCtx| async move {
             const TAG: u64 = 1;
             for _ in 0..20 {
                 if ctx.rank() == 0 {
                     let t0 = ctx.now();
-                    ctx.send(1, bytes, TAG);
-                    ctx.recv(1, TAG);
+                    ctx.send(1, bytes, TAG).await;
+                    ctx.recv(1, TAG).await;
                     ctx.record("ow", ctx.now().since(t0).as_secs_f64() / 2.0);
                 } else {
-                    ctx.recv(0, TAG);
-                    ctx.send(0, bytes, TAG);
+                    ctx.recv(0, TAG).await;
+                    ctx.send(0, bytes, TAG).await;
                 }
             }
         })

@@ -64,18 +64,18 @@ fn seal(sink: &DigestSink, label: &str, report: &RunReport) -> u64 {
 fn golden_pingpong(sink: &Arc<DigestSink>) -> u64 {
     let report = Scenario::pair(Scope::Grid, TuningLevel::FullyTuned, MpiImpl::Mpich2)
         .recorder(sink.clone())
-        .run(|ctx: &mut RankCtx| {
+        .run(|mut ctx: RankCtx| async move {
             const TAG: u64 = 1;
             for bytes in [1u64 << 10, 1 << 20, 64 << 20] {
                 for _ in 0..3 {
                     if ctx.rank() == 0 {
                         let t0 = ctx.now();
-                        ctx.send(1, bytes, TAG);
-                        ctx.recv(1, TAG);
+                        ctx.send(1, bytes, TAG).await;
+                        ctx.recv(1, TAG).await;
                         ctx.record("one_way", ctx.now().since(t0).as_secs_f64() / 2.0);
                     } else {
-                        ctx.recv(0, TAG);
-                        ctx.send(0, bytes, TAG);
+                        ctx.recv(0, TAG).await;
+                        ctx.send(0, bytes, TAG).await;
                     }
                 }
             }
@@ -96,12 +96,12 @@ fn golden_slowstart(sink: &Arc<DigestSink>) -> u64 {
     ] {
         let report = Scenario::pair(Scope::Grid, level, id)
             .recorder(sink.clone())
-            .run(|ctx: &mut RankCtx| {
+            .run(|mut ctx: RankCtx| async move {
                 const TAG: u64 = 1;
                 if ctx.rank() == 0 {
-                    ctx.send(1, 16 << 20, TAG);
+                    ctx.send(1, 16 << 20, TAG).await;
                 } else {
-                    ctx.recv(0, TAG);
+                    ctx.recv(0, TAG).await;
                 }
             })
             .expect("golden slowstart completes");
@@ -118,17 +118,17 @@ fn golden_table4(sink: &Arc<DigestSink>) -> u64 {
         for id in MpiImpl::ALL {
             let report = Scenario::pair(scope, TuningLevel::Default, id)
                 .recorder(sink.clone())
-                .run(|ctx: &mut RankCtx| {
+                .run(|mut ctx: RankCtx| async move {
                     const TAG: u64 = 1;
                     for _ in 0..5 {
                         if ctx.rank() == 0 {
                             let t0 = ctx.now();
-                            ctx.send(1, 1, TAG);
-                            ctx.recv(1, TAG);
+                            ctx.send(1, 1, TAG).await;
+                            ctx.recv(1, TAG).await;
                             ctx.record("one_way", ctx.now().since(t0).as_secs_f64() / 2.0);
                         } else {
-                            ctx.recv(0, TAG);
-                            ctx.send(0, 1, TAG);
+                            ctx.recv(0, TAG).await;
+                            ctx.send(0, 1, TAG).await;
                         }
                     }
                 })
@@ -174,12 +174,12 @@ fn golden_faults(sink: &Arc<DigestSink>) -> u64 {
     let report = Scenario::pair(Scope::Grid, TuningLevel::TcpTuned, MpiImpl::Mpich2)
         .faults(FaultPlan::new().with_seed(42).with_wan_loss(1e-3))
         .recorder(sink.clone())
-        .run(|ctx: &mut RankCtx| {
+        .run(|mut ctx: RankCtx| async move {
             const TAG: u64 = 7;
             if ctx.rank() == 0 {
-                ctx.send(1, 16 << 20, TAG);
+                ctx.send(1, 16 << 20, TAG).await;
             } else {
-                ctx.recv(0, TAG);
+                ctx.recv(0, TAG).await;
             }
         })
         .expect("golden lossy transfer completes");

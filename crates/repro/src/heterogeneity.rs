@@ -58,17 +58,17 @@ fn lan_pingpong_us(profile: ImplProfile, bytes: u64) -> f64 {
     let report = MpiJob::new(Network::new(topo), vec![rn[0], rn[1]], profile.impl_id)
         .with_profile(profile)
         .with_tuning(Tuning::paper_tuned(MpiImpl::MpichMadeleine))
-        .run(move |ctx: &mut RankCtx| {
+        .run(move |mut ctx: RankCtx| async move {
             const TAG: u64 = 1;
             for _ in 0..10 {
                 if ctx.rank() == 0 {
                     let t0 = ctx.now();
-                    ctx.send(1, bytes, TAG);
-                    ctx.recv(1, TAG);
+                    ctx.send(1, bytes, TAG).await;
+                    ctx.recv(1, TAG).await;
                     ctx.record("ow", ctx.now().since(t0).as_secs_f64() / 2.0);
                 } else {
-                    ctx.recv(0, TAG);
-                    ctx.send(0, bytes, TAG);
+                    ctx.recv(0, TAG).await;
+                    ctx.send(0, bytes, TAG).await;
                 }
             }
         })

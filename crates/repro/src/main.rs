@@ -160,6 +160,7 @@ fn main() {
                 .unwrap_or(npb::NasBenchmark::Cg);
             analysis::cmd_trace(bench);
         }
+        "ring" => cmd_ring(&args[1..]),
         "cwnd" => slowstart::cmd_cwnd(),
         "faults" => faults::cmd_faults(),
         "blame" => blame::cmd_blame(&args[1..]),
@@ -198,6 +199,7 @@ fn main() {
                 "usage: repro <table1|table2|table4|table5|table6|table7|\
                  fig3|fig5|fig6|fig7|fig9|fig10|fig11|fig12|fig13|testbed|ablation|g2|heterogeneity|perturbation|simri|\
                  utilization|placement|scaling|trace [BENCH]|cwnd|faults|\
+                 ring [--ranks N] [--rounds N]|\
                  blame [pingpong|nas|ray2mesh|faults] [--trace-in FILE] \
                  [--emit-events FILE] [--format text|json|dat]|\
                  golden <record|check> [--dir DIR]|guidelines [NAME ...]|\
@@ -206,6 +208,55 @@ fn main() {
             );
         }
     }
+}
+
+/// `repro ring [--ranks N] [--rounds N]`: the rank-scale demonstration —
+/// a ring exchange far beyond the paper's 16-rank testbed, run in one
+/// process by the pooled continuation engine (or whatever `MPISIM_ENGINE`
+/// selects). Ranks are placed in contiguous blocks across an 8+8-node
+/// tuned testbed, so ring edges are mostly node-local and the run
+/// completes in seconds even at 4096+ ranks.
+fn cmd_ring(args: &[String]) {
+    let flag_num = |flag: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{flag} takes a number"))
+            })
+            .unwrap_or(default)
+    };
+    let ranks = flag_num("--ranks", 4096);
+    let rounds = flag_num("--rounds", 4) as u32;
+    let engine = mpisim::Engine::from_env();
+    let (mut topo, rn, nn) = netsim::grid5000_pair(8);
+    topo.set_kernel_all(netsim::KernelConfig::tuned(4 << 20));
+    let nodes: Vec<netsim::NodeId> = rn.into_iter().chain(nn).collect();
+    let placement: Vec<netsim::NodeId> = (0..ranks)
+        .map(|r| nodes[r * nodes.len() / ranks.max(nodes.len())])
+        .collect();
+    let wall = std::time::Instant::now();
+    let report = mpisim::MpiJob::new(netsim::Network::new(topo), placement, MpiImpl::Mpich2)
+        .with_tuning(mpisim::Tuning::paper_tuned(MpiImpl::Mpich2))
+        .with_engine(engine)
+        .run(move |mut ctx: mpisim::RankCtx| async move {
+            const TAG: u64 = 7;
+            let right = (ctx.rank() + 1) % ctx.size();
+            let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            for _ in 0..rounds {
+                ctx.sendrecv(right, 1024, left, TAG).await;
+            }
+        })
+        .expect("ring completes");
+    let wall = wall.elapsed().as_secs_f64();
+    println!("# Rank-scale ring ({ranks} ranks x {rounds} rounds, engine {engine:?})");
+    println!("ranks            {ranks}");
+    println!("virtual elapsed  {:.6} s", report.elapsed.as_secs_f64());
+    println!("p2p messages     {}", report.stats.p2p_messages());
+    println!("wire messages    {}", report.stats.wire_messages);
+    println!("host wall clock  {wall:.2} s");
+    assert!(report.clean, "ring left undrained messages");
 }
 
 /// `repro validate FILE [--require-event NAME ...]`: check that an
@@ -517,17 +568,17 @@ pub(crate) fn timed_mode(id: MpiImpl, scope: Scope, bytes: u64, threshold: Optio
     tuning.eager_threshold = threshold;
     let report = scenario::Scenario::pair(scope, level, id)
         .tuning(tuning)
-        .run(move |ctx: &mut mpisim::RankCtx| {
+        .run(move |mut ctx: mpisim::RankCtx| async move {
             const TAG: u64 = 1;
             for _ in 0..10 {
                 if ctx.rank() == 0 {
                     let t0 = ctx.now();
-                    ctx.send(1, bytes, TAG);
-                    ctx.recv(1, TAG);
+                    ctx.send(1, bytes, TAG).await;
+                    ctx.recv(1, TAG).await;
                     ctx.record("one_way", ctx.now().since(t0).as_secs_f64() / 2.0);
                 } else {
-                    ctx.recv(0, TAG);
-                    ctx.send(0, bytes, TAG);
+                    ctx.recv(0, TAG).await;
+                    ctx.send(0, bytes, TAG).await;
                 }
             }
         })

@@ -42,18 +42,18 @@ pub fn cmd_perturbation() {
                         );
                     }
                 },
-                move |ctx: &mut RankCtx| {
+                move |mut ctx: RankCtx| async move {
                     const TAG: u64 = 1;
                     for _ in 0..60 {
                         if ctx.rank() == 0 {
                             let t0 = ctx.now();
-                            ctx.send(1, bytes, TAG);
-                            ctx.recv(1, TAG);
+                            ctx.send(1, bytes, TAG).await;
+                            ctx.recv(1, TAG).await;
                             let ow = ctx.now().since(t0).as_secs_f64() / 2.0;
                             ctx.record("bw", bytes as f64 * 8.0 / ow / 1e6);
                         } else {
-                            ctx.recv(0, TAG);
-                            ctx.send(0, bytes, TAG);
+                            ctx.recv(0, TAG).await;
+                            ctx.send(0, bytes, TAG).await;
                         }
                     }
                 },

@@ -73,17 +73,17 @@ pub fn pingpong(
         }
         Stack::Mpi(id) => {
             let report = Scenario::pair(scope, level, id)
-                .run(move |ctx: &mut RankCtx| {
+                .run(move |mut ctx: RankCtx| async move {
                     const TAG: u64 = 1;
                     for _ in 0..iters {
                         if ctx.rank() == 0 {
                             let t0 = ctx.now();
-                            ctx.send(1, bytes, TAG);
-                            ctx.recv(1, TAG);
+                            ctx.send(1, bytes, TAG).await;
+                            ctx.recv(1, TAG).await;
                             ctx.record("one_way", ctx.now().since(t0).as_secs_f64() / 2.0);
                         } else {
-                            ctx.recv(0, TAG);
-                            ctx.send(0, bytes, TAG);
+                            ctx.recv(0, TAG).await;
+                            ctx.send(0, bytes, TAG).await;
                         }
                     }
                 })

@@ -32,19 +32,19 @@ pub fn slowstart_series(stack: Stack, bytes: u64, count: u32) -> Vec<SlowstartPo
 
 fn mpi_series(id: MpiImpl, bytes: u64, count: u32) -> Vec<SlowstartPoint> {
     let report = Scenario::pair(Scope::Grid, TuningLevel::FullyTuned, id)
-        .run(move |ctx: &mut RankCtx| {
+        .run(move |mut ctx: RankCtx| async move {
             const TAG: u64 = 1;
             for _ in 0..count {
                 if ctx.rank() == 0 {
                     let t0 = ctx.now();
-                    ctx.send(1, bytes, TAG);
-                    ctx.recv(1, TAG);
+                    ctx.send(1, bytes, TAG).await;
+                    ctx.recv(1, TAG).await;
                     let one_way = ctx.now().since(t0).as_secs_f64() / 2.0;
                     ctx.record("t", ctx.now().as_secs_f64());
                     ctx.record("bw", mbps(bytes, one_way));
                 } else {
-                    ctx.recv(0, TAG);
-                    ctx.send(0, bytes, TAG);
+                    ctx.recv(0, TAG).await;
+                    ctx.send(0, bytes, TAG).await;
                 }
             }
         })
@@ -61,19 +61,19 @@ fn raw_series(bytes: u64, count: u32) -> Vec<SlowstartPoint> {
     // Reuse the MPI machinery with a zero-overhead profile: raw TCP is an
     // MPI stack with no software overhead, no rendezvous and no pacing.
     let report = Scenario::raw_pair(Scope::Grid, TuningLevel::FullyTuned)
-        .run(move |ctx: &mut RankCtx| {
+        .run(move |mut ctx: RankCtx| async move {
             const TAG: u64 = 1;
             for _ in 0..count {
                 if ctx.rank() == 0 {
                     let t0 = ctx.now();
-                    ctx.send(1, bytes, TAG);
-                    ctx.recv(1, TAG);
+                    ctx.send(1, bytes, TAG).await;
+                    ctx.recv(1, TAG).await;
                     let one_way = ctx.now().since(t0).as_secs_f64() / 2.0;
                     ctx.record("t", ctx.now().as_secs_f64());
                     ctx.record("bw", mbps(bytes, one_way));
                 } else {
-                    ctx.recv(0, TAG);
-                    ctx.send(0, bytes, TAG);
+                    ctx.recv(0, TAG).await;
+                    ctx.send(0, bytes, TAG).await;
                 }
             }
         })
@@ -151,12 +151,12 @@ fn cwnd_series(id: MpiImpl, level: TuningLevel, bytes: u64) -> Vec<CwndPoint> {
     let sink = Arc::new(RingSink::new(1 << 20));
     let report = Scenario::pair(Scope::Grid, level, id)
         .recorder(sink.clone())
-        .run(move |ctx: &mut RankCtx| {
+        .run(move |mut ctx: RankCtx| async move {
             const TAG: u64 = 1;
             if ctx.rank() == 0 {
-                ctx.send(1, bytes, TAG);
+                ctx.send(1, bytes, TAG).await;
             } else {
-                ctx.recv(0, TAG);
+                ctx.recv(0, TAG).await;
             }
         })
         .expect("cwnd probe run completes");

@@ -28,9 +28,9 @@ fn main() {
     oblivious.collectives.bcast = BcastAlgo::ScatterAllgather;
     let t_oblivious = MpiJob::new(net, placement, MpiImpl::GridMpi)
         .with_profile(oblivious)
-        .run(move |ctx: &mut RankCtx| {
+        .run(move |mut ctx: RankCtx| async move {
             for _ in 0..reps {
-                ctx.bcast(0, bytes);
+                ctx.bcast(0, bytes).await;
             }
         })
         .unwrap()
@@ -41,18 +41,18 @@ fn main() {
     let (net, placement) = testbed();
     let report = MpiJob::new(net, placement, MpiImpl::GridMpi)
         .with_tracing()
-        .run(move |ctx: &mut RankCtx| {
+        .run(move |mut ctx: RankCtx| async move {
             let site = ctx.comm_site();
             let leaders = ctx.comm_split(|r| if r % 8 == 0 { 0 } else { 1 + r as u64 });
             for _ in 0..reps {
                 // WAN hop between site leaders (ranks 0 and 8)...
                 if ctx.rank() == 0 {
-                    ctx.send(8, bytes, 42);
+                    ctx.send(8, bytes, 42).await;
                 } else if ctx.rank() == 8 {
-                    ctx.recv(0, 42);
+                    ctx.recv(0, 42).await;
                 }
                 // ...then everyone fans out locally.
-                ctx.comm_bcast(&site, 0, bytes);
+                ctx.comm_bcast(&site, 0, bytes).await;
             }
             let _ = leaders;
         })

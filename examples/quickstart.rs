@@ -11,17 +11,17 @@ fn one_way_us(id: MpiImpl, bytes: u64) -> f64 {
     let (topo, rennes, nancy) = grid5000_pair(1);
     let job = MpiJob::new(Network::new(topo), vec![rennes[0], nancy[0]], id);
     let report = job
-        .run(move |ctx: &mut RankCtx| {
+        .run(move |mut ctx: RankCtx| async move {
             const TAG: u64 = 1;
             for _ in 0..10 {
                 if ctx.rank() == 0 {
                     let t0 = ctx.now();
-                    ctx.send(1, bytes, TAG);
-                    ctx.recv(1, TAG);
+                    ctx.send(1, bytes, TAG).await;
+                    ctx.recv(1, TAG).await;
                     ctx.record("one_way", ctx.now().since(t0).as_secs_f64() / 2.0);
                 } else {
-                    ctx.recv(0, TAG);
-                    ctx.send(0, bytes, TAG);
+                    ctx.recv(0, TAG).await;
+                    ctx.send(0, bytes, TAG).await;
                 }
             }
         })
@@ -65,14 +65,14 @@ fn main() {
             MpiImpl::Mpich2,
         )
         .with_recorder(sink.clone())
-        .run(|ctx: &mut RankCtx| {
+        .run(|mut ctx: RankCtx| async move {
             const TAG: u64 = 1;
             if ctx.rank() == 0 {
-                ctx.send(1, 1 << 20, TAG);
-                ctx.recv(1, TAG);
+                ctx.send(1, 1 << 20, TAG).await;
+                ctx.recv(1, TAG).await;
             } else {
-                ctx.recv(0, TAG);
-                ctx.send(0, 1 << 20, TAG);
+                ctx.recv(0, TAG).await;
+                ctx.send(0, 1 << 20, TAG).await;
             }
         })
         .expect("traced pingpong completes");

@@ -13,17 +13,17 @@ fn measure(id: MpiImpl, kernel: KernelConfig, tuning: Tuning, bytes: u64) -> f64
     topo.set_kernel_all(kernel);
     let job = MpiJob::new(Network::new(topo), vec![rennes[0], nancy[0]], id).with_tuning(tuning);
     let report = job
-        .run(move |ctx: &mut RankCtx| {
+        .run(move |mut ctx: RankCtx| async move {
             const TAG: u64 = 1;
             for _ in 0..12 {
                 if ctx.rank() == 0 {
                     let t0 = ctx.now();
-                    ctx.send(1, bytes, TAG);
-                    ctx.recv(1, TAG);
+                    ctx.send(1, bytes, TAG).await;
+                    ctx.recv(1, TAG).await;
                     ctx.record("one_way", ctx.now().since(t0).as_secs_f64() / 2.0);
                 } else {
-                    ctx.recv(0, TAG);
-                    ctx.send(0, bytes, TAG);
+                    ctx.recv(0, TAG).await;
+                    ctx.send(0, bytes, TAG).await;
                 }
             }
         })

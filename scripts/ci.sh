@@ -1,7 +1,7 @@
 #!/bin/sh
 # Staged offline CI for the whole simulator.
 #
-#     scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|bench|all]
+#     scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|ranks|bench|all]
 #
 # Each stage is independently runnable and timed; `all` (the default)
 # runs them in order. The workspace has zero external dependencies, so
@@ -19,6 +19,9 @@
 #   blame   the wait-state/critical-path analyzer emits valid JSON and
 #           dat output, replays its own trace losslessly, and the two
 #           blame guidelines hold
+#   ranks   the pooled execution engine reproduces the golden corpus
+#           bit for bit (both engines, explicitly) and a 1024-rank job
+#           completes in one process
 #   bench   deterministic event counts match BENCH_baseline.json
 set -eu
 cd "$(dirname "$0")/.."
@@ -95,6 +98,19 @@ stage_blame() {
     ./target/release/repro guidelines blame-slow-start-share blame-rndv-handshake
 }
 
+stage_ranks() {
+    release_bins
+    # Engine independence is a digest contract: the golden corpus must
+    # match bit for bit whether ranks are pooled continuations (the
+    # default) or one OS thread each. stage_golden already covers the
+    # build default; here both engines are pinned explicitly so a change
+    # to the default cannot silently shrink coverage.
+    MPISIM_ENGINE=pooled ./target/release/repro golden check
+    MPISIM_ENGINE=threaded ./target/release/repro golden check
+    # Rank-scale smoke: a 1024-rank ring in one process, clean exit.
+    ./target/release/repro ring --ranks 1024 --rounds 2 >/dev/null
+}
+
 stage_bench() {
     release_bins
     # `bench smoke` itself asserts exact events counts against the
@@ -116,17 +132,17 @@ run_stage() {
 }
 
 case "${1:-all}" in
-fmt | clippy | build | test | smoke | golden | blame | bench)
+fmt | clippy | build | test | smoke | golden | blame | ranks | bench)
     run_stage "$1"
     ;;
 all)
-    for _s in fmt clippy build test smoke golden blame bench; do
+    for _s in fmt clippy build test smoke golden blame ranks bench; do
         run_stage "${_s}"
     done
     echo "==> ci: all stages passed"
     ;;
 *)
-    echo "usage: scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|bench|all]" >&2
+    echo "usage: scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|ranks|bench|all]" >&2
     exit 2
     ;;
 esac

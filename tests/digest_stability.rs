@@ -43,15 +43,15 @@ fn pingpong_digest(
         job = job.with_faults(FaultPlan::new().with_seed(seed).with_wan_loss(1e-3));
     }
     let report = job
-        .run(move |ctx: &mut RankCtx| {
+        .run(move |mut ctx: RankCtx| async move {
             let peer = 1 - ctx.rank();
             for _ in 0..3 {
                 if ctx.rank() == 0 {
-                    ctx.send(peer, bytes, 7);
-                    ctx.recv(peer, 7);
+                    ctx.send(peer, bytes, 7).await;
+                    ctx.recv(peer, 7).await;
                 } else {
-                    ctx.recv(peer, 7);
-                    ctx.send(peer, bytes, 7);
+                    ctx.recv(peer, 7).await;
+                    ctx.send(peer, bytes, 7).await;
                 }
             }
         })

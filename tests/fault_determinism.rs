@@ -31,15 +31,15 @@ fn pingpong_job(fast: bool) -> MpiJob {
     MpiJob::new(net, placement, MpiImpl::Mpich2).with_tuning(Tuning::paper_tuned(MpiImpl::Mpich2))
 }
 
-fn pingpong(ctx: &mut RankCtx) {
+async fn pingpong(mut ctx: RankCtx) {
     let peer = 1 - ctx.rank();
     for _ in 0..5 {
         if ctx.rank() == 0 {
-            ctx.send(peer, 4 << 20, 7);
-            ctx.recv(peer, 7);
+            ctx.send(peer, 4 << 20, 7).await;
+            ctx.recv(peer, 7).await;
         } else {
-            ctx.recv(peer, 7);
-            ctx.send(peer, 4 << 20, 7);
+            ctx.recv(peer, 7).await;
+            ctx.send(peer, 4 << 20, 7).await;
         }
     }
 }

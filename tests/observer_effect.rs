@@ -98,15 +98,15 @@ fn pingpong_has_no_observer_effect() {
         net.set_bulk_fast_path(fast);
         let job = MpiJob::new(net, placement, MpiImpl::Mpich2)
             .with_tuning(Tuning::paper_tuned(MpiImpl::Mpich2));
-        run_job(job, probed, |ctx: &mut RankCtx| {
+        run_job(job, probed, |mut ctx: RankCtx| async move {
             let peer = 1 - ctx.rank();
             for _ in 0..5 {
                 if ctx.rank() == 0 {
-                    ctx.send(peer, 4 << 20, 7);
-                    ctx.recv(peer, 7);
+                    ctx.send(peer, 4 << 20, 7).await;
+                    ctx.recv(peer, 7).await;
                 } else {
-                    ctx.recv(peer, 7);
-                    ctx.send(peer, 4 << 20, 7);
+                    ctx.recv(peer, 7).await;
+                    ctx.send(peer, 4 << 20, 7).await;
                 }
             }
         })
@@ -165,15 +165,15 @@ fn live_analyzer_has_no_observer_effect() {
         let report = MpiJob::new(net, placement, MpiImpl::Mpich2)
             .with_tuning(Tuning::paper_tuned(MpiImpl::Mpich2))
             .with_recorder(recorder)
-            .run(|ctx: &mut RankCtx| {
+            .run(|mut ctx: RankCtx| async move {
                 let peer = 1 - ctx.rank();
                 for _ in 0..3 {
                     if ctx.rank() == 0 {
-                        ctx.send(peer, 4 << 20, 7);
-                        ctx.recv(peer, 7);
+                        ctx.send(peer, 4 << 20, 7).await;
+                        ctx.recv(peer, 7).await;
                     } else {
-                        ctx.recv(peer, 7);
-                        ctx.send(peer, 4 << 20, 7);
+                        ctx.recv(peer, 7).await;
+                        ctx.send(peer, 4 << 20, 7).await;
                     }
                 }
             })

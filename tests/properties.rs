@@ -143,14 +143,14 @@ fn collectives_always_drain() {
         let placement: Vec<_> = (0..ranks).map(|i| nodes[i % 4]).collect();
         let id = MpiImpl::ALL[impl_idx];
         let report = MpiJob::new(net, placement, id)
-            .run(move |ctx: &mut RankCtx| {
+            .run(move |mut ctx: RankCtx| async move {
                 match which {
-                    0 => ctx.bcast(0, bytes),
-                    1 => ctx.allreduce(bytes),
-                    2 => ctx.alltoall(bytes.min(65_536)),
-                    _ => ctx.allgather(bytes.min(65_536)),
+                    0 => ctx.bcast(0, bytes).await,
+                    1 => ctx.allreduce(bytes).await,
+                    2 => ctx.alltoall(bytes.min(65_536)).await,
+                    _ => ctx.allgather(bytes.min(65_536)).await,
                 }
-                ctx.barrier();
+                ctx.barrier().await;
             })
             .unwrap();
         assert!(report.clean, "{id:?} left unmatched messages");
@@ -167,15 +167,21 @@ fn p2p_fifo_for_random_batches() {
         let placement = vec![nodes[0], nodes[2]];
         let sizes2 = sizes.clone();
         let report = MpiJob::new(net, placement, MpiImpl::Mpich2)
-            .run(move |ctx: &mut RankCtx| {
-                const TAG: u64 = 9;
-                if ctx.rank() == 0 {
-                    let reqs: Vec<_> = sizes2.iter().map(|&b| ctx.isend(1, b, TAG)).collect();
-                    ctx.waitall(reqs);
-                } else {
-                    for &expect in &sizes2 {
-                        let m = ctx.recv(0, TAG);
-                        assert_eq!(m.bytes, expect, "message overtook another");
+            .run(move |mut ctx: RankCtx| {
+                let sizes2 = sizes2.clone();
+                async move {
+                    const TAG: u64 = 9;
+                    if ctx.rank() == 0 {
+                        let mut reqs = Vec::with_capacity(sizes2.len());
+                        for &b in &sizes2 {
+                            reqs.push(ctx.isend(1, b, TAG).await);
+                        }
+                        ctx.waitall(reqs).await;
+                    } else {
+                        for &expect in &sizes2 {
+                            let m = ctx.recv(0, TAG).await;
+                            assert_eq!(m.bytes, expect, "message overtook another");
+                        }
                     }
                 }
             })
