@@ -101,13 +101,19 @@ pub fn compare(
             (Some(oe), Some(_)) => row.push_str(&format!(" events {oe} (exact ok)")),
             _ => {}
         }
+        // Register the group for every matched benchmark, even ones with
+        // no comparable wall clock (derived note lines, or timing present
+        // on only one side): the summary loop must see such groups and
+        // warn, not index into an empty percentile list.
+        let group = n.name.split('/').next().unwrap_or(&n.name).to_string();
+        if !group_pcts.iter().any(|(g, _)| *g == group) {
+            group_pcts.push((group.clone(), Vec::new()));
+        }
         match (o.secs_per_iter, n.secs_per_iter) {
             (Some(os), Some(ns)) if os > 0.0 => {
                 let pct = (ns - os) / os * 100.0;
-                let group = n.name.split('/').next().unwrap_or(&n.name).to_string();
-                match group_pcts.iter_mut().find(|(g, _)| *g == group) {
-                    Some((_, v)) => v.push(pct),
-                    None => group_pcts.push((group, vec![pct])),
+                if let Some((_, v)) = group_pcts.iter_mut().find(|(g, _)| *g == group) {
+                    v.push(pct);
                 }
                 row.push_str(&format!(" secs {os:.3e} -> {ns:.3e} ({pct:+.1}%)"));
                 if pct > threshold_pct {
@@ -133,8 +139,12 @@ pub fn compare(
     }
     for (group, mut pcts) in group_pcts {
         pcts.sort_by(|a, b| a.total_cmp(b));
-        let median = pcts[pcts.len() / 2];
-        let worst = *pcts.last().unwrap();
+        let (Some(&worst), Some(&median)) = (pcts.last(), pcts.get(pcts.len() / 2)) else {
+            cmp.warnings.push(format!(
+                "group {group}: no comparable wall-clock pairs (timing on one side only)"
+            ));
+            continue;
+        };
         cmp.group_summaries.push(format!(
             "group {group}: {} compared, median {median:+.1}%, worst {worst:+.1}%",
             pcts.len()
@@ -207,6 +217,27 @@ mod tests {
         assert!(cmp.group_summaries[0].contains("worst +10.0%"));
         assert!(cmp.group_summaries[1].contains("group b: 1 compared"));
         assert!(cmp.group_summaries[1].contains("worst +100.0%"));
+    }
+
+    #[test]
+    fn group_without_comparable_timing_warns_instead_of_panicking() {
+        // A group whose only lines are derived notes (no secs_per_iter)
+        // matches by name on both sides but has nothing to summarize:
+        // that must come out as a warning, never an empty-list index.
+        let note = "{\"name\": \"fastpath/speedup\", \"speedup\": 12.5}";
+        let old = parse_lines(&format!("{}\n{note}", line("a/x", 1e-3, 1))).unwrap();
+        let new = parse_lines(&format!("{}\n{note}", line("a/x", 1e-3, 1))).unwrap();
+        let cmp = compare(&old, &new, 25.0).unwrap();
+        assert_eq!(cmp.group_summaries.len(), 1);
+        assert!(cmp.group_summaries[0].starts_with("group a:"));
+        assert!(
+            cmp.warnings
+                .iter()
+                .any(|w| w.contains("group fastpath: no comparable wall-clock pairs")),
+            "one-sided group must warn, got {:?}",
+            cmp.warnings
+        );
+        assert!(cmp.failures.is_empty());
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //!
 //! Groups: `kernel`, `tcp`, `pingpong`, `collectives`, `npb`, `ray2mesh`,
 //! `fastpath`, `obs` (observability overhead), `blame` (post-hoc
-//! analyzer cost), `faults` (lossy-path and fault-tolerance overhead),
-//! `ranks` (rank-scale execution engine), `smoke` (a quick CI subset).
+//! analyzer cost), `profile` (host self-profiler overhead, gated ≤5%),
+//! `faults` (lossy-path and fault-tolerance overhead), `ranks`
+//! (rank-scale execution engine), `smoke` (a quick CI subset).
 //! No groups = all of them except `smoke`.
 //!
 //! The `smoke` group doubles as a regression gate: after it runs, every
@@ -154,6 +155,7 @@ fn main() {
         "fastpath",
         "obs",
         "blame",
+        "profile",
         "faults",
         "ranks",
     ];
@@ -178,6 +180,7 @@ fn main() {
             "fastpath" => group_fastpath(&mut h),
             "obs" => group_obs(&mut h),
             "blame" => group_blame(&mut h),
+            "profile" => group_profile(&mut h),
             "faults" => group_faults(&mut h),
             "ranks" => group_ranks(&mut h),
             "smoke" => group_smoke(&mut h),
@@ -632,6 +635,91 @@ fn group_obs(h: &mut Harness) {
         timed[1],
         timed[1] / timed[0]
     ));
+}
+
+/// Host self-profiler overhead: the identical 64 MB grid ping-pong with
+/// and without a [`desim::HostProfiler`] attached across the whole stack
+/// (kernel dispatch, netsim settle, mpisim job phases). The profiler only
+/// reads the host clock and bumps its own table, so the attached run must
+/// stay within 5% of the detached one — the gate retries once before
+/// failing to ride out scheduler noise.
+fn group_profile(h: &mut Harness) {
+    fn pingpong_64m(prof: Option<Arc<desim::HostProfiler>>) -> f64 {
+        let mut job = grid_job(2, MpiImpl::Mpich2);
+        if let Some(prof) = prof {
+            job = job.with_host_profiler(prof);
+        }
+        let report = job
+            .run(move |mut ctx: RankCtx| async move {
+                const TAG: u64 = 1;
+                // 8 round trips: enough steady-state work that the
+                // one-time profiler attach (key interning, link labels)
+                // is measured at its amortized share, which is what the
+                // overhead gate is about.
+                for _ in 0..8 {
+                    if ctx.rank() == 0 {
+                        ctx.send(1, 64 << 20, TAG).await;
+                        ctx.recv(1, TAG).await;
+                    } else {
+                        ctx.recv(0, TAG).await;
+                        ctx.send(0, 64 << 20, TAG).await;
+                    }
+                }
+            })
+            .expect("pingpong completes");
+        report.elapsed.as_secs_f64()
+    }
+    fn measure() -> [f64; 2] {
+        // One profiler accumulating across jobs, as a real profiling
+        // session does: the label interning is paid once, and the gate
+        // measures the steady-state per-event cost it exists to bound.
+        let prof = Arc::new(desim::HostProfiler::new());
+        // The job runs ~40 µs, so a mean over a fixed window drowns a 5%
+        // signal in scheduler noise. Instead: alternate short blocks so
+        // host-load drift hits both variants equally, and keep each
+        // variant's per-iteration *minimum* — preemption only ever adds
+        // time, so min-of-many converges on the true cost.
+        let mut best = [f64::INFINITY; 2];
+        for _ in 0..6 {
+            for (slot, attached) in [(0usize, false), (1, true)] {
+                for _ in 0..25 {
+                    let t0 = Instant::now();
+                    black_box(pingpong_64m(attached.then(|| prof.clone())));
+                    best[slot] = best[slot].min(t0.elapsed().as_secs_f64());
+                }
+            }
+        }
+        best
+    }
+    let mut timed = measure();
+    let mut ratio = timed[1] / timed[0];
+    if ratio > 1.05 {
+        // One retry: a single descheduling blip can skew a 0.3 s window.
+        timed = measure();
+        ratio = timed[1] / timed[0];
+    }
+    h.bench("profile/pingpong_64M_detached", || {
+        black_box(pingpong_64m(None));
+        0
+    });
+    let prof = Arc::new(desim::HostProfiler::new());
+    h.bench("profile/pingpong_64M_attached", || {
+        black_box(pingpong_64m(Some(prof.clone())));
+        0
+    });
+    h.note(&format!(
+        "{{\"name\": \"profile/host_profiler_overhead_pingpong_64M\", \"detached_secs\": {:.6e}, \
+         \"attached_secs\": {:.6e}, \"overhead_ratio\": {ratio:.3}}}",
+        timed[0], timed[1]
+    ));
+    assert!(
+        ratio <= 1.05,
+        "host profiler overhead {:.1}% exceeds the 5% gate \
+         (detached {:.6e} s, attached {:.6e} s)",
+        (ratio - 1.0) * 100.0,
+        timed[0],
+        timed[1]
+    );
 }
 
 /// Blame-analysis cost: capture one 64 MB grid ping-pong's event stream

@@ -51,5 +51,6 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use kernel::{RunStats, Sched, Sim, SimError};
 pub use obs::analysis::{Analysis, Collector, CriticalPath, FlowBlame, MessageBlame, RankProfile};
 pub use obs::{DigestSink, DigestValue, Event, Metrics, Recorder, RingSink, Tee};
+pub use obs::{HostProfiler, ProfKey, StreamHist, TimeSeries, TimeSeriesSink, Windowed};
 pub use process::{Proc, ProcId};
 pub use time::{SimDuration, SimTime};

@@ -177,6 +177,15 @@ fn meta_thread(pid: u32, tid: u64, name: &str) -> String {
 /// TCP samples; process "links" carries one `link[..] delivered` counter
 /// track per directed link.
 pub fn chrome_trace(events: &[Event]) -> String {
+    chrome_trace_with_drops(events, 0)
+}
+
+/// [`chrome_trace`], annotated with how many events the recording ring
+/// dropped before export (`RingSink::dropped`). A non-zero count appears
+/// as a top-level `"droppedEvents"` key — Chrome's format ignores unknown
+/// top-level keys, and `repro validate` warns when it sees one — so a
+/// truncated recording can never silently pass for a complete one.
+pub fn chrome_trace_with_drops(events: &[Event], dropped: u64) -> String {
     let mut rows: Vec<String> = Vec::new();
     let mut rank_rows: Vec<u64> = Vec::new();
     let mut chan_rows: Vec<u64> = Vec::new();
@@ -344,7 +353,11 @@ pub fn chrome_trace(events: &[Event]) -> String {
         out.push('\n');
         out.push_str(row);
     }
-    out.push_str("\n]}\n");
+    out.push_str("\n]");
+    if dropped > 0 {
+        out.push_str(&format!(",\"droppedEvents\":{}", dropped));
+    }
+    out.push_str("}\n");
     out
 }
 
@@ -427,6 +440,24 @@ mod tests {
         // Fault instants land on their own process row.
         assert!(doc.contains("\"fault injector\""));
         assert!(doc.contains("link_down #3"));
+    }
+
+    #[test]
+    fn chrome_trace_surfaces_ring_drops() {
+        // Overflow a two-slot ring: only the newest two events survive,
+        // and the exporter must say how many were lost.
+        let sink = crate::obs::RingSink::new(2);
+        for ev in sample_events() {
+            use crate::obs::Recorder as _;
+            sink.record(&ev);
+        }
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), sample_events().len() as u64 - 2);
+        let doc = chrome_trace_with_drops(&sink.events(), sink.dropped());
+        crate::obs::json::validate(&doc).expect("trace must parse");
+        assert!(doc.contains(&format!("\"droppedEvents\":{}", sink.dropped())));
+        // A complete recording carries no such key at all.
+        assert!(!chrome_trace(&sample_events()).contains("droppedEvents"));
     }
 
     #[test]

@@ -232,6 +232,276 @@ impl MetricsSnapshot {
     }
 }
 
+// ------------------------------------------------------- streaming histogram
+
+/// Sub-bucket resolution of [`StreamHist`]: 2^4 = 16 linear sub-buckets
+/// per power of two, giving a worst-case relative error of 1/16.
+const STREAM_LIN_BITS: u32 = 4;
+
+/// A log-linear streaming histogram over `u64` values, std-only and
+/// allocation-light: values below 16 get exact buckets, larger values are
+/// grouped into 16 linear sub-buckets per power of two (HDR-style), so
+/// the whole `u64` range fits in at most 976 sparse buckets with ≤ 6.25 %
+/// relative error. Snapshots are plain clones and [`StreamHist::merge`]
+/// is an element-wise add, so per-shard histograms combine exactly
+/// (merge is associative and commutative by construction).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StreamHist {
+    /// Sparse bucket counts, keyed by log-linear bucket index.
+    buckets: BTreeMap<u16, u64>,
+    /// Number of observations.
+    pub count: u64,
+    /// Saturating sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+/// Log-linear bucket index of `v` (see [`StreamHist`]).
+fn stream_bucket(v: u64) -> u16 {
+    let lin = 1u64 << STREAM_LIN_BITS;
+    if v < lin {
+        return v as u16;
+    }
+    let msb = 63 - v.leading_zeros();
+    let group = msb - STREAM_LIN_BITS + 1;
+    let sub = (v >> (msb - STREAM_LIN_BITS)) & (lin - 1);
+    ((u64::from(group) << STREAM_LIN_BITS) + sub) as u16
+}
+
+/// Smallest value mapping to bucket `idx` — the inverse of
+/// [`stream_bucket`] on bucket boundaries.
+fn stream_lower_bound(idx: u16) -> u64 {
+    let lin = 1u64 << STREAM_LIN_BITS;
+    let idx = u64::from(idx);
+    if idx < lin {
+        return idx;
+    }
+    let group = idx >> STREAM_LIN_BITS;
+    let sub = idx & (lin - 1);
+    let msb = group as u32 + STREAM_LIN_BITS - 1;
+    (lin + sub) << (msb - STREAM_LIN_BITS)
+}
+
+impl StreamHist {
+    /// Empty histogram.
+    pub fn new() -> StreamHist {
+        StreamHist::default()
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        *self.buckets.entry(stream_bucket(v)).or_insert(0) += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Fold `other` into `self`. Element-wise bucket addition: merging is
+    /// associative and commutative, and merging per-shard snapshots gives
+    /// bit-identical buckets to observing the union directly.
+    pub fn merge(&mut self, other: &StreamHist) {
+        for (idx, n) in &other.buckets {
+            *self.buckets.entry(*idx).or_insert(0) += n;
+        }
+        if other.count > 0 {
+            if self.count == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            }
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the lower bound of the bucket
+    /// holding the ⌈q·count⌉-th smallest observation (0 when empty).
+    /// Monotone non-decreasing in `q`; exact when the observation sits on
+    /// a bucket boundary.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return stream_lower_bound(*idx);
+            }
+        }
+        stream_lower_bound(*self.buckets.keys().last().unwrap_or(&0))
+    }
+
+    /// Mean of the observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// One-line JSON summary: count/min/max/mean plus p50/p90/p99.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            self.count,
+            self.min,
+            self.max,
+            super::export::json_f64(self.mean()),
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+        )
+    }
+}
+
+// --------------------------------------------------- fixed-window aggregation
+
+/// Aggregate of the samples that landed in one fixed time window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowAgg {
+    /// Number of samples in the window (0 = the window is empty).
+    pub count: u64,
+    /// Sum of sample values; for counter deltas, `sum / window_secs` is
+    /// the window's rate.
+    pub sum: f64,
+    /// Smallest sample (0.0 when empty).
+    pub min: f64,
+    /// Largest sample (0.0 when empty).
+    pub max: f64,
+}
+
+impl WindowAgg {
+    const EMPTY: WindowAgg = WindowAgg {
+        count: 0,
+        sum: 0.0,
+        min: 0.0,
+        max: 0.0,
+    };
+
+    fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Mean of the window's samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Fixed-window ring aggregation: samples carry a (virtual) timestamp,
+/// land in the window `t / window_ns`, and each window keeps
+/// count/sum/min/max. At most `cap` windows are retained — when a sample
+/// opens a window beyond the ring's reach the oldest windows roll off,
+/// so memory stays bounded on arbitrarily long runs. Gauge series read
+/// min/mean/max per window; counter series add deltas and read
+/// `sum / window_secs` as the window's rate.
+#[derive(Clone, Debug)]
+pub struct Windowed {
+    window_ns: u64,
+    cap: usize,
+    /// Window index (t / window_ns) of `slots[0]`.
+    first: u64,
+    slots: std::collections::VecDeque<WindowAgg>,
+    /// Samples dropped because their window had already rolled off.
+    pub dropped: u64,
+}
+
+impl Windowed {
+    /// Ring of at most `cap` windows of `window_ns` nanoseconds each.
+    pub fn new(window_ns: u64, cap: usize) -> Windowed {
+        Windowed {
+            window_ns: window_ns.max(1),
+            cap: cap.max(1),
+            first: 0,
+            slots: std::collections::VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Window length in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Record `value` at virtual time `t_ns`.
+    pub fn observe(&mut self, t_ns: u64, value: f64) {
+        let idx = t_ns / self.window_ns;
+        if self.slots.is_empty() {
+            self.first = idx;
+            self.slots.push_back(WindowAgg::EMPTY);
+        }
+        if idx < self.first {
+            // The sample's window already rolled off (or predates the
+            // first sample): late data is counted, not resurrected.
+            self.dropped += 1;
+            return;
+        }
+        while idx >= self.first + self.slots.len() as u64 {
+            self.slots.push_back(WindowAgg::EMPTY);
+            if self.slots.len() > self.cap {
+                self.slots.pop_front();
+                self.first += 1;
+            }
+        }
+        self.slots[(idx - self.first) as usize].observe(value);
+    }
+
+    /// The retained windows, oldest first, as `(window_start_ns, agg)`.
+    /// Empty windows between samples are materialised with `count == 0`.
+    pub fn windows(&self) -> Vec<(u64, WindowAgg)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, agg)| ((self.first + i as u64) * self.window_ns, *agg))
+            .collect()
+    }
+
+    /// Counter-rate view: `(window_start_ns, sum / window_secs)`.
+    pub fn rates(&self) -> Vec<(u64, f64)> {
+        let secs = self.window_ns as f64 / 1e9;
+        self.windows()
+            .into_iter()
+            .map(|(t, agg)| (t, agg.sum / secs))
+            .collect()
+    }
+
+    /// Number of retained windows.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no sample has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,5 +547,154 @@ mod tests {
         assert!(json.find("\"mm\"").unwrap() < json.find("\"zz\"").unwrap());
         assert!(json.contains("\"zz\":null"));
         super::super::json::validate(&json).expect("snapshot must be valid JSON");
+    }
+
+    // --- StreamHist properties (via desim::prop::forall) ---
+
+    #[test]
+    fn stream_hist_bucket_boundaries_are_exact() {
+        // Every bucket lower bound maps back to its own bucket, and an
+        // observation sitting exactly on a boundary is reported exactly.
+        for idx in 0u16..976 {
+            let lb = stream_lower_bound(idx);
+            assert_eq!(
+                stream_bucket(lb),
+                idx,
+                "boundary {lb} must stay in bucket {idx}"
+            );
+            let mut h = StreamHist::new();
+            h.observe(lb);
+            assert_eq!(
+                h.percentile(0.5),
+                lb,
+                "boundary value must round-trip exactly"
+            );
+        }
+        crate::prop::forall(2000, 0x5eed_0001, |rng| {
+            let v = rng.next_u64();
+            let b = stream_bucket(v);
+            let lb = stream_lower_bound(b);
+            assert!(lb <= v, "lower bound {lb} must not exceed value {v}");
+            if b < u16::MAX {
+                // v sits strictly below the next bucket's lower bound.
+                let next = stream_lower_bound(b + 1);
+                if next > lb {
+                    assert!(v < next, "{v} must sit below next boundary {next}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn stream_hist_percentiles_are_monotone() {
+        crate::prop::forall(200, 0x5eed_0002, |rng| {
+            let mut h = StreamHist::new();
+            let n = rng.range_usize(1, 200);
+            for _ in 0..n {
+                h.observe(rng.next_u64() >> rng.range_u64(0, 60) as u32);
+            }
+            let mut last = 0u64;
+            for i in 0..=100 {
+                let p = h.percentile(i as f64 / 100.0);
+                assert!(
+                    p >= last,
+                    "percentile must be monotone: p{i} = {p} < {last}"
+                );
+                last = p;
+            }
+            assert!(h.percentile(0.0) >= stream_lower_bound(stream_bucket(h.min)));
+            assert_eq!(h.percentile(1.0), stream_lower_bound(stream_bucket(h.max)));
+        });
+    }
+
+    #[test]
+    fn stream_hist_merge_is_associative_and_matches_union() {
+        crate::prop::forall(100, 0x5eed_0003, |rng| {
+            let mut parts: Vec<StreamHist> = Vec::new();
+            let mut union = StreamHist::new();
+            for _ in 0..3 {
+                let mut h = StreamHist::new();
+                for _ in 0..rng.range_usize(0, 50) {
+                    let v = rng.next_u64() >> 20;
+                    h.observe(v);
+                    union.observe(v);
+                }
+                parts.push(h);
+            }
+            // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) == direct observation of the union.
+            let mut left = parts[0].clone();
+            left.merge(&parts[1]);
+            left.merge(&parts[2]);
+            let mut bc = parts[1].clone();
+            bc.merge(&parts[2]);
+            let mut right = parts[0].clone();
+            right.merge(&bc);
+            assert_eq!(left, right, "merge must be associative");
+            assert_eq!(left, union, "merged shards must equal the union");
+        });
+    }
+
+    #[test]
+    fn stream_hist_json_is_valid() {
+        let mut h = StreamHist::new();
+        for v in [1u64, 100, 10_000, 1 << 30] {
+            h.observe(v);
+        }
+        super::super::json::validate(&h.to_json()).expect("hist json");
+    }
+
+    // --- Windowed aggregation ---
+
+    #[test]
+    fn windowed_empty_has_no_windows() {
+        let w = Windowed::new(1_000_000, 8);
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert!(w.windows().is_empty());
+        assert!(w.rates().is_empty());
+    }
+
+    #[test]
+    fn windowed_single_sample() {
+        let mut w = Windowed::new(1_000_000, 8);
+        w.observe(2_500_000, 3.0);
+        let ws = w.windows();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].0, 2_000_000, "window start snaps to the grid");
+        assert_eq!(ws[0].1.count, 1);
+        assert_eq!(ws[0].1.min, 3.0);
+        assert_eq!(ws[0].1.max, 3.0);
+        assert_eq!(ws[0].1.mean(), 3.0);
+        // Rate view: 3.0 per 1 ms window = 3000.0 per second.
+        assert!((w.rates()[0].1 - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_rollover_drops_oldest_and_counts_late() {
+        let mut w = Windowed::new(100, 4);
+        for t in 0..10u64 {
+            w.observe(t * 100, t as f64);
+        }
+        assert_eq!(w.len(), 4, "ring keeps at most cap windows");
+        let ws = w.windows();
+        assert_eq!(ws[0].0, 600, "oldest retained window starts at t=600");
+        assert_eq!(ws[3].0, 900);
+        assert_eq!(w.dropped, 0);
+        // A late sample aimed at a rolled-off window is dropped and counted.
+        w.observe(0, 42.0);
+        assert_eq!(w.dropped, 1);
+        assert_eq!(w.windows()[0].1.count, 1, "late data must not resurrect");
+    }
+
+    #[test]
+    fn windowed_gap_windows_are_empty_not_missing() {
+        let mut w = Windowed::new(10, 16);
+        w.observe(5, 1.0);
+        w.observe(35, 2.0);
+        let ws = w.windows();
+        assert_eq!(ws.len(), 4);
+        assert_eq!(ws[1].1.count, 0, "gap window is present and empty");
+        assert_eq!(ws[1].1.mean(), 0.0);
+        assert_eq!(ws[3].1.count, 1);
     }
 }

@@ -23,9 +23,11 @@ pub mod digest;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 
 pub use digest::{Digest, DigestSink, DigestValue, Tee};
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{Metrics, MetricsSnapshot, StreamHist, WindowAgg, Windowed};
+pub use profile::{HostProfiler, ProfKey, ProfScope, TimeSeries, TimeSeriesSink};
 
 use std::collections::VecDeque;
 use std::sync::Arc;

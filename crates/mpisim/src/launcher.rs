@@ -93,6 +93,9 @@ pub struct MpiJob {
     pub faults: Option<FaultPlan>,
     /// Rank execution engine (defaults to [`Engine::from_env`]).
     pub engine: Engine,
+    /// Host-time self-profiler, attached to the kernel's dispatch loop
+    /// and the network's flow engine for the duration of the run.
+    pub host_profiler: Option<Arc<desim::obs::HostProfiler>>,
 }
 
 impl MpiJob {
@@ -108,6 +111,7 @@ impl MpiJob {
             deadline: None,
             faults: None,
             engine: Engine::from_env(),
+            host_profiler: None,
         }
     }
 
@@ -146,6 +150,16 @@ impl MpiJob {
         self
     }
 
+    /// Attach a host-time self-profiler: the desim dispatch loop, the
+    /// netsim flow engine, and the job's own setup/run/collect phases
+    /// attribute their wall-clock time to it. Purely host-side — virtual
+    /// time and digests are bit-identical with or without it (the
+    /// profiling observer-effect suite enforces this).
+    pub fn with_host_profiler(mut self, prof: Arc<desim::obs::HostProfiler>) -> MpiJob {
+        self.host_profiler = Some(prof);
+        self
+    }
+
     /// Abort the run if it exceeds `limit` of virtual time.
     pub fn with_deadline(mut self, limit: SimTime) -> MpiJob {
         self.deadline = Some(limit);
@@ -177,8 +191,20 @@ impl MpiJob {
     ) -> Result<RunReport, SimError> {
         let n = self.placement.len();
         assert!(n > 0, "MPI job needs at least one rank");
+        // Pre-interned job-phase keys: setup (world/rank construction),
+        // run (the whole kernel drive), collect (report assembly).
+        let prof = self.host_profiler.clone().map(|p| {
+            let setup = p.intern("mpisim;job;setup");
+            let run = p.intern("mpisim;job;run");
+            let collect = p.intern("mpisim;job;collect");
+            (p, setup, run, collect)
+        });
+        let t_setup = prof.as_ref().map(|_| std::time::Instant::now());
         if let Some(rec) = &self.recorder {
             self.net.attach_recorder(Arc::clone(rec));
+        }
+        if let Some((p, ..)) = &prof {
+            self.net.attach_host_profiler(Arc::clone(p));
         }
         if let Some(plan) = &self.faults {
             self.net.install_faults(plan);
@@ -196,6 +222,9 @@ impl MpiJob {
         let sim = Sim::new();
         if let Some(rec) = &self.recorder {
             sim.attach_recorder(Arc::clone(rec));
+        }
+        if let Some((p, ..)) = &prof {
+            sim.attach_profiler(Arc::clone(p));
         }
         setup(&sim);
         if let Some(plan) = self.faults {
@@ -250,10 +279,20 @@ impl MpiJob {
                 }
             }
         }
+        let t_run = prof.as_ref().map(|(p, setup, ..)| {
+            let t0 = t_setup.expect("setup timer exists with profiler");
+            p.add_ns(*setup, t0.elapsed().as_nanos() as u64);
+            std::time::Instant::now()
+        });
         let end = match deadline {
             Some(limit) => sim.run_until(limit)?,
             None => sim.run()?,
         };
+        let t_collect = prof.as_ref().map(|(p, _, run, _)| {
+            let t0 = t_run.expect("run timer exists with profiler");
+            p.add_ns(*run, t0.elapsed().as_nanos() as u64);
+            std::time::Instant::now()
+        });
         let per_rank: Vec<SimDuration> = finish_times
             .into_iter()
             .map(|rx| {
@@ -274,14 +313,19 @@ impl MpiJob {
                 v
             })
             .unwrap_or_default();
-        Ok(RunReport {
+        let report = RunReport {
             elapsed: end.since(SimTime::ZERO),
             per_rank,
             stats,
             records,
             trace,
             clean: world.quiescent(),
-        })
+        };
+        if let Some((p, _, _, collect)) = &prof {
+            let t0 = t_collect.expect("collect timer exists with profiler");
+            p.add_ns(*collect, t0.elapsed().as_nanos() as u64);
+        }
+        Ok(report)
     }
 }
 

@@ -29,8 +29,10 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 use desim::fault::FaultPlan;
+use desim::obs::profile::{HostProfiler, ProfKey, ProfScope};
 use desim::obs::{Event as ObsEvent, Recorder};
 use desim::prop::Rng;
 use desim::sync::Mutex;
@@ -123,7 +125,58 @@ pub(crate) struct NetState {
     /// rejected at install so a fault-free network carries no fault state
     /// at all and stays bit-identical to pre-fault builds).
     pub(crate) faults: Option<FaultPlan>,
+    /// Host-time self-profiler handle (see [`NetProf`]); `None` costs one
+    /// null check per instrumented section.
+    pub(crate) host_prof: Option<NetProf>,
 }
+
+/// The flow engine's handle on an attached
+/// [`HostProfiler`]: event-handler keys are
+/// interned at attach time, per-link settle keys carry shard-candidate
+/// labels (`site:<name>` for LAN access links, `wan:<a>-><b>` for WAN
+/// trunks — the boundaries a PDES sharding of netsim would cut along),
+/// and per-channel round keys are interned lazily on first round.
+///
+/// Attribution is *layer-local*: `netsim;settle;<link>` rows re-slice
+/// time that the enclosing `netsim;round_event;<label>` row also counts
+/// (and that `desim;dispatch;call` counts again one layer up). Rows are
+/// comparable within one prefix, not summable across prefixes.
+pub(crate) struct NetProf {
+    pub(crate) prof: Arc<HostProfiler>,
+    /// Settle time not attributable to any link (no bytes moved).
+    pub(crate) settle: ProfKey,
+    /// Max-min water-fill allocation.
+    pub(crate) allocate: ProfKey,
+    /// Flow-finish handler.
+    pub(crate) finish: ProfKey,
+    /// Closed-form fast-path commit handler.
+    pub(crate) commit: ProfKey,
+    /// Closed-form replay (`apply_replay`) on interrupt/materialize.
+    pub(crate) replay: ProfKey,
+    /// Per-directed-link settle keys (`netsim;settle;<label>`).
+    pub(crate) link_keys: Vec<ProfKey>,
+    /// Shard-candidate label of each directed link.
+    pub(crate) link_labels: Vec<String>,
+    /// Lazily interned per-channel round keys
+    /// (`netsim;round_event;<label>`).
+    pub(crate) chan_keys: Vec<Option<ProfKey>>,
+    /// Scratch copy of `link_delivered` taken at settle entry so the
+    /// per-link deltas can be computed without a per-settle allocation.
+    pub(crate) settle_scratch: Vec<f64>,
+    /// Instrumentation-site counter driving the 1-in-[`NET_PROF_SAMPLE`]
+    /// sampling of the per-event scopes below.
+    pub(crate) tick: u64,
+}
+
+/// The flow engine's per-event handlers (settle, allocate, rounds,
+/// finish/commit/replay) each run in the hundreds of nanoseconds, so
+/// timing every one would cost more than it measures on hosts with slow
+/// clocksources. Instead one occurrence in this many is timed and
+/// extrapolated (weight-scaled), like the kernel dispatch loop's
+/// sampling. Prime on purpose: the handlers fire in short repeating
+/// patterns (round → settle → allocate …), and a stride sharing a factor
+/// with the pattern length would sample the same site forever.
+pub(crate) const NET_PROF_SAMPLE: u64 = 13;
 
 /// Initial fast-path setting for new networks: on, unless the
 /// `NETSIM_NO_FAST_PATH` environment variable is set (a debug knob for
@@ -149,7 +202,62 @@ impl NetState {
             fast_gen: 0,
             obs: None,
             faults: None,
+            host_prof: None,
         }
+    }
+
+    /// Scope guard attributing to one of the flat handler keys (no-op
+    /// when no profiler is attached; 1-in-[`NET_PROF_SAMPLE`] sampled).
+    fn prof_scope(&mut self, pick: impl Fn(&NetProf) -> ProfKey) -> Option<ProfScope> {
+        let hp = self.host_prof.as_mut()?;
+        hp.tick += 1;
+        if hp.tick % NET_PROF_SAMPLE != 0 {
+            return None;
+        }
+        Some(hp.prof.scope_sampled(pick(hp), NET_PROF_SAMPLE))
+    }
+
+    /// Scope guard for one channel's round handler, keyed by the
+    /// channel's shard-candidate label (its WAN trunk if it crosses one,
+    /// else its first access link's site). Sampled like [`Self::prof_scope`].
+    fn round_scope(&mut self, ch: usize) -> Option<ProfScope> {
+        {
+            let hp = self.host_prof.as_mut()?;
+            hp.tick += 1;
+            if hp.tick % NET_PROF_SAMPLE != 0 {
+                return None;
+            }
+        }
+        let cached = self
+            .host_prof
+            .as_ref()
+            .and_then(|hp| hp.chan_keys.get(ch).copied().flatten());
+        let key = match cached {
+            Some(k) => k,
+            None => {
+                let links: Vec<LinkId> = self
+                    .channels
+                    .get(ch)
+                    .map(|c| c.path.links.clone())
+                    .unwrap_or_default();
+                let hp = self.host_prof.as_mut().expect("checked above");
+                let label = links
+                    .iter()
+                    .filter_map(|l| hp.link_labels.get(l.index()))
+                    .find(|lab| lab.starts_with("wan:"))
+                    .or_else(|| links.first().and_then(|l| hp.link_labels.get(l.index())))
+                    .cloned()
+                    .unwrap_or_else(|| "local".to_string());
+                let k = hp.prof.intern(&format!("netsim;round_event;{label}"));
+                if hp.chan_keys.len() <= ch {
+                    hp.chan_keys.resize(ch + 1, None);
+                }
+                hp.chan_keys[ch] = Some(k);
+                k
+            }
+        };
+        let hp = self.host_prof.as_ref().expect("checked above");
+        Some(hp.prof.scope_sampled(key, NET_PROF_SAMPLE))
     }
 
     pub(crate) fn add_channel(&mut self, path: Path, tcp: TcpState) -> ChannelId {
@@ -203,6 +311,24 @@ impl NetState {
     /// Integrate progress of all active flows up to `now`, crediting the
     /// moved bytes to every link each flow crosses.
     fn settle(&mut self, now: SimTime) {
+        // When profiling (1-in-NET_PROF_SAMPLE sampled), snapshot the
+        // per-link byte counters so the elapsed wall clock can be
+        // attributed to the links that actually moved bytes — the
+        // per-shard-candidate breakdown. The snapshot reuses the scratch
+        // buffer: no allocation on the settle path.
+        let t0 = match self.host_prof.as_mut() {
+            Some(hp) => {
+                hp.tick += 1;
+                if hp.tick % NET_PROF_SAMPLE == 0 {
+                    hp.settle_scratch.clear();
+                    hp.settle_scratch.extend_from_slice(&self.link_delivered);
+                    Some(Instant::now())
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
         if self.link_delivered.len() < self.topo.link_count() {
             self.link_delivered.resize(self.topo.link_count(), 0.0);
         }
@@ -221,6 +347,33 @@ impl NetState {
                 f.last_settle = now;
             }
         }
+        if let (Some(t0), Some(hp)) = (t0, self.host_prof.as_ref()) {
+            let ns = t0.elapsed().as_nanos() as u64;
+            let before = &hp.settle_scratch;
+            let delta = |i: usize, d: f64| -> f64 { d - before.get(i).copied().unwrap_or(0.0) };
+            let total: f64 = self
+                .link_delivered
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| delta(i, d).max(0.0))
+                .sum();
+            if total > 0.0 {
+                for (i, &d) in self.link_delivered.iter().enumerate() {
+                    let d = delta(i, d);
+                    if d > 0.0 {
+                        if let Some(&key) = hp.link_keys.get(i) {
+                            hp.prof.add_ns_sampled(
+                                key,
+                                (ns as f64 * d / total) as u64,
+                                NET_PROF_SAMPLE,
+                            );
+                        }
+                    }
+                }
+            } else {
+                hp.prof.add_ns_sampled(hp.settle, ns, NET_PROF_SAMPLE);
+            }
+        }
     }
 
     /// Max-min fair allocation over the directed links, honouring per-flow
@@ -231,6 +384,7 @@ impl NetState {
         if n == 0 {
             return;
         }
+        let _prof = self.prof_scope(|p| p.allocate);
         // Per-flow caps and link membership (each flow crosses ≤ 3 links).
         let mut caps: Vec<f64> = Vec::with_capacity(n);
         let mut memberships: Vec<&[LinkId]> = Vec::with_capacity(n);
@@ -647,6 +801,7 @@ fn try_enter_fast(g: &mut NetState, net: &SharedNet, s: &Sched, now: SimTime) ->
 /// timestamps, same post-round state — the probe stream is identical to
 /// the per-round model's).
 fn apply_replay(g: &mut NetState, plan: &FastPlan, upto: SimTime) -> ReplayOutcome {
+    let _prof = g.prof_scope(|p| p.replay);
     let (bottleneck, min_link, links) = replay_inputs(g, plan.ch);
     let mut steps: Vec<f64> = Vec::new();
     let mut samples: Vec<ObsEvent> = Vec::new();
@@ -725,6 +880,7 @@ fn fast_commit(net: &SharedNet, s: &Sched, gen: u64) {
     if g.fast.as_ref().is_none_or(|p| p.gen != gen) {
         return; // Superseded by a materialize.
     }
+    let _prof = g.prof_scope(|p| p.commit);
     let plan = g.fast.take().expect("plan checked above");
     debug_assert_eq!(plan.finish_at, now, "commit must fire at the finish time");
     let outcome = apply_replay(&mut g, &plan, SimTime::MAX);
@@ -899,6 +1055,7 @@ fn round_event(net: &SharedNet, s: &Sched, ch: usize, gen: u64) {
     if g.channels[ch].stalled_until > now {
         return; // The stall-clear event resumes rounds.
     }
+    let _prof = g.round_scope(ch);
     g.settle(now);
     let was_binding = g.channels[ch]
         .active
@@ -1087,6 +1244,7 @@ fn finish_event(net: &SharedNet, s: &Sched, gen: u64) {
     if g.finish_gen != gen {
         return; // Superseded by a later reallocation.
     }
+    let _prof = g.prof_scope(|p| p.finish);
     g.settle(now);
     // Collect finished flows.
     let finished: Vec<usize> = g

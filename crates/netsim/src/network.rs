@@ -62,6 +62,52 @@ impl Network {
         self.state.lock().obs = Some(rec);
     }
 
+    /// Attach a host-time self-profiler: the flow engine attributes its
+    /// wall-clock time to `netsim;…` stacks — settle time per directed
+    /// link (labelled `site:<name>` for LAN access links and
+    /// `wan:<a>-><b>` for WAN trunks, the candidate PDES shard
+    /// boundaries), the max-min allocator, and the per-channel round /
+    /// finish / fast-path handlers. The profiler reads only the host
+    /// clock, so virtual time is untouched.
+    pub fn attach_host_profiler(&self, prof: Arc<desim::obs::HostProfiler>) {
+        let mut g = self.state.lock();
+        let n_links = g.topo.link_count();
+        let mut labels = vec![String::new(); n_links];
+        for n in g.topo.nodes().collect::<Vec<_>>() {
+            let site = g.topo.site_name(g.topo.site_of(n)).to_string();
+            for l in g.topo.node_links(n) {
+                if labels[l.index()].is_empty() {
+                    labels[l.index()] = format!("site:{site}");
+                }
+            }
+        }
+        for (a, b, l) in g.topo.wan_links() {
+            labels[l.index()] = format!("wan:{}->{}", g.topo.site_name(a), g.topo.site_name(b));
+        }
+        for (i, lab) in labels.iter_mut().enumerate() {
+            if lab.is_empty() {
+                *lab = format!("link{i}");
+            }
+        }
+        let link_keys = labels
+            .iter()
+            .map(|lab| prof.intern(&format!("netsim;settle;{lab}")))
+            .collect();
+        g.host_prof = Some(crate::flow::NetProf {
+            settle: prof.intern("netsim;settle"),
+            allocate: prof.intern("netsim;allocate"),
+            finish: prof.intern("netsim;finish_event"),
+            commit: prof.intern("netsim;fast_commit"),
+            replay: prof.intern("netsim;replay"),
+            link_keys,
+            link_labels: labels,
+            chan_keys: Vec::new(),
+            settle_scratch: Vec::new(),
+            tick: 0,
+            prof,
+        });
+    }
+
     /// Open a unidirectional TCP channel from `src` to `dst`.
     ///
     /// `snd_req`/`rcv_req` model the `setsockopt(SO_SNDBUF/SO_RCVBUF)`

@@ -14,6 +14,7 @@ mod methodology;
 mod nas;
 mod par;
 mod pingpong;
+mod profile;
 mod rays;
 mod scenario;
 mod slowstart;
@@ -63,7 +64,8 @@ pub(crate) fn obs_sink() -> Option<(
 pub(crate) fn write_obs(sink: &desim::RingSink, metrics: &desim::Metrics) {
     if let Some(Some(path)) = TRACE_OUT.get() {
         let events = sink.events();
-        match std::fs::write(path, desim::obs::export::chrome_trace(&events)) {
+        let body = desim::obs::export::chrome_trace_with_drops(&events, sink.dropped());
+        match std::fs::write(path, body) {
             Ok(()) => println!(
                 "wrote {} events to {} ({} dropped); load in Perfetto / chrome://tracing",
                 events.len(),
@@ -71,6 +73,13 @@ pub(crate) fn write_obs(sink: &desim::RingSink, metrics: &desim::Metrics) {
                 sink.dropped()
             ),
             Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+        if sink.dropped() > 0 {
+            eprintln!(
+                "warning: recording ring overflowed — {} events were dropped before export; \
+                 the trace is truncated (raise the ring capacity to keep everything)",
+                sink.dropped()
+            );
         }
     }
     if let Some(Some(path)) = METRICS_OUT.get() {
@@ -164,6 +173,8 @@ fn main() {
         "cwnd" => slowstart::cmd_cwnd(),
         "faults" => faults::cmd_faults(),
         "blame" => blame::cmd_blame(&args[1..]),
+        "profile" => profile::cmd_profile(&args[1..]),
+        "timeline" => profile::cmd_timeline(&args[1..]),
         "golden" => golden::cmd_golden(&args),
         "guidelines" => guidelines::cmd_guidelines(&args[1..]),
         "validate" => cmd_validate(&args[1..]),
@@ -202,8 +213,11 @@ fn main() {
                  ring [--ranks N] [--rounds N]|\
                  blame [pingpong|nas|ray2mesh|faults] [--trace-in FILE] \
                  [--emit-events FILE] [--format text|json|dat]|\
+                 profile [pingpong|nas|ray2mesh|faults] [--domain host|virtual] \
+                 [--format folded|speedscope]|\
+                 timeline [pingpong|nas|ray2mesh|faults] [--window MS]|\
                  golden <record|check> [--dir DIR]|guidelines [NAME ...]|\
-                 validate FILE [--require-event NAME]|all> \
+                 validate FILE [--require-event NAME] [--summary]|all> \
                  [--class-a] [--dat DIR] [--trace-out FILE] [--metrics FILE]"
             );
         }
@@ -259,13 +273,16 @@ fn cmd_ring(args: &[String]) {
     assert!(report.clean, "ring left undrained messages");
 }
 
-/// `repro validate FILE [--require-event NAME ...]`: check that an
-/// exported trace or metrics file is well-formed JSON (std-only RFC 8259
-/// validator, no external tools), and — for each `--require-event` — that
-/// the trace actually contains an *event* with that name. Unlike a bare
-/// `grep`, the check looks only at `"name"` fields of trace objects, so a
-/// string that happens to appear in some unrelated field cannot satisfy
-/// it.
+/// `repro validate FILE [--require-event NAME ...] [--summary]`: check
+/// that an exported trace or metrics file is well-formed JSON (std-only
+/// RFC 8259 validator, no external tools), and — for each
+/// `--require-event` — that the trace actually contains an *event* with
+/// that name. Unlike a bare `grep`, the check looks only at `"name"`
+/// fields of trace objects, so a string that happens to appear in some
+/// unrelated field cannot satisfy it. `--summary` additionally prints the
+/// event count per kind and the total span coverage of the document, and
+/// every parse warns when the trace records that its recording ring
+/// dropped events.
 fn cmd_validate(args: &[String]) {
     let path = args
         .iter()
@@ -278,9 +295,10 @@ fn cmd_validate(args: &[String]) {
         .filter_map(|(i, _)| args.get(i + 1))
         .map(String::as_str)
         .collect();
+    let summary = args.iter().any(|a| a == "--summary");
     let required_total = required.len();
     let Some(path) = path else {
-        eprintln!("usage: repro validate FILE [--require-event NAME ...]");
+        eprintln!("usage: repro validate FILE [--require-event NAME ...] [--summary]");
         std::process::exit(2);
     };
     let text = match std::fs::read_to_string(path) {
@@ -290,16 +308,6 @@ fn cmd_validate(args: &[String]) {
             std::process::exit(1);
         }
     };
-    if required.is_empty() {
-        match desim::obs::json::validate(&text) {
-            Ok(()) => println!("{path}: valid JSON ({} bytes)", text.len()),
-            Err((pos, msg)) => {
-                eprintln!("{path}: invalid JSON at byte {pos}: {msg}");
-                std::process::exit(1);
-            }
-        }
-        return;
-    }
     let doc = match desim::obs::json::parse(&text) {
         Ok(v) => v,
         Err((pos, msg)) => {
@@ -308,6 +316,20 @@ fn cmd_validate(args: &[String]) {
         }
     };
     println!("{path}: valid JSON ({} bytes)", text.len());
+    if let Some(dropped) = doc.get("droppedEvents").and_then(|v| v.as_u64()) {
+        if dropped > 0 {
+            eprintln!(
+                "{path}: warning: the recording ring dropped {dropped} events before export — \
+                 this trace is truncated"
+            );
+        }
+    }
+    if summary {
+        print_summary(path, &doc);
+    }
+    if required.is_empty() {
+        return;
+    }
     let mut missing = Vec::new();
     for name in required {
         if event_named(&doc, name) {
@@ -354,6 +376,76 @@ fn event_named(doc: &desim::obs::json::Value, want: &str) -> bool {
         }
         Value::Arr(items) => items.iter().any(|v| event_named(v, want)),
         _ => false,
+    }
+}
+
+/// `repro validate --summary`: per-kind event counts plus total span
+/// coverage. Works on both document shapes the tools emit: Chrome trace
+/// rows carry a `"ph"` discriminator (`X` span, `C` counter, `i` instant,
+/// `M` metadata); json-lines-derived objects carry a `"kind"` field.
+fn print_summary(path: &str, doc: &desim::obs::json::Value) {
+    use desim::obs::json::Value;
+    fn walk(doc: &Value, f: &mut impl FnMut(&Value)) {
+        match doc {
+            Value::Obj(members) => {
+                f(doc);
+                for (_, v) in members {
+                    walk(v, f);
+                }
+            }
+            Value::Arr(items) => {
+                for v in items {
+                    walk(v, f);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut counts: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut span_us = 0.0f64;
+    let mut spans = 0u64;
+    let mut t_min = f64::INFINITY;
+    let mut t_max = f64::NEG_INFINITY;
+    walk(doc, &mut |obj| {
+        let kind = match obj.get("ph").and_then(Value::as_str) {
+            Some("X") => Some("span".to_string()),
+            Some("C") => Some("counter".to_string()),
+            Some("i") => Some("instant".to_string()),
+            Some("M") => Some("metadata".to_string()),
+            Some(other) => Some(format!("ph:{other}")),
+            None => obj.get("kind").and_then(Value::as_str).map(str::to_string),
+        };
+        let Some(kind) = kind else { return };
+        *counts.entry(kind).or_insert(0) += 1;
+        if let Some(ts) = obj.get("ts").and_then(Value::as_f64) {
+            t_min = t_min.min(ts);
+            t_max = t_max.max(ts);
+            if let Some(dur) = obj.get("dur").and_then(Value::as_f64) {
+                spans += 1;
+                span_us += dur;
+                t_max = t_max.max(ts + dur);
+            }
+        }
+    });
+    if counts.is_empty() {
+        println!("{path}: summary: no trace events (not a trace document?)");
+        return;
+    }
+    println!("{path}: summary:");
+    let total: u64 = counts.values().sum();
+    for (kind, n) in &counts {
+        println!("  {kind:<12} {n:>8}");
+    }
+    println!("  {:<12} {:>8}", "total", total);
+    if spans > 0 && t_max > t_min {
+        let range_us = t_max - t_min;
+        println!(
+            "  span coverage: {spans} spans, {:.6} s total over a {:.6} s range ({:.1}% — \
+             >100% means overlapping rows)",
+            span_us / 1e6,
+            range_us / 1e6,
+            100.0 * span_us / range_us
+        );
     }
 }
 

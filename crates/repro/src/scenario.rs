@@ -24,6 +24,7 @@ pub struct Scenario {
     profile: Option<ImplProfile>,
     faults: Option<FaultPlan>,
     recorder: Option<Arc<dyn desim::obs::Recorder>>,
+    host_profiler: Option<Arc<desim::HostProfiler>>,
     tracing: bool,
     deadline: Option<SimTime>,
 }
@@ -91,6 +92,7 @@ impl Scenario {
             profile: None,
             faults: None,
             recorder: None,
+            host_profiler: None,
             tracing: false,
             deadline: None,
         }
@@ -117,6 +119,14 @@ impl Scenario {
     /// Attach an observability recorder.
     pub fn recorder(mut self, rec: Arc<dyn desim::obs::Recorder>) -> Scenario {
         self.recorder = Some(rec);
+        self
+    }
+
+    /// Attach a host-time self-profiler: wall-clock attribution across
+    /// the kernel dispatch loop, netsim settle/allocate, and the mpisim
+    /// job phases (`repro profile --domain host`).
+    pub fn host_profiler(mut self, prof: Arc<desim::HostProfiler>) -> Scenario {
+        self.host_profiler = Some(prof);
         self
     }
 
@@ -153,6 +163,9 @@ impl Scenario {
         }
         if let Some(rec) = self.recorder {
             job = job.with_recorder(rec);
+        }
+        if let Some(prof) = self.host_profiler {
+            job = job.with_host_profiler(prof);
         }
         if let Some(limit) = self.deadline {
             job = job.with_deadline(limit);

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Staged offline CI for the whole simulator.
 #
-#     scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|ranks|bench|all]
+#     scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|profile|ranks|bench|all]
 #
 # Each stage is independently runnable and timed; `all` (the default)
 # runs them in order. The workspace has zero external dependencies, so
@@ -19,6 +19,8 @@
 #   blame   the wait-state/critical-path analyzer emits valid JSON and
 #           dat output, replays its own trace losslessly, and the two
 #           blame guidelines hold
+#   profile both profiling domains emit parseable folded stacks and
+#           valid speedscope/timeline JSON on two scenarios
 #   ranks   the pooled execution engine reproduces the golden corpus
 #           bit for bit (both engines, explicitly) and a 1024-rank job
 #           completes in one process
@@ -98,6 +100,42 @@ stage_blame() {
     ./target/release/repro guidelines blame-slow-start-share blame-rndv-handshake
 }
 
+stage_profile() {
+    release_bins
+    # Every folded line must parse as `stack count`: a ;-separated stack,
+    # one space, a non-negative integer — the grammar flamegraph tools
+    # accept. Checked with awk so a formatting regression fails even if
+    # the Rust-side parser and emitter drift together.
+    check_folded() {
+        test -s "$1"
+        awk '!/^[^ ]+( [^ ]+)* [0-9]+$/ { print "bad folded line: " $0; bad=1 }
+             END { exit bad }' "$1"
+        awk -F';' '$1 !~ /[a-z]/ { bad=1 } END { exit bad }' "$1"
+    }
+    for scen in pingpong nas; do
+        ./target/release/repro profile "${scen}" --domain host \
+            --format folded --dat target/profdat >"target/prof_${scen}_host.folded"
+        check_folded "target/prof_${scen}_host.folded"
+        ./target/release/repro profile "${scen}" --domain virtual \
+            --format folded >"target/prof_${scen}_virtual.folded"
+        check_folded "target/prof_${scen}_virtual.folded"
+        ./target/release/repro profile "${scen}" --domain host \
+            --format speedscope >"target/prof_${scen}.speedscope.json"
+        ./target/release/repro validate "target/prof_${scen}.speedscope.json"
+        ./target/release/repro timeline "${scen}" --window 20 \
+            --dat target/profdat >"target/timeline_${scen}.json"
+        ./target/release/repro validate "target/timeline_${scen}.json"
+    done
+    # The --dat side-channel wrote the gnuplot series too.
+    test -s target/profdat/profile_pingpong_host.dat
+    test -s target/profdat/timeline_pingpong_events.dat
+    # The summary view counts event kinds and span coverage of a real
+    # exported trace.
+    ./target/release/repro faults --trace-out target/prof_trace.json >/dev/null
+    ./target/release/repro validate target/prof_trace.json --summary \
+        | grep -q "span coverage"
+}
+
 stage_ranks() {
     release_bins
     # Engine independence is a digest contract: the golden corpus must
@@ -132,17 +170,17 @@ run_stage() {
 }
 
 case "${1:-all}" in
-fmt | clippy | build | test | smoke | golden | blame | ranks | bench)
+fmt | clippy | build | test | smoke | golden | blame | profile | ranks | bench)
     run_stage "$1"
     ;;
 all)
-    for _s in fmt clippy build test smoke golden blame ranks bench; do
+    for _s in fmt clippy build test smoke golden blame profile ranks bench; do
         run_stage "${_s}"
     done
     echo "==> ci: all stages passed"
     ;;
 *)
-    echo "usage: scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|ranks|bench|all]" >&2
+    echo "usage: scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|profile|ranks|bench|all]" >&2
     exit 2
     ;;
 esac
