@@ -16,7 +16,8 @@
 //! `fastpath`, `obs` (observability overhead), `blame` (post-hoc
 //! analyzer cost), `profile` (host self-profiler overhead, gated ≤5%),
 //! `faults` (lossy-path and fault-tolerance overhead), `ranks`
-//! (rank-scale execution engine), `smoke` (a quick CI subset).
+//! (rank-scale execution engine), `pdes` (sharded-PDES wall-clock
+//! scaling), `smoke` (a quick CI subset).
 //! No groups = all of them except `smoke`.
 //!
 //! The `smoke` group doubles as a regression gate: after it runs, every
@@ -39,7 +40,7 @@ use std::time::Instant;
 use bench::{grid_job, ping_ring, pingpong_once, tuned_pair};
 use desim::{completion, Analysis, Collector, Metrics, RingSink, Sim, SimDuration, SimTime};
 use gridapps::Ray2MeshConfig;
-use mpisim::{Engine, FaultPlan, FaultPolicy, MpiImpl, MpiJob, RankCtx};
+use mpisim::{CommPattern, Engine, ExecConfig, FaultPlan, FaultPolicy, MpiImpl, MpiJob, RankCtx};
 use netsim::{grid5000_four_sites, KernelConfig, Network, SockBufRequest};
 use npb::{NasBenchmark, NasClass, NasRun};
 
@@ -158,6 +159,7 @@ fn main() {
         "profile",
         "faults",
         "ranks",
+        "pdes",
     ];
     let groups: Vec<&str> = if groups.is_empty() {
         all.to_vec()
@@ -183,6 +185,7 @@ fn main() {
             "profile" => group_profile(&mut h),
             "faults" => group_faults(&mut h),
             "ranks" => group_ranks(&mut h),
+            "pdes" => group_pdes(&mut h),
             "smoke" => group_smoke(&mut h),
             other => eprintln!("unknown group: {other}"),
         }
@@ -582,7 +585,7 @@ fn group_obs(h: &mut Harness) {
     fn pingpong_64m(rec: Option<Arc<RingSink>>) -> f64 {
         let mut job = grid_job(2, MpiImpl::Mpich2);
         if let Some(rec) = rec {
-            job = job.with_recorder(rec);
+            job = job.with_obs(desim::obs::Obs::none().recorder(rec));
         }
         let report = job
             .run(move |mut ctx: RankCtx| async move {
@@ -647,7 +650,7 @@ fn group_profile(h: &mut Harness) {
     fn pingpong_64m(prof: Option<Arc<desim::HostProfiler>>) -> f64 {
         let mut job = grid_job(2, MpiImpl::Mpich2);
         if let Some(prof) = prof {
-            job = job.with_host_profiler(prof);
+            job = job.with_obs(desim::obs::Obs::none().profiler(prof));
         }
         let report = job
             .run(move |mut ctx: RankCtx| async move {
@@ -730,7 +733,7 @@ fn group_blame(h: &mut Harness) {
     fn captured() -> Vec<desim::obs::Event> {
         let collector = Arc::new(Collector::new());
         grid_job(2, MpiImpl::Mpich2)
-            .with_recorder(collector.clone())
+            .with_obs(desim::obs::Obs::none().recorder(collector.clone()))
             .run(move |mut ctx: RankCtx| async move {
                 const TAG: u64 = 1;
                 for _ in 0..2 {
@@ -852,4 +855,105 @@ fn group_smoke(h: &mut Harness) {
         black_box(pingpong_once(MpiImpl::Mpich2, 1 << 20, 5));
         0
     });
+    // Deterministic wire-message count of the sharded driver at 4
+    // workers: catches any scheduling change that alters the simulated
+    // traffic, independent of the golden-digest gate.
+    h.bench("smoke/pdes_four_site_4w", || pdes_four_site_run(4));
+}
+
+/// The `pdes` group's workload, shared with the smoke gate: a four-site
+/// job whose traffic satisfies the site-disjoint partition contract — a
+/// heavy eager ring inside each site (in-degree 1 per rank) plus an
+/// ack-paced gateway stream between dedicated per-site gateway ranks
+/// that receive no intra-site traffic. Returns the deterministic
+/// wire-message count.
+fn pdes_four_site_run(workers: u32) -> u64 {
+    // 8 ranks per site: offset 0 is the gateway sender, offset 1 the
+    // gateway receiver, offsets 2..8 form the intra-site ring.
+    const K: usize = 8;
+    const SITES: usize = 4;
+    const INTRA_ROUNDS: u32 = 1500;
+    const CROSS_ROUNDS: u32 = 4;
+    const TAG_DATA: u64 = 1;
+    const TAG_ACK: u64 = 2;
+    const TAG_RING: u64 = 3;
+    let (mut topo, _sites, nodes) = grid5000_four_sites(K);
+    topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+    let mut placement = Vec::new();
+    for site_nodes in &nodes {
+        placement.extend(site_nodes.iter().copied());
+    }
+    let exec = ExecConfig::new()
+        .shards(workers)
+        .pattern(CommPattern::SiteDisjoint)
+        .engine(Engine::Pooled);
+    let report = MpiJob::new(Network::new(topo), placement, MpiImpl::Mpich2)
+        .with_exec(exec)
+        .run(move |mut ctx: RankCtx| async move {
+            let (site, off) = (ctx.rank() / K, ctx.rank() % K);
+            match off {
+                0 => {
+                    // Gateway sender: ack-paced eager stream to the
+                    // next site's gateway receiver.
+                    let peer = ((site + 1) % SITES) * K + 1;
+                    for _ in 0..CROSS_ROUNDS {
+                        ctx.send(peer, 4096, TAG_DATA).await;
+                        ctx.recv(peer, TAG_ACK).await;
+                    }
+                }
+                1 => {
+                    // Gateway receiver: inbound cross-site only, so
+                    // its downlink is claimed by exactly one group.
+                    let peer = ((site + SITES - 1) % SITES) * K;
+                    for _ in 0..CROSS_ROUNDS {
+                        ctx.recv(peer, TAG_DATA).await;
+                        ctx.send(peer, 64, TAG_ACK).await;
+                    }
+                }
+                _ => {
+                    let m = K - 2;
+                    let j = off - 2;
+                    let right = site * K + 2 + (j + 1) % m;
+                    let left = site * K + 2 + (j + m - 1) % m;
+                    for _ in 0..INTRA_ROUNDS {
+                        ctx.send(right, 1024, TAG_RING).await;
+                        ctx.recv(left, TAG_RING).await;
+                    }
+                }
+            }
+        })
+        .expect("pdes four-site run completes");
+    report.stats.wire_messages
+}
+
+/// Sharded-PDES wall-clock scaling: [`pdes_four_site_run`] on the PDES
+/// driver at 1 and 4 workers. Virtual results are digest-identical
+/// across worker counts (the PDES golden corpus pins that); this group
+/// measures only the host-side scaling, and reports `host_cpus` so
+/// single-core CI hosts can treat the speedup line as informational.
+fn group_pdes(h: &mut Harness) {
+    let mut timed = [0.0f64; 2];
+    for (slot, workers) in [(0usize, 1u32), (1, 4)] {
+        let t0 = Instant::now();
+        let mut iters = 0u32;
+        while t0.elapsed().as_secs_f64() < TARGET_SECS || iters < 3 {
+            black_box(pdes_four_site_run(workers));
+            iters += 1;
+            if iters >= MAX_ITERS {
+                break;
+            }
+        }
+        timed[slot] = t0.elapsed().as_secs_f64() / iters as f64;
+        h.bench(&format!("pdes/four_site_ring_{workers}w"), || {
+            pdes_four_site_run(workers)
+        });
+    }
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    h.note(&format!(
+        "{{\"name\": \"pdes/speedup_four_site\", \"one_worker_secs\": {:.6e}, \
+         \"four_worker_secs\": {:.6e}, \"speedup\": {:.2}, \"host_cpus\": {cpus}}}",
+        timed[0],
+        timed[1],
+        timed[0] / timed[1]
+    ));
 }

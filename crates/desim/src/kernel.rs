@@ -57,6 +57,20 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Outcome of one bounded dispatch window (see [`Sim::run_window`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Window {
+    /// Every process and task finished and the event queue drained.
+    Done(RunStats),
+    /// The next event lies at or beyond the horizon; contains its time.
+    Paused(SimTime),
+    /// The event queue drained while processes or tasks are still blocked.
+    /// Not a deadlock verdict: a blocked shard may be waiting on cross-shard
+    /// mail that another shard has yet to send. The sharded driver declares
+    /// a global deadlock only when *every* shard is idle.
+    Idle,
+}
+
 /// A scheduling capability handed to kernel callbacks, and obtainable from
 /// any [`Proc`] via [`Proc::sched`]. It can read the clock, schedule further
 /// callbacks and fire [`crate::Trigger`]s, but cannot block. Cloning is
@@ -194,6 +208,13 @@ pub(crate) struct Shared {
     pub(crate) task_live: usize,
     pub(crate) failure: Option<SimError>,
     pub(crate) limit: SimTime,
+    /// True once this sim is driven through [`Sim::run_window`]: the
+    /// dispatch loop then pauses at `horizon` instead of failing, and an
+    /// empty queue with live processes is a window boundary, not a
+    /// deadlock. Never set on the classic [`Sim::run`] path.
+    windowed: bool,
+    /// Exclusive upper bound on event times the current window may run.
+    horizon: SimTime,
     /// Events dispatched so far (wakes and callbacks), for throughput
     /// reporting via [`Sim::run_counted`].
     pub(crate) events: u64,
@@ -271,6 +292,8 @@ impl Sim {
                     task_live: 0,
                     failure: None,
                     limit: SimTime::MAX,
+                    windowed: false,
+                    horizon: SimTime::MAX,
                     events: 0,
                     recorder: None,
                     profiler: None,
@@ -321,30 +344,43 @@ impl Sim {
         self.run_counted().map(|s| s.end)
     }
 
-    /// Attach an observability recorder: a completed run emits one
+    /// Attach observability per the given [`crate::obs::Obs`] config:
+    /// the recorder (a completed run emits one
     /// [`crate::obs::Event::KernelRun`] with its final virtual time and
-    /// dispatch count. Recording happens host-side after the run ends,
-    /// so it cannot perturb the event order or virtual timestamps.
-    pub fn attach_recorder(&self, rec: Arc<dyn crate::obs::Recorder>) {
-        self.inner.shared.lock().recorder = Some(rec);
-    }
-
-    /// Attach a host-time self-profiler: the dispatch loop attributes its
+    /// dispatch count; recording happens host-side after the run ends, so
+    /// it cannot perturb the event order or virtual timestamps) and the
+    /// host-time self-profiler (the dispatch loop attributes its
     /// wall-clock time to `desim;dispatch;{wake,task_poll,call}` stacks,
     /// sampling one event in [`PROF_SAMPLE`] and extrapolating so the
-    /// clock reads stay far below the loop's own per-event cost. The
-    /// profiler reads only the host clock and its own table, so virtual
-    /// time and event order are untouched (the profiling observer-effect
-    /// suite pins this). The own-wake fast path stays uninstrumented by
-    /// design — it is the `advance()` hot path.
+    /// clock reads stay far below the loop's own per-event cost; the
+    /// own-wake fast path stays uninstrumented by design — it is the
+    /// `advance()` hot path). Fields left `None` leave the corresponding
+    /// attachment untouched.
+    pub fn attach_obs(&self, obs: &crate::obs::Obs) {
+        if let Some(rec) = &obs.recorder {
+            self.inner.shared.lock().recorder = Some(Arc::clone(rec));
+        }
+        if let Some(prof) = &obs.profiler {
+            let keys = KernelProf {
+                wake: prof.intern("desim;dispatch;wake"),
+                task_poll: prof.intern("desim;dispatch;task_poll"),
+                call: prof.intern("desim;dispatch;call"),
+                prof: Arc::clone(prof),
+            };
+            self.inner.shared.lock().profiler = Some(keys);
+        }
+    }
+
+    /// Attach an observability recorder.
+    #[deprecated(note = "configure observability once via `Sim::attach_obs`")]
+    pub fn attach_recorder(&self, rec: Arc<dyn crate::obs::Recorder>) {
+        self.attach_obs(&crate::obs::Obs::none().recorder(rec));
+    }
+
+    /// Attach a host-time self-profiler.
+    #[deprecated(note = "configure observability once via `Sim::attach_obs`")]
     pub fn attach_profiler(&self, prof: Arc<crate::obs::HostProfiler>) {
-        let keys = KernelProf {
-            wake: prof.intern("desim;dispatch;wake"),
-            task_poll: prof.intern("desim;dispatch;task_poll"),
-            call: prof.intern("desim;dispatch;call"),
-            prof,
-        };
-        self.inner.shared.lock().profiler = Some(keys);
+        self.attach_obs(&crate::obs::Obs::none().profiler(prof));
     }
 
     /// Like [`Sim::run`], but also report how many events were dispatched —
@@ -389,6 +425,112 @@ impl Sim {
             });
         }
         Ok(stats)
+    }
+
+    /// Run one bounded dispatch window: execute events strictly below
+    /// `horizon`, then report how the window ended. Unlike [`Sim::run`]
+    /// this does not consume the sim — the conservative-PDES driver
+    /// ([`crate::shard::ShardedSim`]) calls it repeatedly, widening the
+    /// horizon by the lookahead each round. A windowed sim keeps running
+    /// trailing kernel callbacks after its last process finishes (they may
+    /// post cross-shard mail); [`Window::Done`] therefore requires the
+    /// queue to be fully drained, and a `Done` shard is revived by a later
+    /// [`Sim::post_at`].
+    pub fn run_window(&self, horizon: SimTime) -> Result<Window, SimError> {
+        {
+            let mut g = self.inner.shared.lock();
+            g.windowed = true;
+            g.horizon = horizon;
+            if let Some(e) = &g.failure {
+                return Err(e.clone());
+            }
+            // Nothing runnable below the horizon: report without the
+            // dispatch/park round trip (dispatch would do the same, but
+            // this keeps empty windows cheap — they are the common case
+            // for shards waiting on a distant neighbor).
+            match g.heap.peek() {
+                Some(Reverse(ev)) if ev.time < horizon => {}
+                _ => return Ok(classify(&g)),
+            }
+        }
+        dispatch(&self.inner, None, None);
+        self.inner.main_gate.park();
+        let g = self.inner.shared.lock();
+        if let Some(e) = &g.failure {
+            return Err(e.clone());
+        }
+        Ok(classify(&g))
+    }
+
+    /// Schedule `f` at virtual time `at` from *outside* the run token —
+    /// the cross-shard mail delivery hook. The conservative horizon
+    /// guarantees `at` is never in this shard's past (debug-asserted).
+    pub fn post_at(&self, at: SimTime, f: impl FnOnce(&Sched) + Send + 'static) {
+        let mut g = self.inner.shared.lock();
+        debug_assert!(
+            at >= g.now,
+            "cross-shard post into this shard's past ({at} < {})",
+            g.now
+        );
+        let at = at.max(g.now);
+        g.push(at, EventKind::Call(Box::new(f)));
+    }
+
+    /// Time of the earliest pending event, if any. Between windows this is
+    /// the shard's bid for the next global horizon.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.inner
+            .shared
+            .lock()
+            .heap
+            .peek()
+            .map(|Reverse(ev)| ev.time)
+    }
+
+    /// True while any process or task has not finished.
+    pub fn anything_live(&self) -> bool {
+        let g = self.inner.shared.lock();
+        g.live > 0 || g.task_live > 0
+    }
+
+    /// Names of currently blocked processes and suspended tasks, for the
+    /// sharded driver's global-deadlock diagnostic.
+    pub fn blocked_names(&self) -> Vec<String> {
+        let g = self.inner.shared.lock();
+        let mut names: Vec<String> = g
+            .procs
+            .iter()
+            .filter(|s| *s.blocked.lock())
+            .map(|s| s.name.clone())
+            .collect();
+        names.extend(
+            g.tasks
+                .iter()
+                .filter(|t| t.fut.is_some())
+                .map(|t| t.name.to_string()),
+        );
+        names
+    }
+
+    /// Current virtual time and dispatch count, without ending the run.
+    pub fn stats(&self) -> RunStats {
+        let g = self.inner.shared.lock();
+        RunStats {
+            end: g.now,
+            events: g.events,
+        }
+    }
+}
+
+/// Classify a quiescent (between-windows) shared state into a [`Window`].
+fn classify(g: &Shared) -> Window {
+    match g.heap.peek() {
+        Some(Reverse(ev)) => Window::Paused(ev.time),
+        None if g.live == 0 && g.task_live == 0 => Window::Done(RunStats {
+            end: g.now,
+            events: g.events,
+        }),
+        None => Window::Idle,
     }
 }
 
@@ -507,7 +649,7 @@ pub(crate) fn dispatch(
         // park/unpark handshake or the blocked-flag round trips.
         if guard.live > 0 {
             if let Some(Reverse(ev)) = guard.heap.peek() {
-                if ev.time <= guard.limit {
+                if ev.time <= guard.limit && (!guard.windowed || ev.time < guard.horizon) {
                     if let EventKind::Wake(pid) = ev.kind {
                         if pid == slot.id {
                             let Some(Reverse(ev)) = guard.heap.pop() else {
@@ -528,10 +670,22 @@ pub(crate) fn dispatch(
     // while holding the shared lock was measurable on the hot path.
     let prof = guard.profiler.clone();
     loop {
-        if guard.live == 0 && guard.task_live == 0 {
+        if guard.live == 0 && guard.task_live == 0 && !guard.windowed {
             // All processes and tasks done: ignore any trailing
             // timer/callback events (e.g. pending TCP window rounds) and end
-            // the simulation.
+            // the simulation. A windowed shard instead keeps draining those
+            // callbacks — they may carry cross-shard mail.
+            drop(guard);
+            inner.main_gate.unpark();
+            break;
+        }
+        if guard.windowed
+            && guard
+                .heap
+                .peek()
+                .is_some_and(|Reverse(ev)| ev.time >= guard.horizon)
+        {
+            // Window boundary: hand control back to the sharded driver.
             drop(guard);
             inner.main_gate.unpark();
             break;
@@ -642,6 +796,13 @@ pub(crate) fn dispatch(
                 }
             }
             None => {
+                if guard.windowed {
+                    // An empty queue is not a verdict here: the shard may be
+                    // waiting on cross-shard mail. The driver decides.
+                    drop(guard);
+                    inner.main_gate.unpark();
+                    break;
+                }
                 if (guard.live > 0 || guard.task_live > 0) && guard.failure.is_none() {
                     let mut blocked: Vec<String> = guard
                         .procs

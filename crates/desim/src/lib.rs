@@ -42,15 +42,17 @@ mod kernel;
 pub mod obs;
 mod process;
 pub mod prop;
+pub mod shard;
 pub mod sync;
 mod time;
 
 pub use completion::{completion, Completion, Trigger};
 pub use exec::{run_sync, Cx, TaskId};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
-pub use kernel::{RunStats, Sched, Sim, SimError};
+pub use kernel::{RunStats, Sched, Sim, SimError, Window};
 pub use obs::analysis::{Analysis, Collector, CriticalPath, FlowBlame, MessageBlame, RankProfile};
-pub use obs::{DigestSink, DigestValue, Event, Metrics, Recorder, RingSink, Tee};
+pub use obs::{DigestSink, DigestValue, Event, Metrics, Obs, Recorder, RingSink, Tee};
 pub use obs::{HostProfiler, ProfKey, StreamHist, TimeSeries, TimeSeriesSink, Windowed};
 pub use process::{Proc, ProcId};
+pub use shard::{CrossPost, GroupBuffer, ShardStats, ShardedSim};
 pub use time::{SimDuration, SimTime};

@@ -158,6 +158,23 @@ impl Event {
         }
     }
 
+    /// The event's virtual timestamp in nanoseconds — the key the sharded
+    /// kernel merges per-shard streams by. Interval events (spans, kernel
+    /// runs) sort by their *end*: that is the moment they are emitted, so
+    /// merging by it reproduces single-stream emission order.
+    pub fn time_ns(&self) -> u64 {
+        match self {
+            Event::KernelRun { end_ns, .. } => *end_ns,
+            Event::TcpSample { t_ns, .. }
+            | Event::FlowStart { t_ns, .. }
+            | Event::FlowFinish { t_ns, .. }
+            | Event::LinkSample { t_ns, .. }
+            | Event::Phase { t_ns, .. }
+            | Event::Fault { t_ns, .. } => *t_ns,
+            Event::MpiSpan { end_ns, .. } => *end_ns,
+        }
+    }
+
     /// Metrics counter key for the event's kind (`"events.<kind>"`),
     /// precomputed so recording stays allocation-free.
     fn counter_key(&self) -> &'static str {
@@ -181,6 +198,44 @@ impl Event {
 pub trait Recorder: Send + Sync {
     /// Consume one event.
     fn record(&self, ev: &Event);
+}
+
+/// The single observability configuration: which recorder receives the
+/// structured event stream and which host-time profiler the kernel and
+/// network attribute their wall-clock time to. One `Obs` is handed to the
+/// top of the stack (a `Scenario` or `MpiJob`) and fanned out from there,
+/// replacing the former per-layer `attach_recorder`/`attach_profiler`/
+/// `with_recorder` trio.
+#[derive(Clone, Default)]
+pub struct Obs {
+    /// Structured-event sink, if any.
+    pub recorder: Option<Arc<dyn Recorder>>,
+    /// Host-time self-profiler, if any.
+    pub profiler: Option<Arc<HostProfiler>>,
+}
+
+impl Obs {
+    /// Observe nothing (the zero-cost default).
+    pub fn none() -> Obs {
+        Obs::default()
+    }
+
+    /// Record structured events into `rec`.
+    pub fn recorder(mut self, rec: Arc<dyn Recorder>) -> Obs {
+        self.recorder = Some(rec);
+        self
+    }
+
+    /// Attribute host time to `prof`.
+    pub fn profiler(mut self, prof: Arc<HostProfiler>) -> Obs {
+        self.profiler = Some(prof);
+        self
+    }
+
+    /// True when nothing is attached.
+    pub fn is_none(&self) -> bool {
+        self.recorder.is_none() && self.profiler.is_none()
+    }
 }
 
 struct Ring {

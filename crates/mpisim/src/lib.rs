@@ -42,6 +42,7 @@
 mod collectives;
 mod comm;
 mod error;
+mod exec;
 mod launcher;
 mod profile;
 mod rank;
@@ -51,7 +52,9 @@ mod world;
 
 pub use comm::SubComm;
 pub use desim::fault::{FaultEvent, FaultKind, FaultPlan};
+pub use desim::obs::Obs;
 pub use error::{FaultPolicy, MpiError};
+pub use exec::{CommPattern, ExecConfig};
 pub use launcher::{Engine, MpiJob, MpiProgram, RunReport};
 pub use profile::{
     AllreduceAlgo, BcastAlgo, CollectiveSuite, ImplProfile, MpiImpl, SocketPolicy, Tuning,

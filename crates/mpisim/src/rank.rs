@@ -129,7 +129,7 @@ impl RankCtx {
     /// Append a trace span ending now (no-op unless tracing or an
     /// observability recorder is enabled).
     fn trace(&self, kind: TraceKind, peer: Option<usize>, bytes: u64, start: SimTime, msg_id: u64) {
-        if let Some(rec) = &self.world.obs {
+        if let Some(rec) = self.world.obs_of(self.rank) {
             rec.record(&desim::obs::Event::MpiSpan {
                 rank: self.rank as u64,
                 op: kind.name(),
@@ -159,14 +159,14 @@ impl RankCtx {
     /// timing either way.
     pub fn emit_fault(&self, kind: &'static str, subject: u64, info: f64) {
         let s = self.cx.sched();
-        self.world.emit_fault(&s, kind, subject, info);
+        self.world.emit_fault(&s, self.rank, kind, subject, info);
     }
 
     /// Emit an application-phase marker (e.g. `"warmup"`, `"timed"`) into
     /// the observability stream. No-op without a recorder; never affects
     /// timing either way.
     pub fn phase(&self, name: &'static str) {
-        if let Some(rec) = &self.world.obs {
+        if let Some(rec) = self.world.obs_of(self.rank) {
             rec.record(&desim::obs::Event::Phase {
                 rank: self.rank as u64,
                 name,

@@ -50,9 +50,36 @@ pub struct ChannelId(pub(crate) usize);
 /// reaches the receiving host.
 pub(crate) type ArrivalFn = Box<dyn FnOnce(&Sched) + Send>;
 
+/// Callback invoked (in `Sched` context) at the *finish* time — when the
+/// last byte leaves the sender — receiving the computed receiver-side
+/// arrival time as a value instead of as a scheduled event.
+pub(crate) type FinishFn = Box<dyn FnOnce(&Sched, SimTime) + Send>;
+
+/// How a transfer's completion is delivered. `AtArrival` schedules the
+/// callback at the arrival time via the local event queue — the classic
+/// path, byte-identical to the pre-PDES engine. `AtFinish` hands the
+/// arrival time over at finish time instead: the sharded engine uses it
+/// to ship cross-shard completions while they are still a full one-way
+/// WAN latency (≥ the conservative lookahead) in the future.
+pub(crate) enum DoneFn {
+    AtArrival(ArrivalFn),
+    AtFinish(FinishFn),
+}
+
+impl DoneFn {
+    /// Deliver the completion: schedule or hand over, per the variant.
+    /// Must be called without the net lock held.
+    fn deliver(self, s: &Sched, arrival: SimTime) {
+        match self {
+            DoneFn::AtArrival(done) => s.call_at(arrival, done),
+            DoneFn::AtFinish(f) => f(s, arrival),
+        }
+    }
+}
+
 pub(crate) struct PendingTransfer {
     bytes: u64,
-    done: ArrivalFn,
+    done: DoneFn,
 }
 
 pub(crate) struct ChannelState {
@@ -81,7 +108,7 @@ struct FlowState {
     rate: f64,
     started: SimTime,
     last_settle: SimTime,
-    done: Option<ArrivalFn>,
+    done: Option<DoneFn>,
 }
 
 /// A committed plan for an uncontended bulk transfer: the flow's whole
@@ -918,19 +945,13 @@ fn fast_commit(net: &SharedNet, s: &Sched, gen: u64) {
     reallocate(&mut g, net, s, now);
     drop(g);
     if let Some(done) = done {
-        s.call_at(arrival, done);
+        done.deliver(s, arrival);
     }
 }
 
 /// Enqueue a transfer on `ch`; the returned trigger fires when the last
 /// byte reaches the receiver.
-pub(crate) fn start_transfer(
-    net: &SharedNet,
-    s: &Sched,
-    ch: ChannelId,
-    bytes: u64,
-    done: ArrivalFn,
-) {
+pub(crate) fn start_transfer(net: &SharedNet, s: &Sched, ch: ChannelId, bytes: u64, done: DoneFn) {
     let now = s.now();
     let mut g = net.lock();
     // Duplicate traffic (fault injection): spurious retransmissions put
@@ -1253,7 +1274,7 @@ fn finish_event(net: &SharedNet, s: &Sched, gen: u64) {
         .copied()
         .filter(|&fid| g.flows[fid].as_ref().unwrap().remaining < 0.5)
         .collect();
-    let mut fires: Vec<(ArrivalFn, SimTime)> = Vec::new();
+    let mut fires: Vec<(DoneFn, SimTime)> = Vec::new();
     for fid in finished {
         g.active.retain(|&x| x != fid);
         let mut f = g.flows[fid].take().expect("finished flow exists");
@@ -1293,7 +1314,7 @@ fn finish_event(net: &SharedNet, s: &Sched, gen: u64) {
     reallocate(&mut g, net, s, now);
     drop(g);
     for (done, at) in fires {
-        s.call_at(at, done);
+        done.deliver(s, at);
     }
 }
 

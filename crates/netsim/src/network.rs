@@ -3,12 +3,12 @@
 use std::sync::Arc;
 
 use desim::sync::Mutex;
-use desim::{completion, Completion, Proc, Sched, SimDuration};
+use desim::{completion, Completion, Proc, Sched, SimDuration, SimTime};
 
 use desim::fault::{FaultKind, FaultPlan};
 
 use crate::config::SockBufRequest;
-use crate::flow::{fault_path_outage, start_transfer, ChannelId, NetState, SharedNet};
+use crate::flow::{fault_path_outage, start_transfer, ChannelId, DoneFn, NetState, SharedNet};
 use crate::tcp::{TcpParams, TcpState};
 use crate::topology::{LinkId, NodeId, Path, SiteId, Topology};
 
@@ -53,23 +53,42 @@ impl Network {
         self.state.lock().fast_enabled = enabled;
     }
 
-    /// Attach an observability recorder: the flow engine will emit
-    /// [`desim::obs::Event`]s for flow starts/finishes, per-round TCP
-    /// congestion samples (materialized from the closed-form replay when
-    /// the fast path is active), and per-link delivery totals. Probes are
-    /// read-only taps; attaching one never changes virtual timestamps.
-    pub fn attach_recorder(&self, rec: Arc<dyn desim::obs::Recorder>) {
-        self.state.lock().obs = Some(rec);
+    /// Attach observability per the given [`desim::obs::Obs`] config:
+    /// the recorder receives [`desim::obs::Event`]s for flow
+    /// starts/finishes, per-round TCP congestion samples (materialized
+    /// from the closed-form replay when the fast path is active), and
+    /// per-link delivery totals; the host-time profiler gets the flow
+    /// engine's `netsim;…` wall-clock attribution. Probes are read-only
+    /// taps; attaching them never changes virtual timestamps. Fields left
+    /// `None` leave the corresponding attachment untouched.
+    pub fn attach_obs(&self, obs: &desim::obs::Obs) {
+        if let Some(rec) = &obs.recorder {
+            self.state.lock().obs = Some(Arc::clone(rec));
+        }
+        if let Some(prof) = &obs.profiler {
+            self.install_host_profiler(Arc::clone(prof));
+        }
     }
 
-    /// Attach a host-time self-profiler: the flow engine attributes its
-    /// wall-clock time to `netsim;…` stacks — settle time per directed
-    /// link (labelled `site:<name>` for LAN access links and
-    /// `wan:<a>-><b>` for WAN trunks, the candidate PDES shard
+    /// Attach an observability recorder.
+    #[deprecated(note = "configure observability once via `Network::attach_obs`")]
+    pub fn attach_recorder(&self, rec: Arc<dyn desim::obs::Recorder>) {
+        self.attach_obs(&desim::obs::Obs::none().recorder(rec));
+    }
+
+    /// Attach a host-time self-profiler.
+    #[deprecated(note = "configure observability once via `Network::attach_obs`")]
+    pub fn attach_host_profiler(&self, prof: Arc<desim::obs::HostProfiler>) {
+        self.attach_obs(&desim::obs::Obs::none().profiler(prof));
+    }
+
+    /// The profiler attachment body: interns per-link settle keys — settle
+    /// time per directed link (labelled `site:<name>` for LAN access links
+    /// and `wan:<a>-><b>` for WAN trunks, the candidate PDES shard
     /// boundaries), the max-min allocator, and the per-channel round /
     /// finish / fast-path handlers. The profiler reads only the host
     /// clock, so virtual time is untouched.
-    pub fn attach_host_profiler(&self, prof: Arc<desim::obs::HostProfiler>) {
+    fn install_host_profiler(&self, prof: Arc<desim::obs::HostProfiler>) {
         let mut g = self.state.lock();
         let n_links = g.topo.link_count();
         let mut labels = vec![String::new(); n_links];
@@ -204,7 +223,7 @@ impl Network {
             s,
             ch,
             bytes,
-            Box::new(move |s2: &Sched| tx.fire_from(s2, ())),
+            DoneFn::AtArrival(Box::new(move |s2: &Sched| tx.fire_from(s2, ()))),
         );
         rx
     }
@@ -221,7 +240,23 @@ impl Network {
         bytes: u64,
         f: impl FnOnce(&Sched) + Send + 'static,
     ) {
-        start_transfer(&self.state, s, ch, bytes, Box::new(f));
+        start_transfer(&self.state, s, ch, bytes, DoneFn::AtArrival(Box::new(f)));
+    }
+
+    /// Like [`Network::transfer_then`], but invokes the callback at the
+    /// sender-side *finish* time with the receiver-side arrival time as an
+    /// argument. The sharded engine uses this for transfers whose receiver
+    /// lives on another shard: at finish time the arrival still lies a
+    /// full one-way latency ahead, so the completion can cross the shard
+    /// boundary as conservative-safe mail instead of a local event.
+    pub fn transfer_finish_then(
+        &self,
+        s: &Sched,
+        ch: ChannelId,
+        bytes: u64,
+        f: impl FnOnce(&Sched, SimTime) + Send + 'static,
+    ) {
+        start_transfer(&self.state, s, ch, bytes, DoneFn::AtFinish(Box::new(f)));
     }
 
     /// Convenience: run a transfer to completion from a blocking process.

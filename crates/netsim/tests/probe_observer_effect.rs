@@ -91,7 +91,7 @@ fn probed_transfer(
     let (net, na, nb) = wan_pair(buf);
     net.set_bulk_fast_path(fast);
     let sink = Arc::new(RingSink::new(1 << 20));
-    net.attach_recorder(sink.clone());
+    net.attach_obs(&desim::obs::Obs::none().recorder(sink.clone()));
     let done = Arc::new(Mutex::new(0u64));
     let done2 = Arc::clone(&done);
     let sim = Sim::new();
@@ -192,7 +192,7 @@ fn probes_never_change_virtual_timestamps() {
             };
             net.set_bulk_fast_path(fast);
             if probed {
-                net.attach_recorder(Arc::new(RingSink::new(1 << 16)));
+                net.attach_obs(&desim::obs::Obs::none().recorder(Arc::new(RingSink::new(1 << 16))));
             }
             let log = Arc::new(Mutex::new(Vec::new()));
             let log2 = Arc::clone(&log);

@@ -27,7 +27,7 @@ pub fn cmd_trace(bench: NasBenchmark) {
         .with_tuning(level.tuning(MpiImpl::GridMpi))
         .with_tracing();
     if let Some((sink, _)) = &obs {
-        job = job.with_recorder(sink.clone());
+        job = job.with_obs(desim::obs::Obs::none().recorder(sink.clone()));
     }
     let report = job.run(run.program()).expect("traced run completes");
     if let Some((sink, metrics)) = &obs {

@@ -14,6 +14,15 @@
 //! `repro golden record` re-records the corpus after an *intentional*
 //! behaviour change; the diff of `results/golden/*.json` then documents
 //! exactly which scenarios moved (see DESIGN.md §10).
+//!
+//! `--pdes N` runs the same scenarios on the sharded PDES driver with `N`
+//! worker threads against a *separate* corpus (default
+//! `results/golden/pdes/`): the PDES event stream is deterministic for
+//! any worker count but not byte-identical to the classic kernel's
+//! (merge ordering, per-group settle arithmetic — DESIGN.md §14), so the
+//! two corpora pin the two code paths independently. Checking `--pdes 1`,
+//! `--pdes 2`, and `--pdes 4` against one corpus is the shard-invariance
+//! gate.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -21,7 +30,7 @@ use std::sync::Arc;
 use desim::obs::digest::DigestSink;
 use desim::SimTime;
 use gridapps::Ray2MeshConfig;
-use mpisim::{FaultPlan, FaultPolicy, MpiImpl, RankCtx, RunReport};
+use mpisim::{CommPattern, ExecConfig, FaultPlan, FaultPolicy, MpiImpl, RankCtx, RunReport};
 use netsim::Grid5000Site;
 use npb::{NasBenchmark, NasClass, NasRun};
 
@@ -61,8 +70,9 @@ fn seal(sink: &DigestSink, label: &str, report: &RunReport) -> u64 {
 
 /// The grid ping-pong of Figs. 3/6/7: three sizes spanning eager, small
 /// rendezvous, and the 64 MB bulk fast path, fully tuned MPICH2.
-fn golden_pingpong(sink: &Arc<DigestSink>) -> u64 {
+fn golden_pingpong(sink: &Arc<DigestSink>, exec: ExecConfig) -> u64 {
     let report = Scenario::pair(Scope::Grid, TuningLevel::FullyTuned, MpiImpl::Mpich2)
+        .exec(exec.pattern(CommPattern::SiteDisjoint))
         .recorder(sink.clone())
         .run(|mut ctx: RankCtx| async move {
             const TAG: u64 = 1;
@@ -87,7 +97,7 @@ fn golden_pingpong(sink: &Arc<DigestSink>) -> u64 {
 /// The Fig. 9 slow-start mechanism: one 16 MB WAN transfer per kernel
 /// configuration (untuned, tuned, tuned + GridMPI pacing), cwnd samples
 /// and all.
-fn golden_slowstart(sink: &Arc<DigestSink>) -> u64 {
+fn golden_slowstart(sink: &Arc<DigestSink>, exec: ExecConfig) -> u64 {
     let mut total = 0;
     for (label, level, id) in [
         ("untuned", TuningLevel::Default, MpiImpl::Mpich2),
@@ -95,6 +105,7 @@ fn golden_slowstart(sink: &Arc<DigestSink>) -> u64 {
         ("tuned_paced", TuningLevel::TcpTuned, MpiImpl::GridMpi),
     ] {
         let report = Scenario::pair(Scope::Grid, level, id)
+            .exec(exec.pattern(CommPattern::SiteDisjoint))
             .recorder(sink.clone())
             .run(|mut ctx: RankCtx| async move {
                 const TAG: u64 = 1;
@@ -112,11 +123,12 @@ fn golden_slowstart(sink: &Arc<DigestSink>) -> u64 {
 
 /// Table 4's 1-byte latency: every implementation, cluster and grid, the
 /// software-overhead model in isolation.
-fn golden_table4(sink: &Arc<DigestSink>) -> u64 {
+fn golden_table4(sink: &Arc<DigestSink>, exec: ExecConfig) -> u64 {
     let mut total = 0;
     for scope in [Scope::Cluster, Scope::Grid] {
         for id in MpiImpl::ALL {
             let report = Scenario::pair(scope, TuningLevel::Default, id)
+                .exec(exec.pattern(CommPattern::SiteDisjoint))
                 .recorder(sink.clone())
                 .run(|mut ctx: RankCtx| async move {
                     const TAG: u64 = 1;
@@ -141,11 +153,12 @@ fn golden_table4(sink: &Arc<DigestSink>) -> u64 {
 
 /// The NPB machinery on the 8+8 grid: CG (point-to-point transposes) and
 /// FT (all-to-all collectives), class S quick runs.
-fn golden_nas(sink: &Arc<DigestSink>) -> u64 {
+fn golden_nas(sink: &Arc<DigestSink>, exec: ExecConfig) -> u64 {
     let mut total = 0;
     for bench in [NasBenchmark::Cg, NasBenchmark::Ft] {
         let run = NasRun::quick(bench, NasClass::S);
         let report = Scenario::npb(8, 8, 8, TuningLevel::FullyTuned, MpiImpl::GridMpi)
+            .exec(exec.pattern(CommPattern::General))
             .recorder(sink.clone())
             .run(run.program())
             .expect("golden NAS completes");
@@ -157,9 +170,10 @@ fn golden_nas(sink: &Arc<DigestSink>) -> u64 {
 }
 
 /// The §4.4 master/worker application over four sites.
-fn golden_ray2mesh(sink: &Arc<DigestSink>) -> u64 {
+fn golden_ray2mesh(sink: &Arc<DigestSink>, exec: ExecConfig) -> u64 {
     let cfg = Ray2MeshConfig::small();
     let report = Scenario::four_sites(2, Grid5000Site::ALL[0], MpiImpl::GridMpi)
+        .exec(exec.pattern(CommPattern::General))
         .recorder(sink.clone())
         .run(cfg.program())
         .expect("golden ray2mesh completes");
@@ -169,9 +183,10 @@ fn golden_ray2mesh(sink: &Arc<DigestSink>) -> u64 {
 /// The fault-injection stack: a lossy 16 MB WAN transfer (seeded loss
 /// RNG, recovery machinery, RTO path) and the fault-tolerant ray2mesh
 /// surviving two mid-trace kills.
-fn golden_faults(sink: &Arc<DigestSink>) -> u64 {
+fn golden_faults(sink: &Arc<DigestSink>, exec: ExecConfig) -> u64 {
     let mut total = 0;
     let report = Scenario::pair(Scope::Grid, TuningLevel::TcpTuned, MpiImpl::Mpich2)
+        .exec(exec.pattern(CommPattern::SiteDisjoint))
         .faults(FaultPlan::new().with_seed(42).with_wan_loss(1e-3))
         .recorder(sink.clone())
         .run(|mut ctx: RankCtx| async move {
@@ -195,6 +210,7 @@ fn golden_faults(sink: &Arc<DigestSink>) -> u64 {
         .kill_rank(3, SimTime::from_nanos(1_000_000_000))
         .kill_rank(6, SimTime::from_nanos(2_000_000_000));
     let report = Scenario::four_sites(2, Grid5000Site::ALL[0], MpiImpl::GridMpi)
+        .exec(exec.pattern(CommPattern::General))
         .faults(plan)
         .recorder(sink.clone())
         .run(cfg.program_ft(FaultPolicy::grid_default()))
@@ -204,7 +220,10 @@ fn golden_faults(sink: &Arc<DigestSink>) -> u64 {
 }
 
 /// A golden scenario runner: feeds the sink, returns total elapsed ns.
-type GoldenFn = fn(&Arc<DigestSink>) -> u64;
+/// The [`ExecConfig`] selects classic vs PDES execution; each scenario
+/// fixes its own [`CommPattern`] (pairs are site-disjoint; collectives
+/// and master/worker fan-ins are general).
+type GoldenFn = fn(&Arc<DigestSink>, ExecConfig) -> u64;
 
 /// The corpus: scenario name → runner. Order is the check/record order.
 pub const SCENARIOS: &[(&str, GoldenFn)] = &[
@@ -217,9 +236,9 @@ pub const SCENARIOS: &[(&str, GoldenFn)] = &[
 ];
 
 /// Recompute one scenario's digest.
-pub fn run_scenario(name: &'static str, f: fn(&Arc<DigestSink>) -> u64) -> GoldenRecord {
+pub fn run_scenario(name: &'static str, f: GoldenFn, exec: ExecConfig) -> GoldenRecord {
     let sink = Arc::new(DigestSink::new());
-    let elapsed_ns = f(&sink);
+    let elapsed_ns = f(&sink, exec);
     GoldenRecord {
         scenario: name,
         digest: sink.value().to_string(),
@@ -279,19 +298,39 @@ fn read_record(dir: &Path, scenario: &str) -> Result<StoredRecord, String> {
     })
 }
 
-/// `repro golden record|check [--dir DIR]`.
+/// `repro golden record|check [--dir DIR] [--pdes N]`.
 pub fn cmd_golden(args: &[String]) {
     let mode = args.get(1).map(String::as_str);
+    let pdes: Option<u32> = args.iter().position(|a| a == "--pdes").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--pdes needs a worker count");
+                std::process::exit(2);
+            })
+    });
+    let default_dir = if pdes.is_some() {
+        "results/golden/pdes"
+    } else {
+        "results/golden"
+    };
     let dir = args
         .iter()
         .position(|a| a == "--dir")
         .and_then(|i| args.get(i + 1))
-        .map_or_else(|| PathBuf::from("results/golden"), PathBuf::from);
+        .map_or_else(|| PathBuf::from(default_dir), PathBuf::from);
+    let exec = match pdes {
+        Some(n) => ExecConfig::new().shards(n),
+        None => ExecConfig::new(),
+    };
     match mode {
         Some("record") => {
-            crate::header("Golden corpus: recording run digests");
+            crate::header(&match pdes {
+                Some(n) => format!("Golden corpus: recording run digests (PDES, {n} workers)"),
+                None => "Golden corpus: recording run digests".to_string(),
+            });
             for &(name, f) in SCENARIOS {
-                let rec = run_scenario(name, f);
+                let rec = run_scenario(name, f, exec);
                 write_record(&dir, &rec)
                     .unwrap_or_else(|e| panic!("cannot write golden record for {name}: {e}"));
                 println!(
@@ -305,10 +344,13 @@ pub fn cmd_golden(args: &[String]) {
             }
         }
         Some("check") => {
-            crate::header("Golden corpus: checking run digests");
+            crate::header(&match pdes {
+                Some(n) => format!("Golden corpus: checking run digests (PDES, {n} workers)"),
+                None => "Golden corpus: checking run digests".to_string(),
+            });
             let mut failures: Vec<&str> = Vec::new();
             for &(name, f) in SCENARIOS {
-                let got = run_scenario(name, f);
+                let got = run_scenario(name, f, exec);
                 match read_record(&dir, name) {
                     Err(msg) => {
                         println!("{name:<10} FAIL  {msg}");
@@ -352,7 +394,7 @@ pub fn cmd_golden(args: &[String]) {
             println!("\ngolden check passed ({} scenarios)", SCENARIOS.len());
         }
         _ => {
-            eprintln!("usage: repro golden <record|check> [--dir DIR]");
+            eprintln!("usage: repro golden <record|check> [--dir DIR] [--pdes N]");
             std::process::exit(2);
         }
     }

@@ -224,12 +224,15 @@ fn main() {
     }
 }
 
-/// `repro ring [--ranks N] [--rounds N]`: the rank-scale demonstration —
-/// a ring exchange far beyond the paper's 16-rank testbed, run in one
-/// process by the pooled continuation engine (or whatever `MPISIM_ENGINE`
-/// selects). Ranks are placed in contiguous blocks across an 8+8-node
-/// tuned testbed, so ring edges are mostly node-local and the run
-/// completes in seconds even at 4096+ ranks.
+/// `repro ring [--ranks N] [--rounds N] [--shards N]`: the rank-scale
+/// demonstration — a ring exchange far beyond the paper's 16-rank
+/// testbed, run in one process by the pooled continuation engine (or
+/// whatever `MPISIM_ENGINE` selects). Ranks are placed in contiguous
+/// blocks across an 8+8-node tuned testbed, so ring edges are mostly
+/// node-local and the run completes in seconds even at 4096+ ranks.
+/// `--shards N` runs on the sharded PDES driver with `N` workers: the
+/// ring is eager with in-degree 1 per rank, so it satisfies the
+/// site-disjoint partition contract and splits into one shard per site.
 fn cmd_ring(args: &[String]) {
     let flag_num = |flag: &str, default: usize| -> usize {
         args.iter()
@@ -243,7 +246,16 @@ fn cmd_ring(args: &[String]) {
     };
     let ranks = flag_num("--ranks", 4096);
     let rounds = flag_num("--rounds", 4) as u32;
+    let shards = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<u32>().expect("--shards takes a number"));
     let engine = mpisim::Engine::from_env();
+    let mut exec = mpisim::ExecConfig::new().engine(engine);
+    if let Some(n) = shards {
+        exec = exec.shards(n).pattern(mpisim::CommPattern::SiteDisjoint);
+    }
     let (mut topo, rn, nn) = netsim::grid5000_pair(8);
     topo.set_kernel_all(netsim::KernelConfig::tuned(4 << 20));
     let nodes: Vec<netsim::NodeId> = rn.into_iter().chain(nn).collect();
@@ -253,7 +265,7 @@ fn cmd_ring(args: &[String]) {
     let wall = std::time::Instant::now();
     let report = mpisim::MpiJob::new(netsim::Network::new(topo), placement, MpiImpl::Mpich2)
         .with_tuning(mpisim::Tuning::paper_tuned(MpiImpl::Mpich2))
-        .with_engine(engine)
+        .with_exec(exec)
         .run(move |mut ctx: mpisim::RankCtx| async move {
             const TAG: u64 = 7;
             let right = (ctx.rank() + 1) % ctx.size();
@@ -264,7 +276,12 @@ fn cmd_ring(args: &[String]) {
         })
         .expect("ring completes");
     let wall = wall.elapsed().as_secs_f64();
-    println!("# Rank-scale ring ({ranks} ranks x {rounds} rounds, engine {engine:?})");
+    match shards {
+        Some(n) => println!(
+            "# Rank-scale ring ({ranks} ranks x {rounds} rounds, engine {engine:?}, pdes {n} workers)"
+        ),
+        None => println!("# Rank-scale ring ({ranks} ranks x {rounds} rounds, engine {engine:?})"),
+    }
     println!("ranks            {ranks}");
     println!("virtual elapsed  {:.6} s", report.elapsed.as_secs_f64());
     println!("p2p messages     {}", report.stats.p2p_messages());

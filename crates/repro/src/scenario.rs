@@ -9,8 +9,9 @@
 use std::sync::Arc;
 
 use desim::fault::FaultPlan;
+use desim::obs::Obs;
 use desim::{SimError, SimTime};
-use mpisim::{ImplProfile, MpiImpl, MpiJob, MpiProgram, RunReport, Tuning};
+use mpisim::{ExecConfig, ImplProfile, MpiImpl, MpiJob, MpiProgram, RunReport, Tuning};
 use netsim::{grid5000_four_sites, Grid5000Site, KernelConfig, Network, NodeId};
 
 use crate::util::{npb_placement, pair_endpoints, Scope, TuningLevel};
@@ -23,8 +24,8 @@ pub struct Scenario {
     tuning: Tuning,
     profile: Option<ImplProfile>,
     faults: Option<FaultPlan>,
-    recorder: Option<Arc<dyn desim::obs::Recorder>>,
-    host_profiler: Option<Arc<desim::HostProfiler>>,
+    observe: Obs,
+    exec: ExecConfig,
     tracing: bool,
     deadline: Option<SimTime>,
 }
@@ -91,8 +92,8 @@ impl Scenario {
             tuning: Tuning::none(),
             profile: None,
             faults: None,
-            recorder: None,
-            host_profiler: None,
+            observe: Obs::none(),
+            exec: ExecConfig::new(),
             tracing: false,
             deadline: None,
         }
@@ -116,27 +117,44 @@ impl Scenario {
         self
     }
 
-    /// Attach an observability recorder.
-    pub fn recorder(mut self, rec: Arc<dyn desim::obs::Recorder>) -> Scenario {
-        self.recorder = Some(rec);
+    /// Configure observability in one shot: recorder and/or host-time
+    /// self-profiler. `Some` fields of `obs` override earlier settings.
+    pub fn observe(mut self, obs: Obs) -> Scenario {
+        if let Some(rec) = obs.recorder {
+            self.observe.recorder = Some(rec);
+        }
+        if let Some(prof) = obs.profiler {
+            self.observe.profiler = Some(prof);
+        }
         self
+    }
+
+    /// Configure execution: engine, PDES shard count, fast path,
+    /// communication pattern.
+    pub fn exec(mut self, exec: ExecConfig) -> Scenario {
+        self.exec = exec;
+        self
+    }
+
+    /// Attach an observability recorder.
+    pub fn recorder(self, rec: Arc<dyn desim::obs::Recorder>) -> Scenario {
+        self.observe(Obs::none().recorder(rec))
     }
 
     /// Attach a host-time self-profiler: wall-clock attribution across
     /// the kernel dispatch loop, netsim settle/allocate, and the mpisim
     /// job phases (`repro profile --domain host`).
-    pub fn host_profiler(mut self, prof: Arc<desim::HostProfiler>) -> Scenario {
-        self.host_profiler = Some(prof);
-        self
+    pub fn host_profiler(self, prof: Arc<desim::HostProfiler>) -> Scenario {
+        self.observe(Obs::none().profiler(prof))
     }
 
     /// Attach the `--trace-out` / `--metrics` sink, if the user asked for
     /// one on the command line.
-    pub fn obs(mut self, sink: &Option<(Arc<desim::RingSink>, Arc<desim::Metrics>)>) -> Scenario {
-        if let Some((sink, _)) = sink {
-            self.recorder = Some(sink.clone() as Arc<dyn desim::obs::Recorder>);
+    pub fn obs(self, sink: &Option<(Arc<desim::RingSink>, Arc<desim::Metrics>)>) -> Scenario {
+        match sink {
+            Some((sink, _)) => self.recorder(sink.clone() as Arc<dyn desim::obs::Recorder>),
+            None => self,
         }
-        self
     }
 
     /// Enable per-operation tracing.
@@ -154,18 +172,15 @@ impl Scenario {
 
     /// Assemble the [`MpiJob`] and run `program` on every rank.
     pub fn run(self, program: impl MpiProgram) -> Result<RunReport, SimError> {
-        let mut job = MpiJob::new(self.net, self.placement, self.impl_id).with_tuning(self.tuning);
+        let mut job = MpiJob::new(self.net, self.placement, self.impl_id)
+            .with_tuning(self.tuning)
+            .with_obs(self.observe)
+            .with_exec(self.exec);
         if let Some(profile) = self.profile {
             job = job.with_profile(profile);
         }
         if self.tracing {
             job = job.with_tracing();
-        }
-        if let Some(rec) = self.recorder {
-            job = job.with_recorder(rec);
-        }
-        if let Some(prof) = self.host_profiler {
-            job = job.with_host_profiler(prof);
         }
         if let Some(limit) = self.deadline {
             job = job.with_deadline(limit);

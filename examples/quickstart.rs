@@ -64,7 +64,7 @@ fn main() {
             vec![rennes[0], nancy[0]],
             MpiImpl::Mpich2,
         )
-        .with_recorder(sink.clone())
+        .with_obs(grid_mpi_lab::desim::Obs::none().recorder(sink.clone()))
         .run(|mut ctx: RankCtx| async move {
             const TAG: u64 = 1;
             if ctx.rank() == 0 {

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Staged offline CI for the whole simulator.
 #
-#     scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|profile|ranks|bench|all]
+#     scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|profile|ranks|pdes|bench|all]
 #
 # Each stage is independently runnable and timed; `all` (the default)
 # runs them in order. The workspace has zero external dependencies, so
@@ -24,6 +24,10 @@
 #   ranks   the pooled execution engine reproduces the golden corpus
 #           bit for bit (both engines, explicitly) and a 1024-rank job
 #           completes in one process
+#   pdes    the sharded conservative-PDES driver reproduces its golden
+#           corpus bit for bit at 1, 2 and 4 workers, a 4-worker ring
+#           smoke completes, and `bench pdes` meets the speedup floor
+#           on hosts with enough cores (PDES_MIN_SPEEDUP, default 2.0)
 #   bench   deterministic event counts match BENCH_baseline.json
 set -eu
 cd "$(dirname "$0")/.."
@@ -149,6 +153,45 @@ stage_ranks() {
     ./target/release/repro ring --ranks 1024 --rounds 2 >/dev/null
 }
 
+stage_pdes() {
+    release_bins
+    # The PDES corpus (results/golden/pdes/) is recorded at one worker.
+    # The site partition is a pure function of (topology, placement,
+    # pattern) — never of the worker count — so every worker count must
+    # reproduce the corpus bit for bit, with the bulk fast path engaged
+    # and disabled (digests are defined to be identical either way, as
+    # for the classic corpus). The corpus includes the four-site
+    # ray2mesh scenario, so `--pdes 4` doubles as the 4-shard ray2mesh
+    # smoke.
+    ./target/release/repro golden check --pdes 1
+    ./target/release/repro golden check --pdes 2
+    ./target/release/repro golden check --pdes 4
+    NETSIM_NO_FAST_PATH=1 ./target/release/repro golden check --pdes 4
+    # Rank-scale smoke on the sharded driver: a 64-rank two-site ring at
+    # 4 workers, clean exit (the ring asserts no undrained messages).
+    ./target/release/repro ring --ranks 64 --rounds 2 --shards 4 >/dev/null
+    # Host-side scaling. Correctness is the digest contract above; the
+    # wall-clock speedup needs real cores, so the floor is enforced only
+    # where the host has at least 4 — elsewhere the line is printed for
+    # information.
+    ./target/release/bench pdes --json target/bench_pdes.json
+    _cpus=$(nproc 2>/dev/null || echo 1)
+    if [ "${_cpus}" -ge 4 ]; then
+        awk -v min="${PDES_MIN_SPEEDUP:-2.0}" '
+            /"name": "pdes\/speedup_four_site"/ {
+                found = 1
+                if (!match($0, /"speedup": [0-9.]+/)) exit 1
+                s = substr($0, RSTART + 12, RLENGTH - 12) + 0
+                printf "pdes speedup %.2f at 4 workers (floor %.2f)\n", s, min
+                if (s < min) exit 1
+            }
+            END { if (!found) { print "no pdes/speedup_four_site line"; exit 1 } }
+        ' target/bench_pdes.json
+    else
+        echo "pdes: host has ${_cpus} cpu(s); speedup line is informational"
+    fi
+}
+
 stage_bench() {
     release_bins
     # `bench smoke` itself asserts exact events counts against the
@@ -170,17 +213,17 @@ run_stage() {
 }
 
 case "${1:-all}" in
-fmt | clippy | build | test | smoke | golden | blame | profile | ranks | bench)
+fmt | clippy | build | test | smoke | golden | blame | profile | ranks | pdes | bench)
     run_stage "$1"
     ;;
 all)
-    for _s in fmt clippy build test smoke golden blame profile ranks bench; do
+    for _s in fmt clippy build test smoke golden blame profile ranks pdes bench; do
         run_stage "${_s}"
     done
     echo "==> ci: all stages passed"
     ;;
 *)
-    echo "usage: scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|profile|ranks|bench|all]" >&2
+    echo "usage: scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|profile|ranks|pdes|bench|all]" >&2
     exit 2
     ;;
 esac

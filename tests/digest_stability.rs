@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use grid_mpi_lab::desim::obs::Recorder;
+use grid_mpi_lab::desim::obs::{Obs, Recorder};
 use grid_mpi_lab::desim::{DigestSink, DigestValue, RingSink, Tee};
 use grid_mpi_lab::mpisim::{FaultPlan, MpiImpl, MpiJob, RankCtx, Tuning};
 use grid_mpi_lab::netsim::{grid5000_pair, KernelConfig, Network};
@@ -37,7 +37,7 @@ fn pingpong_digest(
     };
     let mut job = MpiJob::new(net, placement, MpiImpl::Mpich2)
         .with_tuning(Tuning::paper_tuned(MpiImpl::Mpich2))
-        .with_recorder(rec)
+        .with_obs(Obs::none().recorder(rec))
         .with_tracing();
     if let Some(seed) = seed {
         job = job.with_faults(FaultPlan::new().with_seed(seed).with_wan_loss(1e-3));

@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use grid_mpi_lab::desim::obs::{Event, RingSink};
+use grid_mpi_lab::desim::obs::{Event, Obs, RingSink};
 use grid_mpi_lab::desim::{SimDuration, SimTime};
 use grid_mpi_lab::gridapps::Ray2MeshConfig;
 use grid_mpi_lab::mpisim::{FaultPlan, FaultPolicy, MpiImpl, MpiJob, RankCtx, Tuning};
@@ -64,7 +64,7 @@ fn same_seed_is_bit_identical_including_event_stream() {
         let sink = Arc::new(RingSink::new(1 << 18));
         let report = pingpong_job(true)
             .with_faults(stochastic_plan(0xBADC_0FFE))
-            .with_recorder(sink.clone())
+            .with_obs(Obs::none().recorder(sink.clone()))
             .run(pingpong)
             .unwrap();
         (report.elapsed.as_nanos(), sink.events())

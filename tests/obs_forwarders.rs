@@ -1,0 +1,86 @@
+//! The pre-`Obs` observability attachment points — `Sim::attach_recorder`,
+//! `Network::attach_recorder`, `MpiJob::with_recorder` and the profiler
+//! variants — are deprecated but must keep working as thin forwarders
+//! into the unified [`Obs`] configuration: same events, same digests.
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use grid_mpi_lab::desim::{DigestSink, HostProfiler, Obs, RingSink, Sim, SimDuration};
+use grid_mpi_lab::mpisim::{MpiImpl, MpiJob, RankCtx};
+use grid_mpi_lab::netsim::{grid5000_pair, Network, SockBufRequest};
+
+fn pingpong_digest(attach: impl FnOnce(MpiJob, Arc<DigestSink>) -> MpiJob) -> (String, u64) {
+    let (topo, rennes, nancy) = grid5000_pair(1);
+    let sink = Arc::new(DigestSink::new());
+    let job = MpiJob::new(
+        Network::new(topo),
+        vec![rennes[0], nancy[0]],
+        MpiImpl::Mpich2,
+    );
+    attach(job, sink.clone())
+        .run(|mut ctx: RankCtx| async move {
+            const TAG: u64 = 1;
+            if ctx.rank() == 0 {
+                ctx.send(1, 1024, TAG).await;
+                ctx.recv(1, TAG).await;
+            } else {
+                ctx.recv(0, TAG).await;
+                ctx.send(0, 1024, TAG).await;
+            }
+        })
+        .expect("pingpong completes");
+    (sink.value().to_string(), sink.events())
+}
+
+#[test]
+fn with_recorder_forwards_to_with_obs() {
+    let (old_digest, old_events) = pingpong_digest(|job, sink| job.with_recorder(sink));
+    let (new_digest, new_events) =
+        pingpong_digest(|job, sink| job.with_obs(Obs::none().recorder(sink)));
+    assert!(old_events > 0, "forwarder recorded no events");
+    assert_eq!(old_events, new_events);
+    assert_eq!(old_digest, new_digest);
+}
+
+#[test]
+fn with_host_profiler_forwards_to_with_obs() {
+    let prof = Arc::new(HostProfiler::new());
+    let (_, _) = pingpong_digest(|job, sink| job.with_recorder(sink).with_host_profiler(prof));
+}
+
+#[test]
+fn network_attach_recorder_forwards() {
+    let (topo, rennes, nancy) = grid5000_pair(1);
+    let net = Network::new(topo);
+    let sink = Arc::new(RingSink::new(1 << 16));
+    net.attach_recorder(sink.clone());
+    let sim = Sim::new();
+    let net2 = net.clone();
+    let (a, b) = (rennes[0], nancy[0]);
+    sim.spawn("xfer", move |p| {
+        let ch = net2.channel(
+            a,
+            b,
+            SockBufRequest::OsDefault,
+            SockBufRequest::OsDefault,
+            false,
+        );
+        let done = net2.transfer(&p.sched(), ch, 1 << 20);
+        done.wait(&p);
+    });
+    sim.run().unwrap();
+    assert!(!sink.is_empty(), "network recorder saw no flow events");
+}
+
+#[test]
+fn sim_attach_recorder_forwards() {
+    let sink = Arc::new(RingSink::new(1 << 10));
+    let sim = Sim::new();
+    sim.attach_recorder(sink.clone());
+    sim.spawn("tick", |p| {
+        p.advance(SimDuration::from_micros(5));
+    });
+    sim.run().unwrap();
+    assert!(!sink.is_empty(), "kernel recorder saw no events");
+}

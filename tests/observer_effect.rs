@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use grid_mpi_lab::desim::obs::{Event, Metrics, RingSink};
+use grid_mpi_lab::desim::obs::{Event, Metrics, Obs, RingSink};
 use grid_mpi_lab::gridapps::Ray2MeshConfig;
 use grid_mpi_lab::mpisim::{MpiImpl, MpiJob, MpiProgram, RankCtx, Tuning};
 use grid_mpi_lab::netsim::{grid5000_four_sites, grid5000_pair, KernelConfig, Network};
@@ -29,7 +29,8 @@ struct Timing {
 fn run_job(job: MpiJob, probed: bool, program: impl MpiProgram) -> Timing {
     let sink = Arc::new(RingSink::with_metrics(1 << 18, Arc::new(Metrics::new())));
     let job = if probed {
-        job.with_recorder(sink.clone()).with_tracing()
+        job.with_obs(Obs::none().recorder(sink.clone()))
+            .with_tracing()
     } else {
         job
     };
@@ -164,7 +165,7 @@ fn live_analyzer_has_no_observer_effect() {
         };
         let report = MpiJob::new(net, placement, MpiImpl::Mpich2)
             .with_tuning(Tuning::paper_tuned(MpiImpl::Mpich2))
-            .with_recorder(recorder)
+            .with_obs(Obs::none().recorder(recorder))
             .run(|mut ctx: RankCtx| async move {
                 let peer = 1 - ctx.rank();
                 for _ in 0..3 {

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use grid_mpi_lab::desim::obs::digest::DigestSink;
 use grid_mpi_lab::desim::obs::profile::parse_folded_line;
-use grid_mpi_lab::desim::obs::Tee;
+use grid_mpi_lab::desim::obs::{Obs, Tee};
 use grid_mpi_lab::desim::{HostProfiler, Recorder, TimeSeriesSink};
 use grid_mpi_lab::mpisim::{Engine, MpiImpl, MpiJob, MpiProgram, RankCtx, Tuning};
 use grid_mpi_lab::netsim::{grid5000_pair, KernelConfig, Network};
@@ -44,7 +44,7 @@ fn base_job(engine: Engine, fast: bool) -> (MpiJob, Arc<DigestSink>) {
     let job = MpiJob::new(net, placement, MpiImpl::Mpich2)
         .with_tuning(Tuning::paper_tuned(MpiImpl::Mpich2))
         .with_engine(engine)
-        .with_recorder(digest.clone() as Arc<dyn Recorder>);
+        .with_obs(Obs::none().recorder(digest.clone() as Arc<dyn Recorder>));
     (job, digest)
 }
 
@@ -62,7 +62,7 @@ fn host_profiler_has_no_observer_effect() {
             let prof = Arc::new(HostProfiler::new());
             let (job, digest) = base_job(engine, fast);
             let attached = job
-                .with_host_profiler(prof.clone())
+                .with_obs(Obs::none().profiler(prof.clone()))
                 .run(pingpong())
                 .unwrap();
             let attached_digest = digest.value().to_string();
@@ -117,10 +117,10 @@ fn time_series_sink_has_no_observer_effect() {
             let teed = MpiJob::new(net, placement, MpiImpl::Mpich2)
                 .with_tuning(Tuning::paper_tuned(MpiImpl::Mpich2))
                 .with_engine(engine)
-                .with_recorder(Arc::new(Tee::new(vec![
+                .with_obs(Obs::none().recorder(Arc::new(Tee::new(vec![
                     digest.clone() as Arc<dyn Recorder>,
                     sink.clone() as Arc<dyn Recorder>,
-                ])))
+                ]))))
                 .run(pingpong())
                 .unwrap();
 

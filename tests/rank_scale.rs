@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use grid_mpi_lab::desim::{DigestSink, DigestValue, SimDuration, SimTime};
+use grid_mpi_lab::desim::{DigestSink, DigestValue, Obs, SimDuration, SimTime};
 use grid_mpi_lab::gridapps::Ray2MeshConfig;
 use grid_mpi_lab::mpisim::{
     Engine, FaultPlan, FaultPolicy, MpiError, MpiImpl, MpiJob, MpiProgram, RankCtx, Tuning,
@@ -81,7 +81,7 @@ struct Fingerprint {
 fn fingerprint(job: MpiJob, program: impl MpiProgram) -> Fingerprint {
     let sink = Arc::new(DigestSink::new());
     let report = job
-        .with_recorder(sink.clone())
+        .with_obs(Obs::none().recorder(sink.clone()))
         .with_tracing()
         .run(program)
         .expect("scenario completes");
