@@ -12,7 +12,8 @@
 //! bench compare OLD.json NEW.json [--threshold PCT]
 //! ```
 //!
-//! Groups: `kernel`, `tcp`, `pingpong`, `collectives`, `npb`, `ray2mesh`,
+//! Groups: `kernel`, `tcp`, `pingpong`, `collectives`, `coll`
+//! (selectable collective algorithms head-to-head), `npb`, `ray2mesh`,
 //! `fastpath`, `obs` (observability overhead), `blame` (post-hoc
 //! analyzer cost), `profile` (host self-profiler overhead, gated ≤5%),
 //! `faults` (lossy-path and fault-tolerance overhead), `ranks`
@@ -40,7 +41,10 @@ use std::time::Instant;
 use bench::{grid_job, ping_ring, pingpong_once, tuned_pair};
 use desim::{completion, Analysis, Collector, Metrics, RingSink, Sim, SimDuration, SimTime};
 use gridapps::Ray2MeshConfig;
-use mpisim::{CommPattern, Engine, ExecConfig, FaultPlan, FaultPolicy, MpiImpl, MpiJob, RankCtx};
+use mpisim::{
+    CollAlgo, CollConfig, CollOp, CollSel, CommPattern, Engine, ExecConfig, FaultPlan, FaultPolicy,
+    MpiImpl, MpiJob, RankCtx,
+};
 use netsim::{grid5000_four_sites, KernelConfig, Network, SockBufRequest};
 use npb::{NasBenchmark, NasClass, NasRun};
 
@@ -151,6 +155,7 @@ fn main() {
         "tcp",
         "pingpong",
         "collectives",
+        "coll",
         "npb",
         "ray2mesh",
         "fastpath",
@@ -177,6 +182,7 @@ fn main() {
             "tcp" => group_tcp(&mut h),
             "pingpong" => group_pingpong(&mut h),
             "collectives" => group_collectives(&mut h),
+            "coll" => group_coll(&mut h),
             "npb" => group_npb(&mut h),
             "ray2mesh" => group_ray2mesh(&mut h),
             "fastpath" => group_fastpath(&mut h),
@@ -480,6 +486,67 @@ fn group_collectives(h: &mut Harness) {
                 black_box(run_coll(id, op));
                 0
             });
+        }
+    }
+}
+
+/// Selectable collective algorithms head-to-head — the mechanism behind
+/// `repro autotune-coll`. Per-algorithm bcast and allreduce at 1 kB /
+/// 64 kB / 4 MB on a 16-rank single-site LAN and the four-site WAN, each
+/// pinned via [`CollConfig::pin_all`]. The returned wire-message count is
+/// deterministic, so `bench compare` gates these entries exactly.
+fn group_coll(h: &mut Harness) {
+    fn run(wan: bool, op: CollOp, sel: CollSel, bytes: u64) -> u64 {
+        let (net, placement) = if wan {
+            let (mut topo, _sites, nodes) = grid5000_four_sites(4);
+            topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+            let placement = nodes.iter().flat_map(|s| s.iter().copied()).collect();
+            (Network::new(topo), placement)
+        } else {
+            let (net, rn, _nn) = tuned_pair(16);
+            (net, rn)
+        };
+        let exec = ExecConfig::new().coll(CollConfig::new().pin_all(op, sel));
+        let report = MpiJob::new(net, placement, MpiImpl::Mpich2)
+            .with_exec(exec)
+            .run(move |mut ctx: RankCtx| async move {
+                match op {
+                    CollOp::Bcast => ctx.bcast(0, bytes).await,
+                    _ => ctx.allreduce(bytes).await,
+                }
+            })
+            .expect("collective completes");
+        black_box(report.elapsed);
+        report.stats.wire_messages
+    }
+    const SIZES: [(u64, &str); 3] = [(1 << 10, "1k"), (64 << 10, "64k"), (4 << 20, "4m")];
+    let bcast: [(CollSel, &str); 4] = [
+        (CollSel::flat(CollAlgo::Binomial), "binomial"),
+        (CollSel::flat(CollAlgo::Pipeline), "pipeline"),
+        (
+            CollSel::flat(CollAlgo::ScatterAllgather),
+            "scatter_allgather",
+        ),
+        (CollSel::two_level(CollAlgo::Binomial), "binomial_2lvl"),
+    ];
+    let allreduce: [(CollSel, &str); 4] = [
+        (CollSel::flat(CollAlgo::Ring), "ring"),
+        (CollSel::flat(CollAlgo::RecursiveDoubling), "rd"),
+        (CollSel::flat(CollAlgo::Rabenseifner), "rabenseifner"),
+        (CollSel::two_level(CollAlgo::Ring), "ring_2lvl"),
+    ];
+    for (wan, topo) in [(false, "lan"), (true, "wan4")] {
+        for (bytes, size) in SIZES {
+            for (sel, name) in bcast {
+                h.bench(&format!("coll/bcast_{name}_{size}_{topo}"), || {
+                    run(wan, CollOp::Bcast, sel, bytes)
+                });
+            }
+            for (sel, name) in allreduce {
+                h.bench(&format!("coll/allreduce_{name}_{size}_{topo}"), || {
+                    run(wan, CollOp::Allreduce, sel, bytes)
+                });
+            }
         }
     }
 }

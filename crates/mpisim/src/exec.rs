@@ -10,6 +10,7 @@
 use desim::SimDuration;
 use netsim::{Network, NodeId, SiteId};
 
+use crate::collectives::CollConfig;
 use crate::launcher::Engine;
 
 /// How the job's communication may be partitioned across PDES shards.
@@ -51,6 +52,10 @@ pub struct ExecConfig {
     pub fast_path: Option<bool>,
     /// Partition rule used when `shards` is set.
     pub pattern: CommPattern,
+    /// Collective-algorithm selection table. The default (all
+    /// `ProfileDefault`) keeps the implementation profile's own dispatch
+    /// and leaves every existing digest bit-identical.
+    pub coll: CollConfig,
 }
 
 impl ExecConfig {
@@ -81,6 +86,12 @@ impl ExecConfig {
     /// Set the partition rule.
     pub fn pattern(mut self, pattern: CommPattern) -> ExecConfig {
         self.pattern = pattern;
+        self
+    }
+
+    /// Pin collective algorithms per (op × size class).
+    pub fn coll(mut self, coll: CollConfig) -> ExecConfig {
+        self.coll = coll;
         self
     }
 

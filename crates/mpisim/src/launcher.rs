@@ -326,6 +326,7 @@ impl MpiJob {
             self.placement,
             self.profile,
             self.tuning,
+            self.exec.coll,
             self.tracing,
             self.obs.recorder.clone(),
         );
@@ -491,6 +492,7 @@ impl MpiJob {
             self.placement,
             self.profile,
             self.tuning,
+            self.exec.coll,
             self.tracing,
             obs_groups,
             Some(sharded.cross()),

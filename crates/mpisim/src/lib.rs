@@ -50,6 +50,7 @@ mod stats;
 pub mod trace;
 mod world;
 
+pub use collectives::{CollAlgo, CollConfig, CollOp, CollSel, SizeClass};
 pub use comm::SubComm;
 pub use desim::fault::{FaultEvent, FaultKind, FaultPlan};
 pub use desim::obs::Obs;

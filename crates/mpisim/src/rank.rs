@@ -58,7 +58,12 @@ pub struct RankCtx {
     cx: Cx,
     world: Arc<WorldInner>,
     gflops: f64,
-    pub(crate) coll_seq: u64,
+    /// Per-op-kind collective sequence counters. Tags are namespaced by
+    /// [`collectives::CollOp`], so overlapping collectives of different
+    /// ops on disjoint subgroups can never collide, and ranks that ran a
+    /// different op mix on their subgroups still agree on the sequence
+    /// number of any op they later meet in together.
+    pub(crate) coll_seq: [u64; collectives::CollOp::COUNT],
     in_collective: bool,
     policy: FaultPolicy,
 }
@@ -72,7 +77,7 @@ impl RankCtx {
             cx,
             world,
             gflops,
-            coll_seq: 0,
+            coll_seq: [0; collectives::CollOp::COUNT],
             in_collective: false,
             policy: FaultPolicy::none(),
         }
@@ -444,8 +449,9 @@ impl RankCtx {
         f: impl AsyncFnOnce(&mut RankCtx, u64) -> R,
     ) -> R {
         self.world.stats.lock().record_collective(op, bytes);
-        self.coll_seq += 1;
-        let tag = collectives::coll_tag(self.coll_seq);
+        let kind = collectives::CollOp::from_name(op);
+        self.coll_seq[kind as usize] += 1;
+        let tag = collectives::coll_tag(kind, self.coll_seq[kind as usize]);
         let was = std::mem::replace(&mut self.in_collective, true);
         let t0 = self.cx.now();
         let r = f(self, tag).await;

@@ -137,6 +137,10 @@ pub(crate) struct WorldInner {
     link_claims: Mutex<HashMap<usize, usize>>,
     pub profile: ImplProfile,
     pub eager_threshold: u64,
+    /// Collective-algorithm pins (see [`crate::CollConfig`]); consulted
+    /// by the dispatchers in `collectives` before the profile's own
+    /// algorithm choice.
+    pub coll: crate::collectives::CollConfig,
     pub placement: Vec<NodeId>,
     /// Ranks grouped by site, in order of first appearance.
     pub site_groups: Vec<Vec<usize>>,
@@ -176,6 +180,7 @@ impl WorldInner {
         placement: Vec<NodeId>,
         profile: ImplProfile,
         tuning: Tuning,
+        coll: crate::collectives::CollConfig,
         tracing: bool,
         obs: Option<Arc<dyn desim::obs::Recorder>>,
     ) -> Arc<WorldInner> {
@@ -186,6 +191,7 @@ impl WorldInner {
             placement,
             profile,
             tuning,
+            coll,
             tracing,
             vec![obs],
             None,
@@ -202,6 +208,7 @@ impl WorldInner {
         placement: Vec<NodeId>,
         profile: ImplProfile,
         tuning: Tuning,
+        coll: crate::collectives::CollConfig,
         tracing: bool,
         obs_groups: Vec<Option<Arc<dyn desim::obs::Recorder>>>,
         cross: Option<CrossPost>,
@@ -238,6 +245,7 @@ impl WorldInner {
             link_claims: Mutex::new(HashMap::new()),
             profile,
             eager_threshold,
+            coll,
             placement,
             site_groups,
             rank_site,

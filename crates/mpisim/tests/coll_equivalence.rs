@@ -1,0 +1,220 @@
+//! Property: every selectable collective algorithm is semantically
+//! equivalent — same logical bytes moved, same completion behaviour —
+//! across random (ranks, sizes, topology) draws. Only elapsed virtual
+//! time may differ between algorithms.
+
+use desim::prop::{forall, Rng};
+use desim::SimTime;
+use mpisim::{CollAlgo, CollConfig, CollOp, CollSel, ExecConfig, MpiImpl, MpiJob, RunReport};
+use netsim::{grid5000_four_sites, grid5000_pair, KernelConfig, Network, NodeId};
+
+/// A rebuildable network draw: the same `Case` always yields the same
+/// topology + placement, so every algorithm run sees identical conditions.
+#[derive(Clone, Copy, Debug)]
+struct Case {
+    ranks: usize,
+    bytes: u64,
+    /// 0 = single-site LAN, 1 = two-site split, 2 = four sites round-robin.
+    topo: u8,
+    /// Rennes-side rank count for the two-site split.
+    split: usize,
+}
+
+impl Case {
+    fn draw(rng: &mut Rng) -> Case {
+        let ranks = rng.range_usize(4, 11);
+        Case {
+            ranks,
+            bytes: rng.range_u64(1 << 10, 256 << 10),
+            topo: rng.range_u64(0, 3) as u8,
+            split: rng.range_usize(1, ranks),
+        }
+    }
+
+    fn build(&self) -> (Network, Vec<NodeId>) {
+        match self.topo {
+            0 => {
+                let (mut topo, rn, _nn) = grid5000_pair(self.ranks);
+                topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+                (Network::new(topo), rn)
+            }
+            1 => {
+                let (mut topo, rn, nn) = grid5000_pair(self.ranks);
+                topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+                let mut placement: Vec<NodeId> = rn[..self.split].to_vec();
+                placement.extend_from_slice(&nn[..self.ranks - self.split]);
+                (Network::new(topo), placement)
+            }
+            _ => {
+                let per_site = self.ranks.div_ceil(4);
+                let (mut topo, _sites, nodes) = grid5000_four_sites(per_site);
+                topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+                let placement: Vec<NodeId> = (0..self.ranks).map(|r| nodes[r % 4][r / 4]).collect();
+                (Network::new(topo), placement)
+            }
+        }
+    }
+
+    fn run(&self, op: CollOp, sel: CollSel) -> RunReport {
+        let (net, placement) = self.build();
+        let bytes = self.bytes;
+        let exec = ExecConfig::new().coll(CollConfig::new().pin_all(op, sel));
+        MpiJob::new(net, placement, MpiImpl::Mpich2)
+            .with_exec(exec)
+            .with_deadline(SimTime::from_nanos(30_000_000_000))
+            .run(move |mut ctx: mpisim::RankCtx| async move {
+                match op {
+                    CollOp::Bcast => ctx.bcast(0, bytes).await,
+                    CollOp::Reduce => ctx.reduce(0, bytes).await,
+                    _ => ctx.allreduce(bytes).await,
+                }
+            })
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{op:?} with {} deadlocked: {e:?} ({self:?})",
+                    sel.algo.name()
+                )
+            })
+    }
+}
+
+/// Total wire bytes arriving at `rank` from anywhere.
+fn inbound(report: &RunReport, rank: usize) -> u64 {
+    report
+        .stats
+        .pair_bytes
+        .iter()
+        .filter(|((_, dst), _)| *dst == rank)
+        .map(|(_, b)| *b)
+        .sum()
+}
+
+fn check_run(case: &Case, op: CollOp, sel: CollSel, baseline: &RunReport) -> RunReport {
+    let report = case.run(op, sel);
+    let tag = format!(
+        "{op:?}/{}{}",
+        sel.algo.name(),
+        if sel.two_level { "+2lvl" } else { "" }
+    );
+    assert!(report.clean, "{tag}: undrained messages ({case:?})");
+    assert_eq!(
+        report.per_rank.len(),
+        case.ranks,
+        "{tag}: rank count ({case:?})"
+    );
+    assert_eq!(
+        report.stats.collective_calls, baseline.stats.collective_calls,
+        "{tag}: logical collective calls differ from baseline ({case:?})"
+    );
+    // Payload lower bounds: chunked algorithms may round chunk sizes, so
+    // allow a few bytes of slack per rank of fan-out.
+    let slack = 4 * case.ranks as u64;
+    match op {
+        CollOp::Bcast => {
+            for r in 1..case.ranks {
+                assert!(
+                    inbound(&report, r) + slack >= case.bytes,
+                    "{tag}: rank {r} received {} < {} payload ({case:?})",
+                    inbound(&report, r),
+                    case.bytes
+                );
+            }
+        }
+        CollOp::Reduce => {
+            assert!(
+                inbound(&report, 0) + slack >= case.bytes,
+                "{tag}: root received {} < {} payload ({case:?})",
+                inbound(&report, 0),
+                case.bytes
+            );
+        }
+        _ => {
+            for r in 0..case.ranks {
+                assert!(
+                    inbound(&report, r) + slack >= case.bytes / 2,
+                    "{tag}: rank {r} received {} < {} half-payload ({case:?})",
+                    inbound(&report, r),
+                    case.bytes / 2
+                );
+            }
+        }
+    }
+    report
+}
+
+const BCAST_ALGOS: [CollAlgo; 7] = [
+    CollAlgo::Linear,
+    CollAlgo::Chain,
+    CollAlgo::Pipeline,
+    CollAlgo::Binary,
+    CollAlgo::InOrderBinary,
+    CollAlgo::Binomial,
+    CollAlgo::ScatterAllgather,
+];
+
+const REDUCE_ALGOS: [CollAlgo; 6] = [
+    CollAlgo::Linear,
+    CollAlgo::Chain,
+    CollAlgo::Pipeline,
+    CollAlgo::Binary,
+    CollAlgo::InOrderBinary,
+    CollAlgo::Binomial,
+];
+
+const ALLREDUCE_ALGOS: [CollAlgo; 4] = [
+    CollAlgo::Ring,
+    CollAlgo::RecursiveDoubling,
+    CollAlgo::Rabenseifner,
+    CollAlgo::Binomial,
+];
+
+#[test]
+fn every_bcast_algorithm_moves_the_same_logical_bytes() {
+    forall(4, 0xB04D, |rng| {
+        let case = Case::draw(rng);
+        let baseline = case.run(CollOp::Bcast, CollSel::flat(CollAlgo::Binomial));
+        for algo in BCAST_ALGOS {
+            check_run(&case, CollOp::Bcast, CollSel::flat(algo), &baseline);
+        }
+        check_run(
+            &case,
+            CollOp::Bcast,
+            CollSel::two_level(CollAlgo::Binomial),
+            &baseline,
+        );
+    });
+}
+
+#[test]
+fn every_reduce_algorithm_moves_the_same_logical_bytes() {
+    forall(4, 0x4ED0, |rng| {
+        let case = Case::draw(rng);
+        let baseline = case.run(CollOp::Reduce, CollSel::flat(CollAlgo::Binomial));
+        for algo in REDUCE_ALGOS {
+            check_run(&case, CollOp::Reduce, CollSel::flat(algo), &baseline);
+        }
+        check_run(
+            &case,
+            CollOp::Reduce,
+            CollSel::two_level(CollAlgo::Binomial),
+            &baseline,
+        );
+    });
+}
+
+#[test]
+fn every_allreduce_algorithm_moves_the_same_logical_bytes() {
+    forall(4, 0xA11E, |rng| {
+        let case = Case::draw(rng);
+        let baseline = case.run(CollOp::Allreduce, CollSel::flat(CollAlgo::Ring));
+        for algo in ALLREDUCE_ALGOS {
+            check_run(&case, CollOp::Allreduce, CollSel::flat(algo), &baseline);
+        }
+        check_run(
+            &case,
+            CollOp::Allreduce,
+            CollSel::two_level(CollAlgo::Ring),
+            &baseline,
+        );
+    });
+}

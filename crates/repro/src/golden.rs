@@ -30,8 +30,11 @@ use std::sync::Arc;
 use desim::obs::digest::DigestSink;
 use desim::SimTime;
 use gridapps::Ray2MeshConfig;
-use mpisim::{CommPattern, ExecConfig, FaultPlan, FaultPolicy, MpiImpl, RankCtx, RunReport};
-use netsim::Grid5000Site;
+use mpisim::{
+    CollAlgo, CollConfig, CollOp, CollSel, CommPattern, ExecConfig, FaultPlan, FaultPolicy,
+    MpiImpl, RankCtx, RunReport,
+};
+use netsim::{grid5000_four_sites, Grid5000Site, KernelConfig, Network};
 use npb::{NasBenchmark, NasClass, NasRun};
 
 use crate::scenario::Scenario;
@@ -219,6 +222,81 @@ fn golden_faults(sink: &Arc<DigestSink>, exec: ExecConfig) -> u64 {
     total
 }
 
+/// The four-site testbed for [`golden_coll`], with the closed-form bulk
+/// fast path pinned *off*. Collective phases routinely leave exactly one
+/// flow active while other ranks keep emitting recorder events; the fast
+/// path materializes that flow's round samples at commit time, which
+/// reorders the recorded stream (same events, same times) — and the
+/// digest folds stream order. Pinning the per-round model makes this
+/// scenario's digest identical under both `NETSIM_NO_FAST_PATH` modes,
+/// which the golden and pdes stages then verify.
+fn coll_testbed() -> Scenario {
+    let (mut topo, _sites, nodes) = grid5000_four_sites(2);
+    topo.set_kernel_all(KernelConfig::tuned(4 << 20));
+    let mut placement = vec![nodes[0][0]];
+    for site_nodes in &nodes {
+        placement.extend(site_nodes.iter().copied());
+    }
+    let net = Network::new(topo);
+    net.set_bulk_fast_path(false);
+    Scenario::custom(net, placement, MpiImpl::Mpich2)
+}
+
+/// The collective algorithm suite on the four-site grid: a 64 kB bcast
+/// sweep and a 256 kB allreduce sweep, one sub-run per selectable
+/// algorithm (two-level variants included), on the 9-rank ray2mesh
+/// placement — deliberately non-power-of-two so the shape-degradation
+/// paths (Rabenseifner -> recursive doubling, etc.) are pinned too.
+fn golden_coll(sink: &Arc<DigestSink>, exec: ExecConfig) -> u64 {
+    let mut total = 0;
+    let bcast_sels = [
+        ("bcast_linear", CollSel::flat(CollAlgo::Linear)),
+        ("bcast_chain", CollSel::flat(CollAlgo::Chain)),
+        ("bcast_pipeline", CollSel::flat(CollAlgo::Pipeline)),
+        ("bcast_binary", CollSel::flat(CollAlgo::Binary)),
+        ("bcast_inorder", CollSel::flat(CollAlgo::InOrderBinary)),
+        ("bcast_binomial", CollSel::flat(CollAlgo::Binomial)),
+        (
+            "bcast_2lvl_binomial",
+            CollSel::two_level(CollAlgo::Binomial),
+        ),
+    ];
+    for (label, sel) in bcast_sels {
+        let coll = CollConfig::new().pin_all(CollOp::Bcast, sel);
+        let report = coll_testbed()
+            .exec(exec.pattern(CommPattern::General).coll(coll))
+            .recorder(sink.clone())
+            .run(|mut ctx: RankCtx| async move {
+                for _ in 0..2 {
+                    ctx.bcast(0, 64 << 10).await;
+                }
+            })
+            .expect("golden coll bcast completes");
+        total += seal(sink, label, &report);
+    }
+    let allreduce_sels = [
+        ("allreduce_ring", CollSel::flat(CollAlgo::Ring)),
+        ("allreduce_rd", CollSel::flat(CollAlgo::RecursiveDoubling)),
+        ("allreduce_rab", CollSel::flat(CollAlgo::Rabenseifner)),
+        ("allreduce_binomial", CollSel::flat(CollAlgo::Binomial)),
+        ("allreduce_2lvl_ring", CollSel::two_level(CollAlgo::Ring)),
+    ];
+    for (label, sel) in allreduce_sels {
+        let coll = CollConfig::new().pin_all(CollOp::Allreduce, sel);
+        let report = coll_testbed()
+            .exec(exec.pattern(CommPattern::General).coll(coll))
+            .recorder(sink.clone())
+            .run(|mut ctx: RankCtx| async move {
+                for _ in 0..2 {
+                    ctx.allreduce(256 << 10).await;
+                }
+            })
+            .expect("golden coll allreduce completes");
+        total += seal(sink, label, &report);
+    }
+    total
+}
+
 /// A golden scenario runner: feeds the sink, returns total elapsed ns.
 /// The [`ExecConfig`] selects classic vs PDES execution; each scenario
 /// fixes its own [`CommPattern`] (pairs are site-disjoint; collectives
@@ -233,6 +311,7 @@ pub const SCENARIOS: &[(&str, GoldenFn)] = &[
     ("nas", golden_nas),
     ("ray2mesh", golden_ray2mesh),
     ("faults", golden_faults),
+    ("coll", golden_coll),
 ];
 
 /// Recompute one scenario's digest.

@@ -10,7 +10,10 @@
 
 use desim::SimTime;
 use gridapps::Ray2MeshConfig;
-use mpisim::{FaultPlan, FaultPolicy, MpiImpl};
+use mpisim::{
+    CollAlgo, CollConfig, CollOp, CollSel, ExecConfig, FaultPlan, FaultPolicy, MpiImpl, MpiProgram,
+    RankCtx,
+};
 use netsim::Grid5000Site;
 
 use crate::pingpong::{pingpong, Stack};
@@ -220,6 +223,201 @@ fn blame_rndv_handshake() -> Result<String, String> {
     ))
 }
 
+/// Virtual elapsed seconds for `program` on the tuned 16-rank testbed
+/// (LAN cluster or four-site WAN), with `coll` pinning algorithms.
+fn coll_elapsed(wan: bool, coll: CollConfig, program: impl MpiProgram) -> f64 {
+    let (net, placement) = crate::autotune::testbed(wan);
+    Scenario::custom(net, placement, MpiImpl::Mpich2)
+        .tuning(TuningLevel::FullyTuned.tuning(MpiImpl::Mpich2))
+        .exec(ExecConfig::new().coll(coll))
+        .deadline(SimTime::from_nanos(600_000_000_000))
+        .run(program)
+        .expect("collective guideline run completes")
+        .elapsed
+        .as_secs_f64()
+}
+
+/// Hunold guideline Bcast <= Scatter + Allgather: a broadcast must not be
+/// slower than re-expressing it as a scatter of 1/p blocks followed by an
+/// allgather — that decomposition is itself a valid bcast, so a tuned
+/// library can always adopt it. "Tuned" is the operative word: the bcast
+/// side is the best selectable algorithm (what `repro autotune-coll`
+/// would pick), not whatever the profile defaults to.
+fn coll_bcast_le_scatter_allgather() -> Result<String, String> {
+    let bytes = 256u64 << 10;
+    let each = bytes / 16;
+    let bcast = [
+        CollAlgo::ProfileDefault,
+        CollAlgo::ScatterAllgather,
+        CollAlgo::Pipeline,
+        CollAlgo::Binary,
+        CollAlgo::Binomial,
+    ]
+    .into_iter()
+    .map(|algo| {
+        coll_elapsed(
+            false,
+            CollConfig::new().pin_all(CollOp::Bcast, CollSel::flat(algo)),
+            move |mut ctx: RankCtx| async move {
+                for _ in 0..4 {
+                    ctx.bcast(0, bytes).await;
+                }
+            },
+        )
+    })
+    .fold(f64::INFINITY, f64::min);
+    let split = coll_elapsed(
+        false,
+        CollConfig::new(),
+        move |mut ctx: RankCtx| async move {
+            for _ in 0..4 {
+                ctx.scatter(0, each).await;
+                ctx.allgather(each).await;
+            }
+        },
+    );
+    if bcast > split * 1.05 {
+        return Err(format!(
+            "bcast(256k) {:.3} ms slower than scatter+allgather {:.3} ms on the 16-rank cluster",
+            bcast * 1e3,
+            split * 1e3
+        ));
+    }
+    Ok(format!(
+        "bcast(256k) {:.3} ms <= scatter+allgather {:.3} ms",
+        bcast * 1e3,
+        split * 1e3
+    ))
+}
+
+/// Hunold guideline Allreduce <= Reduce + Bcast: the fused operation must
+/// not lose to its obvious two-step decomposition.
+fn coll_allreduce_le_reduce_bcast() -> Result<String, String> {
+    let bytes = 256u64 << 10;
+    let fused = coll_elapsed(
+        false,
+        CollConfig::new(),
+        move |mut ctx: RankCtx| async move {
+            for _ in 0..4 {
+                ctx.allreduce(bytes).await;
+            }
+        },
+    );
+    let split = coll_elapsed(
+        false,
+        CollConfig::new(),
+        move |mut ctx: RankCtx| async move {
+            for _ in 0..4 {
+                ctx.reduce(0, bytes).await;
+                ctx.bcast(0, bytes).await;
+            }
+        },
+    );
+    if fused > split * 1.05 {
+        return Err(format!(
+            "allreduce(256k) {:.3} ms slower than reduce+bcast {:.3} ms on the 16-rank cluster",
+            fused * 1e3,
+            split * 1e3
+        ));
+    }
+    Ok(format!(
+        "allreduce(256k) {:.3} ms <= reduce+bcast {:.3} ms",
+        fused * 1e3,
+        split * 1e3
+    ))
+}
+
+/// Monotone in size: with the algorithm pinned (no threshold switches),
+/// a larger payload must never finish faster — binomial bcast and ring
+/// allreduce, 1 kB to 4 MB on the cluster.
+fn coll_monotone_in_size() -> Result<String, String> {
+    const SIZES: [u64; 4] = [1 << 10, 16 << 10, 256 << 10, 4 << 20];
+    fn assert_monotone(what: &str, times: &[f64]) -> Result<(), String> {
+        for w in 0..times.len() - 1 {
+            if times[w] > times[w + 1] * 1.01 {
+                return Err(format!(
+                    "{what} not monotone: {} takes {:.4} ms but {} takes {:.4} ms",
+                    size_label(SIZES[w]),
+                    times[w] * 1e3,
+                    size_label(SIZES[w + 1]),
+                    times[w + 1] * 1e3
+                ));
+            }
+        }
+        Ok(())
+    }
+    let bcast: Vec<f64> = SIZES
+        .iter()
+        .map(|&bytes| {
+            coll_elapsed(
+                false,
+                CollConfig::new().pin_all(CollOp::Bcast, CollSel::flat(CollAlgo::Binomial)),
+                move |mut ctx: RankCtx| async move {
+                    for _ in 0..2 {
+                        ctx.bcast(0, bytes).await;
+                    }
+                },
+            )
+        })
+        .collect();
+    assert_monotone("binomial bcast", &bcast)?;
+    let allreduce: Vec<f64> = SIZES
+        .iter()
+        .map(|&bytes| {
+            coll_elapsed(
+                false,
+                CollConfig::new().pin_all(CollOp::Allreduce, CollSel::flat(CollAlgo::Ring)),
+                move |mut ctx: RankCtx| async move {
+                    for _ in 0..2 {
+                        ctx.allreduce(bytes).await;
+                    }
+                },
+            )
+        })
+        .collect();
+    assert_monotone("ring allreduce", &allreduce)?;
+    Ok("binomial bcast and ring allreduce nondecreasing over 1k..4M".into())
+}
+
+/// On the four-site WAN the grid-aware two-level variant must not lose to
+/// its flat counterpart: equal for binomial (the contiguous-placement
+/// binomial tree already decomposes site-by-site) and strictly better for
+/// the pipeline family, whose flat chain crosses the WAN once per hop.
+fn coll_two_level_le_flat_wan() -> Result<String, String> {
+    let bytes = 64u64 << 10;
+    let time = |sel: CollSel| {
+        coll_elapsed(
+            true,
+            CollConfig::new().pin_all(CollOp::Bcast, sel),
+            move |mut ctx: RankCtx| async move {
+                for _ in 0..4 {
+                    ctx.bcast(0, bytes).await;
+                }
+            },
+        )
+    };
+    let mut parts = Vec::new();
+    for algo in [CollAlgo::Binomial, CollAlgo::Pipeline] {
+        let flat = time(CollSel::flat(algo));
+        let two = time(CollSel::two_level(algo));
+        if two > flat * 1.001 {
+            return Err(format!(
+                "two-level {} bcast(64k) {:.3} ms slower than flat {:.3} ms on the four-site WAN",
+                algo.name(),
+                two * 1e3,
+                flat * 1e3
+            ));
+        }
+        parts.push(format!(
+            "{}: 2lvl {:.1} ms <= flat {:.1} ms",
+            algo.name(),
+            two * 1e3,
+            flat * 1e3
+        ));
+    }
+    Ok(parts.join("; "))
+}
+
 const GUIDELINES: &[Guideline] = &[
     Guideline {
         name: "eager-rendezvous-crossover",
@@ -251,6 +449,26 @@ const GUIDELINES: &[Guideline] = &[
         name: "blame-rndv-handshake",
         claim: "blame charges rendezvous >= 1 extra WAN RTT of handshake vs eager at the crossover",
         check: blame_rndv_handshake,
+    },
+    Guideline {
+        name: "coll-bcast-le-scatter-allgather",
+        claim: "bcast is never slower than its scatter+allgather decomposition (Hunold)",
+        check: coll_bcast_le_scatter_allgather,
+    },
+    Guideline {
+        name: "coll-allreduce-le-reduce-bcast",
+        claim: "allreduce is never slower than reduce followed by bcast (Hunold)",
+        check: coll_allreduce_le_reduce_bcast,
+    },
+    Guideline {
+        name: "coll-monotone-in-size",
+        claim: "with the algorithm pinned, a larger payload never finishes faster",
+        check: coll_monotone_in_size,
+    },
+    Guideline {
+        name: "coll-two-level-le-flat-wan",
+        claim: "on the four-site WAN, two-level variants never lose to their flat counterparts",
+        check: coll_two_level_le_flat_wan,
     },
 ];
 

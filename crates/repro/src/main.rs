@@ -4,6 +4,7 @@
 
 mod ablation;
 mod analysis;
+mod autotune;
 mod blame;
 mod faults;
 mod g2;
@@ -175,6 +176,7 @@ fn main() {
         "blame" => blame::cmd_blame(&args[1..]),
         "profile" => profile::cmd_profile(&args[1..]),
         "timeline" => profile::cmd_timeline(&args[1..]),
+        "autotune-coll" => autotune::cmd_autotune_coll(&args[1..]),
         "golden" => golden::cmd_golden(&args),
         "guidelines" => guidelines::cmd_guidelines(&args[1..]),
         "validate" => cmd_validate(&args[1..]),
@@ -216,6 +218,7 @@ fn main() {
                  profile [pingpong|nas|ray2mesh|faults] [--domain host|virtual] \
                  [--format folded|speedscope]|\
                  timeline [pingpong|nas|ray2mesh|faults] [--window MS]|\
+                 autotune-coll [--quick] [--check] [--cache FILE]|\
                  golden <record|check> [--dir DIR]|guidelines [NAME ...]|\
                  validate FILE [--require-event NAME] [--summary]|all> \
                  [--class-a] [--dat DIR] [--trace-out FILE] [--metrics FILE]"

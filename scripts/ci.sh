@@ -1,7 +1,7 @@
 #!/bin/sh
 # Staged offline CI for the whole simulator.
 #
-#     scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|profile|ranks|pdes|bench|all]
+#     scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|profile|ranks|pdes|collectives|bench|all]
 #
 # Each stage is independently runnable and timed; `all` (the default)
 # runs them in order. The workspace has zero external dependencies, so
@@ -28,6 +28,12 @@
 #           corpus bit for bit at 1, 2 and 4 workers, a 4-worker ring
 #           smoke completes, and `bench pdes` meets the speedup floor
 #           on hosts with enough cores (PDES_MIN_SPEEDUP, default 2.0)
+#   collectives
+#           the selectable collective-algorithm suite: every algorithm
+#           is semantically equivalent to the baseline (property test),
+#           tags never collide across ops (regression), a quick
+#           autotune sweep finds a LAN/WAN algorithm divergence, and
+#           the four collective guidelines hold, each named in output
 #   bench   deterministic event counts match BENCH_baseline.json
 set -eu
 cd "$(dirname "$0")/.."
@@ -192,6 +198,28 @@ stage_pdes() {
     fi
 }
 
+stage_collectives() {
+    release_bins
+    # Algorithm equivalence: every selectable bcast/reduce/allreduce
+    # algorithm moves the same logical bytes with identical completion
+    # semantics across random (ranks, sizes, topology) draws — and
+    # collective tags never collide across op kinds.
+    cargo test -q --offline -p mpisim --test coll_equivalence
+    cargo test -q --offline -p mpisim --test coll_tag_regression
+    # Autotune sweep smoke: the quick grid must run end to end and find
+    # at least one (op, size class) whose winning algorithm differs
+    # between the LAN and the four-site WAN (--check enforces that).
+    ./target/release/repro autotune-coll --quick --check \
+        --cache target/autotune_coll_cache.json
+    # The four collective guidelines, each named in stage output. A
+    # violated guideline fails the stage with its name on the FAIL line.
+    ./target/release/repro guidelines \
+        coll-bcast-le-scatter-allgather \
+        coll-allreduce-le-reduce-bcast \
+        coll-monotone-in-size \
+        coll-two-level-le-flat-wan
+}
+
 stage_bench() {
     release_bins
     # `bench smoke` itself asserts exact events counts against the
@@ -201,6 +229,11 @@ stage_bench() {
     # events check above is the real gate.
     ./target/release/bench smoke --json target/bench_smoke.json
     ./target/release/bench compare BENCH_baseline.json target/bench_smoke.json \
+        --threshold 400
+    # Collective-algorithm suite: wire-message counts are deterministic,
+    # so the compare gates every coll/* entry exactly.
+    ./target/release/bench coll --json target/bench_coll.json --baseline none
+    ./target/release/bench compare BENCH_baseline.json target/bench_coll.json \
         --threshold 400
 }
 
@@ -213,17 +246,17 @@ run_stage() {
 }
 
 case "${1:-all}" in
-fmt | clippy | build | test | smoke | golden | blame | profile | ranks | pdes | bench)
+fmt | clippy | build | test | smoke | golden | blame | profile | ranks | pdes | collectives | bench)
     run_stage "$1"
     ;;
 all)
-    for _s in fmt clippy build test smoke golden blame profile ranks pdes bench; do
+    for _s in fmt clippy build test smoke golden blame profile ranks pdes collectives bench; do
         run_stage "${_s}"
     done
     echo "==> ci: all stages passed"
     ;;
 *)
-    echo "usage: scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|profile|ranks|pdes|bench|all]" >&2
+    echo "usage: scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|profile|ranks|pdes|collectives|bench|all]" >&2
     exit 2
     ;;
 esac
