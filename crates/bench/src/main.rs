@@ -18,7 +18,8 @@
 //! analyzer cost), `profile` (host self-profiler overhead, gated ≤5%),
 //! `faults` (lossy-path and fault-tolerance overhead), `ranks`
 //! (rank-scale execution engine), `pdes` (sharded-PDES wall-clock
-//! scaling), `smoke` (a quick CI subset).
+//! scaling), `campaign` (sweep engine cold vs warm result cache),
+//! `smoke` (a quick CI subset).
 //! No groups = all of them except `smoke`.
 //!
 //! The `smoke` group doubles as a regression gate: after it runs, every
@@ -165,6 +166,7 @@ fn main() {
         "faults",
         "ranks",
         "pdes",
+        "campaign",
     ];
     let groups: Vec<&str> = if groups.is_empty() {
         all.to_vec()
@@ -192,6 +194,7 @@ fn main() {
             "faults" => group_faults(&mut h),
             "ranks" => group_ranks(&mut h),
             "pdes" => group_pdes(&mut h),
+            "campaign" => group_campaign(&mut h),
             "smoke" => group_smoke(&mut h),
             other => eprintln!("unknown group: {other}"),
         }
@@ -889,6 +892,50 @@ fn group_faults(h: &mut Harness) {
         black_box(report.elapsed);
         0
     });
+}
+
+/// The campaign sweep engine, cold cache vs warm: `events` is the
+/// deterministic run count, so the baseline compare gates the spec shape
+/// exactly, and the note records the cache speedup.
+fn group_campaign(h: &mut Harness) {
+    use repro::campaign::{run, CampaignConfig, Spec};
+    let dir = std::path::PathBuf::from("target/bench_campaign");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create target/bench_campaign");
+    let cfg = |label: &str, cache: &str| {
+        let mut c = CampaignConfig::new(Spec::Tiny);
+        c.label = label.to_string();
+        c.ledger_dir = dir.join("ledger");
+        c.cache_path = dir.join(cache);
+        c.heartbeat_secs = None;
+        c.quiet = true;
+        c
+    };
+    let mut secs = [0.0f64; 2];
+    h.bench("campaign/tiny_cold", || {
+        let c = cfg("cold", "cold_cache.json");
+        let _ = std::fs::remove_file(&c.cache_path);
+        let r = run(&c).expect("cold campaign runs");
+        assert_eq!(r.cache_hits, 0, "cold run must simulate everything");
+        secs[0] = r.host_secs;
+        r.runs as u64
+    });
+    // Warm the shared cache once, then every timed iteration replays.
+    run(&cfg("warmup", "warm_cache.json")).expect("cache warm-up runs");
+    h.bench("campaign/tiny_warm", || {
+        let c = cfg("warm", "warm_cache.json");
+        let r = run(&c).expect("warm campaign runs");
+        assert_eq!(r.cache_hits, r.runs, "warm run must be 100% cache hits");
+        secs[1] = r.host_secs;
+        r.runs as u64
+    });
+    h.note(&format!(
+        "{{\"name\": \"campaign/cache_speedup_tiny\", \"cold_secs\": {:.6e}, \
+         \"warm_secs\": {:.6e}, \"speedup\": {:.2}}}",
+        secs[0],
+        secs[1],
+        secs[0] / secs[1].max(1e-9)
+    ));
 }
 
 /// Quick CI subset: one benchmark per layer.

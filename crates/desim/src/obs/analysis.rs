@@ -468,6 +468,23 @@ impl Analysis {
         }
     }
 
+    /// Aggregate transfer decomposition across all flows.
+    pub fn flow_totals(&self) -> FlowTotals {
+        let mut t = FlowTotals {
+            flows: self.flows.len(),
+            ..FlowTotals::default()
+        };
+        for f in &self.flows {
+            t.slow_start += f.slow_start_secs;
+            t.window_limited += f.window_limited_secs;
+            t.cong_avoid += f.cong_avoid_secs;
+            t.rto_stall += f.rto_stall_secs;
+            t.outage += f.outage_secs;
+            t.wire += f.wire_secs;
+        }
+        t
+    }
+
     /// Aggregate slow-start share across all flows (duration-weighted).
     pub fn slow_start_share(&self) -> f64 {
         let total: f64 = self.flows.iter().map(FlowBlame::duration_secs).sum();
@@ -480,6 +497,50 @@ impl Analysis {
             .map(|f| f.slow_start_secs + f.window_limited_secs)
             .sum();
         ss / total
+    }
+}
+
+/// Aggregate transfer decomposition over every flow in an analysis — the
+/// per-bucket seconds the blame report and the campaign ledger both emit.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FlowTotals {
+    /// Flow count.
+    pub flows: usize,
+    /// Total slow-start ramp seconds.
+    pub slow_start: f64,
+    /// Total window-limited stagnation seconds.
+    pub window_limited: f64,
+    /// Total congestion-avoidance seconds.
+    pub cong_avoid: f64,
+    /// Total RTO-stall seconds.
+    pub rto_stall: f64,
+    /// Total fault-outage seconds.
+    pub outage: f64,
+    /// Total sub-RTT wire seconds.
+    pub wire: f64,
+}
+
+impl FlowTotals {
+    /// Sum of every bucket.
+    pub fn total(&self) -> f64 {
+        self.slow_start
+            + self.window_limited
+            + self.cong_avoid
+            + self.rto_stall
+            + self.outage
+            + self.wire
+    }
+
+    /// The buckets as `(name, seconds)` rows, in report order.
+    pub fn rows(&self) -> [(&'static str, f64); 6] {
+        [
+            ("slow_start", self.slow_start),
+            ("window_limited", self.window_limited),
+            ("cong_avoid", self.cong_avoid),
+            ("rto_stall", self.rto_stall),
+            ("outage", self.outage),
+            ("wire", self.wire),
+        ]
     }
 }
 

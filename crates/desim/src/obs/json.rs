@@ -106,6 +106,73 @@ pub fn parse(input: &str) -> Result<Value, (usize, String)> {
     Ok(v)
 }
 
+/// Serialize a [`Value`] back to canonical JSON text. The output is the
+/// exact inverse of [`parse`]: `parse(&write(&v)) == v` for every finite
+/// tree (non-finite numbers, which [`parse`] can never produce, fall back
+/// to `null`). Numbers use Rust's shortest round-trip formatting, object
+/// keys keep their document order, and no whitespace is emitted — so a
+/// parse → write cycle is idempotent and byte-stable, which is what the
+/// campaign ledger's byte-identity contract rests on.
+pub fn write(v: &Value) -> String {
+    let mut out = String::new();
+    write_into(v, &mut out);
+    out
+}
+
+fn write_into(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => {
+            if n.is_finite() {
+                out.push_str(&format!("{n}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_str(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_into(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(members) => {
+            out.push('{');
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_str(k, out);
+                out.push(':');
+                write_into(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 /// Nesting guard: exported traces are at most a few levels deep; this
 /// bound only exists so corrupt input can't overflow the stack.
 const MAX_DEPTH: usize = 128;
@@ -559,6 +626,46 @@ mod tests {
         // One past the guard still fails, parse and validate alike.
         let over = "[".repeat(129) + &"]".repeat(129);
         assert!(parse(&over).is_err());
+    }
+
+    use super::write;
+
+    #[test]
+    fn write_round_trips_through_parse() {
+        for text in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-12.5",
+            "1e-9",
+            r#""a\n\t\"\\é b""#,
+            "[]",
+            "{}",
+            r#"[1,[2,{"k":null}],"s"]"#,
+            r#"{"name":"tcp/wan","events":5,"secs":0.0015,"ok":true,"x":null,"tags":["a","b"]}"#,
+        ] {
+            let v = parse(text).unwrap();
+            let emitted = write(&v);
+            assert_eq!(parse(&emitted).unwrap(), v, "round trip of {text:?}");
+            // Writing is idempotent: a second cycle is byte-identical.
+            assert_eq!(write(&parse(&emitted).unwrap()), emitted);
+        }
+    }
+
+    #[test]
+    fn write_preserves_key_order_and_escapes() {
+        let v = Value::Obj(vec![
+            ("z".to_string(), Value::Num(1.0)),
+            ("a\n".to_string(), Value::Str("\"quote\\".to_string())),
+        ]);
+        assert_eq!(write(&v), r#"{"z":1,"a\n":"\"quote\\"}"#);
+    }
+
+    #[test]
+    fn write_maps_non_finite_to_null() {
+        assert_eq!(write(&Value::Num(f64::NAN)), "null");
+        assert_eq!(write(&Value::Num(f64::INFINITY)), "null");
     }
 
     #[test]

@@ -1,0 +1,364 @@
+//! The campaign run ledger: a durable, append-only JSONL record of every
+//! scenario a sweep executed, one self-describing row per line.
+//!
+//! A ledger file has three row kinds, discriminated by `"kind"`:
+//!
+//! - `campaign` — one header row: campaign label, spec name, schema.
+//! - `run` — one row per executed scenario: config fingerprint, event
+//!   digest, virtual elapsed, blame decomposition, metrics snapshot.
+//! - `summary` — one closing row: totals, cache hits, and the
+//!   campaign-level guideline outcomes.
+//!
+//! Every field except `host_ns` and `cached` is a pure function of the
+//! configuration, so two ledgers produced from the same spec must be
+//! byte-identical after [`normalize_line`] — the reproducibility contract
+//! `repro ledger diff` checks and CI enforces. Rows serialize via
+//! [`super::json::write`], whose parse → write cycle is idempotent, so a
+//! row survives any number of read/rewrite hops unchanged.
+
+use super::json::{parse, write, Value};
+
+/// Ledger schema version; bump on any row-shape change so old ledgers
+/// fail validation loudly instead of mis-parsing.
+pub const SCHEMA: u64 = 1;
+
+/// One executed scenario, as recorded in the ledger.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRow {
+    /// Campaign label the row belongs to.
+    pub campaign: String,
+    /// Execution order within the campaign (0-based).
+    pub seq: u64,
+    /// Stable scenario key — the cross-campaign match key `diff`/`top`
+    /// join on. Same spec ⇒ same set of scenario keys.
+    pub scenario: String,
+    /// 16-hex FNV-1a fingerprint of the full configuration (including
+    /// perturbations); any config change moves the fingerprint.
+    pub fingerprint: String,
+    /// The configuration axes, as an object of primitive values.
+    pub axes: Value,
+    /// 32-hex streaming digest of the structured event stream.
+    pub digest: String,
+    /// Structured events the digest absorbed.
+    pub events: u64,
+    /// Virtual elapsed nanoseconds.
+    pub elapsed_ns: u64,
+    /// Whether the run drained every message.
+    pub clean: bool,
+    /// Blame decomposition: bucket name → seconds (plus `*_share` rates).
+    pub blame: Value,
+    /// Metrics-registry snapshot (counters by event kind).
+    pub metrics: Value,
+    /// True when the row was replayed from the result cache instead of
+    /// simulated. Zeroed by [`RunRow::normalized`].
+    pub cached: bool,
+    /// Host wall-clock nanoseconds the run (or cache hit) took. Zeroed by
+    /// [`RunRow::normalized`].
+    pub host_ns: u64,
+}
+
+impl RunRow {
+    /// Serialize to one canonical JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        write(&self.to_value())
+    }
+
+    /// The row as a JSON value, fields in schema order.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("kind".into(), Value::Str("run".into())),
+            ("schema".into(), Value::Num(SCHEMA as f64)),
+            ("campaign".into(), Value::Str(self.campaign.clone())),
+            ("seq".into(), Value::Num(self.seq as f64)),
+            ("scenario".into(), Value::Str(self.scenario.clone())),
+            ("fingerprint".into(), Value::Str(self.fingerprint.clone())),
+            ("axes".into(), self.axes.clone()),
+            ("digest".into(), Value::Str(self.digest.clone())),
+            ("events".into(), Value::Num(self.events as f64)),
+            ("elapsed_ns".into(), Value::Num(self.elapsed_ns as f64)),
+            ("clean".into(), Value::Bool(self.clean)),
+            ("blame".into(), self.blame.clone()),
+            ("metrics".into(), self.metrics.clone()),
+            ("cached".into(), Value::Bool(self.cached)),
+            ("host_ns".into(), Value::Num(self.host_ns as f64)),
+        ])
+    }
+
+    /// Parse one JSONL line back into a row, validating as it goes.
+    pub fn from_line(line: &str) -> Result<RunRow, String> {
+        let v = parse(line).map_err(|(pos, msg)| format!("invalid JSON at byte {pos}: {msg}"))?;
+        RunRow::from_value(&v)
+    }
+
+    /// Extract a run row from a parsed value.
+    pub fn from_value(v: &Value) -> Result<RunRow, String> {
+        if v.get("kind").and_then(Value::as_str) != Some("run") {
+            return Err("not a run row (kind != \"run\")".into());
+        }
+        validate_value(v)?;
+        let s = |k: &str| v.get(k).and_then(Value::as_str).unwrap().to_string();
+        let n = |k: &str| v.get(k).and_then(Value::as_u64).unwrap();
+        let b = |k: &str| matches!(v.get(k), Some(Value::Bool(true)));
+        Ok(RunRow {
+            campaign: s("campaign"),
+            seq: n("seq"),
+            scenario: s("scenario"),
+            fingerprint: s("fingerprint"),
+            axes: v.get("axes").unwrap().clone(),
+            digest: s("digest"),
+            events: n("events"),
+            elapsed_ns: n("elapsed_ns"),
+            clean: b("clean"),
+            blame: v.get("blame").unwrap().clone(),
+            metrics: v.get("metrics").unwrap().clone(),
+            cached: b("cached"),
+            host_ns: n("host_ns"),
+        })
+    }
+
+    /// The row with host-time fields zeroed: `host_ns` → 0, `cached` →
+    /// false. Two same-spec campaigns must agree exactly on the
+    /// normalized rows.
+    pub fn normalized(&self) -> RunRow {
+        RunRow {
+            cached: false,
+            host_ns: 0,
+            ..self.clone()
+        }
+    }
+}
+
+/// Required fields of a `run` row: name, expected shape.
+const RUN_FIELDS: &[(&str, Shape)] = &[
+    ("kind", Shape::Str),
+    ("schema", Shape::Uint),
+    ("campaign", Shape::Str),
+    ("seq", Shape::Uint),
+    ("scenario", Shape::Str),
+    ("fingerprint", Shape::Hex(16)),
+    ("axes", Shape::Obj),
+    ("digest", Shape::Hex(32)),
+    ("events", Shape::Uint),
+    ("elapsed_ns", Shape::Uint),
+    ("clean", Shape::Bool),
+    ("blame", Shape::Obj),
+    ("metrics", Shape::Obj),
+    ("cached", Shape::Bool),
+    ("host_ns", Shape::Uint),
+];
+
+#[derive(Clone, Copy)]
+enum Shape {
+    Str,
+    Uint,
+    Bool,
+    Obj,
+    Hex(usize),
+}
+
+fn check_shape(v: &Value, shape: Shape) -> Result<(), &'static str> {
+    match shape {
+        Shape::Str if v.as_str().is_some() => Ok(()),
+        Shape::Uint if v.as_u64().is_some() => Ok(()),
+        Shape::Bool if matches!(v, Value::Bool(_)) => Ok(()),
+        Shape::Obj if matches!(v, Value::Obj(_)) => Ok(()),
+        Shape::Hex(len) => match v.as_str() {
+            Some(s) if s.len() == len && s.bytes().all(|b| b.is_ascii_hexdigit()) => Ok(()),
+            _ => Err("expected a fixed-length lowercase hex string"),
+        },
+        Shape::Str => Err("expected a string"),
+        Shape::Uint => Err("expected a non-negative integer"),
+        Shape::Bool => Err("expected a boolean"),
+        Shape::Obj => Err("expected an object"),
+    }
+}
+
+/// Validate one parsed ledger row of any kind. `campaign` and `summary`
+/// rows only need their discriminator, schema and campaign label; `run`
+/// rows are held to the full schema.
+pub fn validate_value(v: &Value) -> Result<(), String> {
+    let kind = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("row has no \"kind\" field")?;
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_u64)
+        .ok_or("row has no integer \"schema\" field")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema} != supported {SCHEMA}"));
+    }
+    match kind {
+        "run" => {
+            for (name, shape) in RUN_FIELDS {
+                let field = v.get(name).ok_or(format!("missing field {name:?}"))?;
+                check_shape(field, *shape).map_err(|e| format!("field {name:?}: {e}"))?;
+            }
+            // Blame values must be finite numbers — a NaN here would make
+            // `ledger top` rank garbage.
+            if let Some(Value::Obj(members)) = v.get("blame") {
+                for (k, val) in members {
+                    match val {
+                        Value::Num(n) if n.is_finite() => {}
+                        _ => return Err(format!("blame[{k:?}] is not a finite number")),
+                    }
+                }
+            }
+            Ok(())
+        }
+        "campaign" | "summary" => {
+            v.get("campaign")
+                .and_then(Value::as_str)
+                .ok_or(format!("{kind} row has no \"campaign\" string"))?;
+            Ok(())
+        }
+        other => Err(format!("unknown row kind {other:?}")),
+    }
+}
+
+/// Validate one JSONL line (any row kind).
+pub fn validate_line(line: &str) -> Result<(), String> {
+    let v = parse(line).map_err(|(pos, msg)| format!("invalid JSON at byte {pos}: {msg}"))?;
+    validate_value(&v)
+}
+
+/// Canonicalize one ledger line for byte comparison: parse, zero the
+/// host-time fields of `run` and `summary` rows (`host_ns`, `cached`,
+/// `cache_hits`, `host_secs`), and re-serialize. Non-run rows pass
+/// through the same parse → write cycle so whitespace differences can't
+/// defeat the comparison either.
+pub fn normalize_line(line: &str) -> Result<String, String> {
+    let v = parse(line).map_err(|(pos, msg)| format!("invalid JSON at byte {pos}: {msg}"))?;
+    validate_value(&v)?;
+    let Value::Obj(members) = v else {
+        return Err("ledger row is not an object".into());
+    };
+    let members = members
+        .into_iter()
+        .map(|(k, val)| {
+            let val = match k.as_str() {
+                "host_ns" | "cache_hits" => Value::Num(0.0),
+                "host_secs" => Value::Num(0.0),
+                "cached" => Value::Bool(false),
+                _ => val,
+            };
+            (k, val)
+        })
+        .collect();
+    Ok(write(&Value::Obj(members)))
+}
+
+/// Parse a whole ledger document: validate every non-empty line, return
+/// the run rows in file order. Errors name the offending line number.
+pub fn read_runs(text: &str) -> Result<Vec<RunRow>, String> {
+    let mut runs = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line)
+            .map_err(|(pos, msg)| format!("line {}: invalid JSON at byte {pos}: {msg}", i + 1))?;
+        validate_value(&v).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if v.get("kind").and_then(Value::as_str) == Some("run") {
+            runs.push(RunRow::from_value(&v).map_err(|e| format!("line {}: {e}", i + 1))?);
+        }
+    }
+    Ok(runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunRow {
+        RunRow {
+            campaign: "a".into(),
+            seq: 3,
+            scenario: "pp_1m|MPICH2|default|grid|loss0".into(),
+            fingerprint: "00f1e2d3c4b5a697".into(),
+            axes: Value::Obj(vec![
+                ("workload".into(), Value::Str("pp_1m".into())),
+                ("loss".into(), Value::Num(0.001)),
+            ]),
+            digest: "0123456789abcdef0123456789abcdef".into(),
+            events: 42,
+            elapsed_ns: 1_234_567,
+            clean: true,
+            blame: Value::Obj(vec![
+                ("slow_start".into(), Value::Num(0.25)),
+                ("wire".into(), Value::Num(0.5)),
+            ]),
+            metrics: Value::Obj(vec![("events.mpi_span".into(), Value::Num(4.0))]),
+            cached: true,
+            host_ns: 9_999,
+        }
+    }
+
+    #[test]
+    fn line_round_trips_exactly() {
+        let row = sample();
+        let line = row.to_line();
+        validate_line(&line).unwrap();
+        assert_eq!(RunRow::from_line(&line).unwrap(), row);
+        // The value tree round-trips too (the satellite contract: rows
+        // parse back via obs::json::parse to identical values).
+        assert_eq!(parse(&line).unwrap(), row.to_value());
+    }
+
+    #[test]
+    fn normalize_zeroes_host_fields_only() {
+        let row = sample();
+        let norm = normalize_line(&row.to_line()).unwrap();
+        let back = RunRow::from_line(&norm).unwrap();
+        assert_eq!(back, row.normalized());
+        assert!(!back.cached);
+        assert_eq!(back.host_ns, 0);
+        assert_eq!(back.digest, row.digest);
+        assert_eq!(back.elapsed_ns, row.elapsed_ns);
+    }
+
+    #[test]
+    fn validator_rejects_broken_rows() {
+        let good = sample().to_line();
+        for (what, bad) in [
+            ("not json", "{".to_string()),
+            ("no kind", r#"{"schema":1,"campaign":"a"}"#.to_string()),
+            ("bad kind", good.replace("\"run\"", "\"walk\"")),
+            ("bad schema", good.replace("\"schema\":1", "\"schema\":99")),
+            (
+                "short digest",
+                good.replace("0123456789abcdef0123456789abcdef", "0123"),
+            ),
+            (
+                "non-hex fingerprint",
+                good.replace("00f1e2d3c4b5a697", "zzf1e2d3c4b5a697"),
+            ),
+            ("missing field", good.replace("\"events\":42,", "")),
+        ] {
+            assert!(validate_line(&bad).is_err(), "{what} was accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn header_and_summary_rows_validate_loosely() {
+        validate_line(r#"{"kind":"campaign","schema":1,"campaign":"a","spec":"quick"}"#).unwrap();
+        validate_line(r#"{"kind":"summary","schema":1,"campaign":"a","runs":12}"#).unwrap();
+        assert!(validate_line(r#"{"kind":"summary","schema":1}"#).is_err());
+    }
+
+    #[test]
+    fn read_runs_returns_rows_in_order_and_names_bad_lines() {
+        let a = RunRow { seq: 0, ..sample() };
+        let b = RunRow { seq: 1, ..sample() };
+        let text = format!(
+            "{}\n{}\n{}\n",
+            r#"{"kind":"campaign","schema":1,"campaign":"a"}"#,
+            a.to_line(),
+            b.to_line()
+        );
+        let runs = read_runs(&text).unwrap();
+        assert_eq!(runs, vec![a, b]);
+        let err = read_runs("{\"kind\":\"run\"}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+}

@@ -22,6 +22,7 @@ pub mod analysis;
 pub mod digest;
 pub mod export;
 pub mod json;
+pub mod ledger;
 pub mod metrics;
 pub mod profile;
 

@@ -202,60 +202,6 @@ fn sections_for(scenario: &str) -> Vec<Section> {
     }
 }
 
-/// Aggregate flow decomposition of one section.
-struct Buckets {
-    flows: usize,
-    slow_start: f64,
-    window_limited: f64,
-    cong_avoid: f64,
-    rto_stall: f64,
-    outage: f64,
-    wire: f64,
-}
-
-impl Buckets {
-    fn of(a: &Analysis) -> Buckets {
-        let mut b = Buckets {
-            flows: a.flows.len(),
-            slow_start: 0.0,
-            window_limited: 0.0,
-            cong_avoid: 0.0,
-            rto_stall: 0.0,
-            outage: 0.0,
-            wire: 0.0,
-        };
-        for f in &a.flows {
-            b.slow_start += f.slow_start_secs;
-            b.window_limited += f.window_limited_secs;
-            b.cong_avoid += f.cong_avoid_secs;
-            b.rto_stall += f.rto_stall_secs;
-            b.outage += f.outage_secs;
-            b.wire += f.wire_secs;
-        }
-        b
-    }
-
-    fn total(&self) -> f64 {
-        self.slow_start
-            + self.window_limited
-            + self.cong_avoid
-            + self.rto_stall
-            + self.outage
-            + self.wire
-    }
-
-    fn rows(&self) -> [(&'static str, f64); 6] {
-        [
-            ("slow_start", self.slow_start),
-            ("window_limited", self.window_limited),
-            ("cong_avoid", self.cong_avoid),
-            ("rto_stall", self.rto_stall),
-            ("outage", self.outage),
-            ("wire", self.wire),
-        ]
-    }
-}
-
 fn print_text(section: &Section) {
     println!("\n--- {} ---", section.label);
     if !section.detail.is_empty() {
@@ -295,7 +241,7 @@ fn print_text(section: &Section) {
         );
     }
 
-    let b = Buckets::of(a);
+    let b = a.flow_totals();
     let total = b.total();
     println!(
         "transfer decomposition ({} flows, {:.6} s on the wire):",
@@ -369,7 +315,7 @@ fn json_section(s: &Section) -> String {
         })
         .collect::<Vec<_>>()
         .join(",");
-    let b = Buckets::of(a);
+    let b = a.flow_totals();
     let buckets = b
         .rows()
         .iter()
@@ -422,7 +368,7 @@ fn json_section(s: &Section) -> String {
 fn dat_lines(sections: &[Section]) -> String {
     let mut out = String::from("# section bucket secs share\n");
     for s in sections {
-        let b = Buckets::of(&s.analysis);
+        let b = s.analysis.flow_totals();
         let total = b.total().max(f64::MIN_POSITIVE);
         for (name, secs) in b.rows() {
             out.push_str(&format!(

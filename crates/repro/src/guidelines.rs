@@ -472,12 +472,39 @@ const GUIDELINES: &[Guideline] = &[
     },
 ];
 
-/// `repro guidelines [NAME ...]`: verify every guideline (or just the
-/// named subset); non-zero exit naming the violated ones.
+/// `repro guidelines [NAME ...] [--format text|json]`: verify every
+/// guideline (or just the named subset); non-zero exit naming the
+/// violated ones. `--format json` emits one array of
+/// `{name, claim, pass, detail}` objects instead of the text table (the
+/// exit code still reflects failures).
 pub fn cmd_guidelines(args: &[String]) {
+    let json = match args
+        .iter()
+        .position(|a| a == "--format")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("text") => false,
+        Some("json") => true,
+        Some(other) => {
+            eprintln!("unknown format {other:?} (expected text or json)");
+            std::process::exit(2);
+        }
+    };
+    let mut skip_next = false;
     let wanted: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with('-'))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--format" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with('-')
+        })
         .map(String::as_str)
         .collect();
     for w in &wanted {
@@ -494,28 +521,47 @@ pub fn cmd_guidelines(args: &[String]) {
             std::process::exit(2);
         }
     }
-    crate::header("Performance guidelines: the paper's shapes as assertions");
+    if !json {
+        crate::header("Performance guidelines: the paper's shapes as assertions");
+    }
     let mut failed: Vec<&str> = Vec::new();
     let mut checked = 0usize;
+    let mut records: Vec<String> = Vec::new();
     for g in GUIDELINES {
         if !wanted.is_empty() && !wanted.contains(&g.name) {
             continue;
         }
         checked += 1;
-        match (g.check)() {
-            Ok(detail) => {
-                println!("PASS {:<28} {}", g.name, detail);
-            }
-            Err(detail) => {
-                println!("FAIL {:<28} {}", g.name, detail);
-                println!("     claim: {}", g.claim);
-                failed.push(g.name);
-            }
+        let outcome = (g.check)();
+        let (pass, detail) = match &outcome {
+            Ok(detail) => (true, detail),
+            Err(detail) => (false, detail),
+        };
+        if json {
+            records.push(format!(
+                "  {{\"name\": {}, \"claim\": {}, \"pass\": {pass}, \"detail\": {}}}",
+                crate::json_str(g.name),
+                crate::json_str(g.claim),
+                crate::json_str(detail)
+            ));
+        } else if pass {
+            println!("PASS {:<28} {}", g.name, detail);
+        } else {
+            println!("FAIL {:<28} {}", g.name, detail);
+            println!("     claim: {}", g.claim);
         }
+        if !pass {
+            failed.push(g.name);
+        }
+    }
+    if json {
+        println!("[\n{}\n]", records.join(",\n"));
     }
     if !failed.is_empty() {
         eprintln!("\nguideline violations: {}", failed.join(", "));
         std::process::exit(1);
     }
-    println!("\nall {checked} checked guidelines hold");
+    if !json {
+        println!("\nall {checked} checked guidelines hold");
+    }
 }

@@ -11,15 +11,18 @@ mod g2;
 mod golden;
 mod guidelines;
 mod heterogeneity;
+mod ledgercli;
 mod methodology;
 mod nas;
-mod par;
 mod pingpong;
 mod profile;
 mod rays;
-mod scenario;
 mod slowstart;
-mod util;
+
+// The sweep/scenario layer lives in the `repro` library (shared with
+// `bench` and the integration tests); re-export it so the binary's
+// modules keep their `crate::par::...` paths.
+pub(crate) use repro::{par, scenario, util};
 
 use gridapps::Ray2MeshConfig;
 use mpisim::MpiImpl;
@@ -179,6 +182,8 @@ fn main() {
         "autotune-coll" => autotune::cmd_autotune_coll(&args[1..]),
         "golden" => golden::cmd_golden(&args),
         "guidelines" => guidelines::cmd_guidelines(&args[1..]),
+        "campaign" => ledgercli::cmd_campaign(&args[1..]),
+        "ledger" => ledgercli::cmd_ledger(&args[1..]),
         "validate" => cmd_validate(&args[1..]),
         "all" => {
             cmd_testbed();
@@ -219,7 +224,13 @@ fn main() {
                  [--format folded|speedscope]|\
                  timeline [pingpong|nas|ray2mesh|faults] [--window MS]|\
                  autotune-coll [--quick] [--check] [--cache FILE]|\
-                 golden <record|check> [--dir DIR]|guidelines [NAME ...]|\
+                 golden <record|check> [--dir DIR]|\
+                 guidelines [NAME ...] [--format text|json]|\
+                 campaign [--spec quick|tiny] [--label NAME] [--ledger-dir DIR] \
+                 [--cache FILE] [--perturb loss[=RATE]] [--no-heartbeat] \
+                 [--min-cache-hits PCT]|\
+                 ledger <diff OLD NEW [--threshold PCT]|\
+                 top OLD NEW [--limit N] [--min-delta X]|report FILE [--dat DIR]>|\
                  validate FILE [--require-event NAME] [--summary]|all> \
                  [--class-a] [--dat DIR] [--trace-out FILE] [--metrics FILE]"
             );
@@ -328,6 +339,12 @@ fn cmd_validate(args: &[String]) {
             std::process::exit(1);
         }
     };
+    // JSON-lines documents (campaign ledgers, bench output) validate
+    // per line; ledger rows additionally pass the schema validator.
+    if path.ends_with(".jsonl") {
+        validate_jsonl(path, &text, summary);
+        return;
+    }
     let doc = match desim::obs::json::parse(&text) {
         Ok(v) => v,
         Err((pos, msg)) => {
@@ -369,6 +386,50 @@ fn cmd_validate(args: &[String]) {
             missing.join(", ")
         );
         std::process::exit(1);
+    }
+}
+
+/// Validate a JSON-lines document: every non-empty line must be valid
+/// JSON, and any line carrying a `"kind"` field must also pass the
+/// ledger schema validator ([`desim::obs::ledger::validate_line`]).
+fn validate_jsonl(path: &str, text: &str, summary: bool) {
+    let mut lines = 0usize;
+    let mut kinds: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let doc = match desim::obs::json::parse(line) {
+            Ok(v) => v,
+            Err((pos, msg)) => {
+                eprintln!("{path}:{}: invalid JSON at byte {pos}: {msg}", i + 1);
+                std::process::exit(1);
+            }
+        };
+        let kind = doc
+            .get("kind")
+            .and_then(desim::obs::json::Value::as_str)
+            .map(str::to_string);
+        if kind.is_some() {
+            if let Err(e) = desim::obs::ledger::validate_line(line) {
+                eprintln!("{path}:{}: {e}", i + 1);
+                std::process::exit(1);
+            }
+        }
+        *kinds
+            .entry(kind.unwrap_or_else(|| "(no kind)".into()))
+            .or_insert(0) += 1;
+    }
+    println!(
+        "{path}: valid JSON lines ({lines} lines, {} bytes)",
+        text.len()
+    );
+    if summary {
+        println!("{path}: summary:");
+        for (kind, n) in &kinds {
+            println!("  {kind:<12} {n:>8}");
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Staged offline CI for the whole simulator.
 #
-#     scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|profile|ranks|pdes|collectives|bench|all]
+#     scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|profile|ranks|pdes|collectives|campaign|bench|all]
 #
 # Each stage is independently runnable and timed; `all` (the default)
 # runs them in order. The workspace has zero external dependencies, so
@@ -34,6 +34,12 @@
 #           tags never collide across ops (regression), a quick
 #           autotune sweep finds a LAN/WAN algorithm divergence, and
 #           the four collective guidelines hold, each named in output
+#   campaign
+#           the sweep engine and run ledger: a quick campaign runs
+#           twice sharing one result cache (second pass >=90% hits),
+#           both ledgers validate, `ledger diff` sees zero digest
+#           changes, and an injected loss perturbation surfaces in
+#           `ledger top` with a nonzero blame-share delta
 #   bench   deterministic event counts match BENCH_baseline.json
 set -eu
 cd "$(dirname "$0")/.."
@@ -220,6 +226,65 @@ stage_collectives() {
         coll-two-level-le-flat-wan
 }
 
+stage_campaign() {
+    release_bins
+    rm -f target/ci_campaign_cache.json
+    # Cold sweep, then a second pass over the same spec sharing the
+    # result cache: everything deterministic must replay (>=90% hits
+    # enforced by the binary, 100% expected).
+    ./target/release/repro campaign --spec quick --label ci_a \
+        --ledger-dir target/ci_ledger --cache target/ci_campaign_cache.json \
+        --no-heartbeat
+    ./target/release/repro campaign --spec quick --label ci_b \
+        --ledger-dir target/ci_ledger --cache target/ci_campaign_cache.json \
+        --no-heartbeat --min-cache-hits 90
+    # Both ledgers are schema-valid JSONL.
+    ./target/release/repro validate target/ci_ledger/ci_a.jsonl
+    ./target/release/repro validate target/ci_ledger/ci_b.jsonl
+    # Same spec, same code => zero digest changes and zero config
+    # changes (the diff exits nonzero on a digest change). Capture to a
+    # file: grep -q would close the pipe mid-print.
+    ./target/release/repro ledger diff \
+        target/ci_ledger/ci_a.jsonl target/ci_ledger/ci_b.jsonl \
+        >target/ci_ledger/diff_ab.txt
+    grep -q "^0 digest changes" target/ci_ledger/diff_ab.txt
+    grep -q "^0 config changes" target/ci_ledger/diff_ab.txt
+    # The warm replay must be dramatically cheaper than the cold sweep:
+    # compare the in-campaign host_secs of the two summary rows.
+    awk '
+        /"kind":"summary"/ {
+            if (!match($0, /"host_secs":[0-9.e-]+/)) next
+            secs[++n] = substr($0, RSTART + 12, RLENGTH - 12) + 0
+        }
+        END {
+            if (n < 2) { print "missing summary rows"; exit 1 }
+            printf "campaign cold %.3fs, warm %.3fs (%.1fx)\n", \
+                secs[1], secs[2], secs[1] / (secs[2] > 0 ? secs[2] : 1e-9)
+            if (secs[1] < 5 * secs[2]) {
+                print "warm campaign not >=5x faster than cold"; exit 1
+            }
+        }
+    ' target/ci_ledger/ci_a.jsonl target/ci_ledger/ci_b.jsonl
+    # Regression triage: an injected WAN loss perturbation must surface
+    # in `ledger top` as a nonzero blame-share delta (the exit status
+    # enforces the floor), with per-workload dat tables written.
+    ./target/release/repro campaign --spec quick --label ci_perturbed \
+        --ledger-dir target/ci_ledger --cache target/ci_campaign_cache.json \
+        --no-heartbeat --perturb loss=0.003 --no-guidelines
+    ./target/release/repro ledger top \
+        target/ci_ledger/ci_a.jsonl target/ci_ledger/ci_perturbed.jsonl \
+        --min-delta 0.05
+    ./target/release/repro ledger report target/ci_ledger/ci_a.jsonl \
+        --dat target/ci_ledger/dat
+    test -s target/ci_ledger/dat/campaign_pp_1m.dat
+    # The sweep engine's own wall-clock gate: cold vs warm bench events
+    # are deterministic, so the baseline compare pins the spec shape.
+    ./target/release/bench campaign --json target/bench_campaign.json \
+        --baseline none
+    ./target/release/bench compare BENCH_baseline.json target/bench_campaign.json \
+        --threshold 400
+}
+
 stage_bench() {
     release_bins
     # `bench smoke` itself asserts exact events counts against the
@@ -246,17 +311,17 @@ run_stage() {
 }
 
 case "${1:-all}" in
-fmt | clippy | build | test | smoke | golden | blame | profile | ranks | pdes | collectives | bench)
+fmt | clippy | build | test | smoke | golden | blame | profile | ranks | pdes | collectives | campaign | bench)
     run_stage "$1"
     ;;
 all)
-    for _s in fmt clippy build test smoke golden blame profile ranks pdes collectives bench; do
+    for _s in fmt clippy build test smoke golden blame profile ranks pdes collectives campaign bench; do
         run_stage "${_s}"
     done
     echo "==> ci: all stages passed"
     ;;
 *)
-    echo "usage: scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|profile|ranks|pdes|collectives|bench|all]" >&2
+    echo "usage: scripts/ci.sh [fmt|clippy|build|test|smoke|golden|blame|profile|ranks|pdes|collectives|campaign|bench|all]" >&2
     exit 2
     ;;
 esac
